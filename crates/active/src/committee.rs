@@ -1,0 +1,192 @@
+//! Query-by-committee (Freund et al., cited as [26] in the paper's
+//! background on selective sampling).
+//!
+//! A committee of diverse models votes on every pool sample; the next label
+//! request goes to the sample with the highest *vote disagreement*. This is
+//! the other classic informative-query family beside the probability-based
+//! strategies of Sec. III-D, and serves as an extension ablation: on a
+//! bagged ensemble the committee is simply the ensemble members themselves.
+
+use alba_data::Matrix;
+use alba_ml::{Classifier, ModelSpec};
+use serde::{Deserialize, Serialize};
+
+/// Vote-entropy disagreement of committee predictions for one sample.
+///
+/// `votes[k]` counts committee members voting class `k`;
+/// the score is the Shannon entropy of the vote distribution (0 =
+/// unanimous, ln(committee size) = maximally split).
+pub fn vote_entropy(votes: &[usize]) -> f64 {
+    let total: usize = votes.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    -votes
+        .iter()
+        .filter(|&&v| v > 0)
+        .map(|&v| {
+            let p = v as f64 / total as f64;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// A committee of independently seeded models.
+pub struct Committee {
+    members: Vec<Box<dyn Classifier>>,
+    n_classes: usize,
+}
+
+impl Committee {
+    /// Builds a committee of `size` members from one spec, varying seeds.
+    ///
+    /// # Panics
+    /// Panics when `size` is zero.
+    pub fn new(spec: &ModelSpec, size: usize, seed: u64) -> Self {
+        assert!(size > 0, "a committee needs at least one member");
+        let members = (0..size)
+            .map(|i| spec.with_seed(seed ^ ((i as u64 + 1) * 0x9E37_79B9)).build())
+            .collect();
+        Self { members, n_classes: 0 }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Fits every member on the same labeled data (diversity comes from
+    /// their seeds: bootstrap resamples, feature subsampling, init).
+    pub fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        self.n_classes = n_classes;
+        for m in &mut self.members {
+            m.fit(x, y, n_classes);
+        }
+    }
+
+    /// Per-sample vote counts (`n x n_classes`).
+    pub fn votes(&self, x: &Matrix) -> Vec<Vec<usize>> {
+        let mut votes = vec![vec![0usize; self.n_classes]; x.rows()];
+        for m in &self.members {
+            for (i, &pred) in m.predict(x).iter().enumerate() {
+                votes[i][pred] += 1;
+            }
+        }
+        votes
+    }
+
+    /// Vote-entropy disagreement per sample.
+    pub fn disagreement(&self, x: &Matrix) -> Vec<f64> {
+        self.votes(x).iter().map(|v| vote_entropy(v)).collect()
+    }
+
+    /// Index of the most disagreed-upon sample (ties to the lower index).
+    pub fn most_disagreed(&self, x: &Matrix) -> usize {
+        let scores = self.disagreement(x);
+        let mut best = 0usize;
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Majority-vote prediction per sample.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.votes(x)
+            .iter()
+            .map(|v| {
+                let mut best = 0usize;
+                for (k, &c) in v.iter().enumerate().skip(1) {
+                    if c > v[best] {
+                        best = k;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Summary of a committee query step (for reports).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CommitteeQuery {
+    /// Chosen pool row.
+    pub index: usize,
+    /// Its vote entropy.
+    pub disagreement: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alba_ml::ForestParams;
+
+    fn blobs(n: usize, noisy: bool) -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let jit = ((i * 13) % 17) as f64 * 0.02;
+            if i % 2 == 0 {
+                rows.push(vec![jit, 0.0]);
+                y.push(0);
+            } else {
+                rows.push(vec![1.0 - jit, 1.0]);
+                y.push(usize::from(!(noisy && i % 7 == 0)));
+            }
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn committee() -> Committee {
+        let spec = ModelSpec::Forest(ForestParams {
+            n_estimators: 3,
+            max_depth: Some(3),
+            ..ForestParams::default()
+        });
+        Committee::new(&spec, 5, 17)
+    }
+
+    #[test]
+    fn vote_entropy_bounds() {
+        assert_eq!(vote_entropy(&[5, 0, 0]), 0.0);
+        let split = vote_entropy(&[2, 2]);
+        assert!((split - (2.0f64).ln() / 1.0 * 0.5 * 2.0).abs() < 1e-9); // ln 2
+        assert!(vote_entropy(&[1, 1, 1]) > split);
+        assert_eq!(vote_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn committee_learns_and_votes() {
+        let (x, y) = blobs(40, false);
+        let mut c = committee();
+        c.fit(&x, &y, 2);
+        assert_eq!(c.size(), 5);
+        assert_eq!(c.predict(&x), y);
+        // Unanimous on separable data: zero disagreement.
+        let d = c.disagreement(&x);
+        assert!(d.iter().all(|&v| v < 1e-9), "{d:?}");
+    }
+
+    #[test]
+    fn disagreement_peaks_between_classes() {
+        let (x, y) = blobs(40, true);
+        let mut c = committee();
+        c.fit(&x, &y, 2);
+        // A point exactly between the blobs should be the most contested
+        // among {far-left, middle, far-right}.
+        let probe = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.5, 0.5], vec![1.0, 1.0]]);
+        let idx = c.most_disagreed(&probe);
+        let d = c.disagreement(&probe);
+        assert!(d[1] >= d[0] && d[1] >= d[2], "disagreements {d:?}");
+        assert_eq!(idx, if d[1] > d[0] { 1 } else { 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_committee_rejected() {
+        let spec = ModelSpec::Forest(ForestParams::default());
+        let _ = Committee::new(&spec, 0, 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! The pool-based active-learning loop (paper Fig. 1).
+//!
+//! One *session* starts from a small labeled seed set (one sample per
+//! application/anomaly pair in the paper), repeatedly (1) fits the
+//! supervised model on the current labeled set, (2) scores it on a fixed
+//! held-out test set, (3) asks the query strategy which unlabeled pool
+//! sample to label next, and (4) obtains the label from the oracle (ground
+//! truth in our simulated campaigns) — until a query budget or a target
+//! F1-score is reached.
+
+use crate::strategy::{SelectionContext, Strategy};
+use alba_data::Dataset;
+use alba_ml::{Classifier, ModelSpec, Scores};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One query: which pool sample was labeled and the scores after
+/// re-training with it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Index into the unlabeled pool dataset.
+    pub pool_index: usize,
+    /// The label the oracle revealed.
+    pub true_label: usize,
+    /// Application the sample came from (for Fig. 4 drill-downs).
+    pub app: String,
+    /// Test scores after re-training with this sample included.
+    pub scores: Scores,
+}
+
+/// Full history of one active-learning session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Test scores of the model trained on the seed set alone.
+    pub initial_scores: Scores,
+    /// One record per query, in order.
+    pub records: Vec<QueryRecord>,
+}
+
+impl SessionResult {
+    /// F1 trajectory: `[initial, after query 1, after query 2, ...]`.
+    pub fn f1_curve(&self) -> Vec<f64> {
+        std::iter::once(self.initial_scores.f1)
+            .chain(self.records.iter().map(|r| r.scores.f1))
+            .collect()
+    }
+
+    /// False-alarm-rate trajectory (same convention as [`Self::f1_curve`]).
+    pub fn false_alarm_curve(&self) -> Vec<f64> {
+        std::iter::once(self.initial_scores.false_alarm_rate)
+            .chain(self.records.iter().map(|r| r.scores.false_alarm_rate))
+            .collect()
+    }
+
+    /// Anomaly-miss-rate trajectory.
+    pub fn miss_rate_curve(&self) -> Vec<f64> {
+        std::iter::once(self.initial_scores.anomaly_miss_rate)
+            .chain(self.records.iter().map(|r| r.scores.anomaly_miss_rate))
+            .collect()
+    }
+
+    /// Number of additional labeled samples needed to first reach
+    /// `target` F1 (0 if the seed model already passes; `None` if never
+    /// reached within the session).
+    pub fn queries_to_reach(&self, target: f64) -> Option<usize> {
+        if self.initial_scores.f1 >= target {
+            return Some(0);
+        }
+        self.records.iter().position(|r| r.scores.f1 >= target).map(|p| p + 1)
+    }
+}
+
+/// Configuration of one session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Query strategy.
+    pub strategy: Strategy,
+    /// Maximum number of queries.
+    pub budget: usize,
+    /// Early-stop when the test F1 reaches this value.
+    pub target_f1: Option<f64>,
+    /// Seed for the strategy's stochastic choices and the model.
+    pub seed: u64,
+}
+
+/// Runs one pool-based active-learning session.
+///
+/// `seed_set`, `pool` and `test` must share schema and encoder. The pool's
+/// labels act as the human annotator: they are only read when the strategy
+/// selects a sample ("the annotator provides the label upon request").
+///
+/// # Panics
+/// Panics when the seed set is empty or schemas mismatch.
+pub fn run_session(
+    spec: &ModelSpec,
+    seed_set: &Dataset,
+    pool: &Dataset,
+    test: &Dataset,
+    config: &SessionConfig,
+) -> SessionResult {
+    run_batched_session(spec, seed_set, pool, test, config, 1)
+}
+
+/// Batch-mode variant of [`run_session`]: `batch_size` samples are queried
+/// per model re-train (an ablation of the paper's one-sample protocol —
+/// the annotator labels a batch, the model re-trains once). `config.budget`
+/// still counts *labels*, not re-trains, and one [`QueryRecord`] is emitted
+/// per label (every label of a batch carries the post-batch scores), so
+/// histories stay comparable across batch sizes.
+///
+/// # Panics
+/// Panics on an empty seed set, schema mismatch, or `batch_size == 0`.
+pub fn run_batched_session(
+    spec: &ModelSpec,
+    seed_set: &Dataset,
+    pool: &Dataset,
+    test: &Dataset,
+    config: &SessionConfig,
+    batch_size: usize,
+) -> SessionResult {
+    assert!(batch_size > 0, "batch_size must be positive");
+    assert!(!seed_set.is_empty(), "the labeled seed set cannot be empty");
+    assert_eq!(seed_set.feature_names, pool.feature_names, "seed/pool schema mismatch");
+    assert_eq!(seed_set.feature_names, test.feature_names, "seed/test schema mismatch");
+    let n_classes = seed_set.n_classes();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut model = spec.with_seed(config.seed ^ 0xA1).build();
+
+    // Mutable labeled state.
+    let mut labeled_x = seed_set.x.clone();
+    let mut labeled_y = seed_set.y.clone();
+
+    // Pool bookkeeping.
+    let mut remaining: Vec<usize> = (0..pool.len()).collect();
+    let pool_apps: Vec<String> = pool.meta.iter().map(|m| m.app.clone()).collect();
+    let app_cycle: Vec<String> = pool.applications();
+
+    let evaluate = |model: &dyn Classifier| -> Scores {
+        let pred = model.predict(&test.x);
+        Scores::compute(&test.y, &pred, n_classes)
+    };
+
+    model.fit(&labeled_x, &labeled_y, n_classes);
+    let initial_scores = evaluate(model.as_ref());
+    let mut records = Vec::with_capacity(config.budget);
+    let mut reached = config.target_f1.is_some_and(|t| initial_scores.f1 >= t);
+    let mut labels_used = 0usize;
+
+    while labels_used < config.budget && !reached && !remaining.is_empty() {
+        // Strategy scores the remaining pool under the current model.
+        let pool_x = pool.x.select_rows(&remaining);
+        let proba = model.predict_proba(&pool_x);
+        let ctx = SelectionContext {
+            proba: &proba,
+            remaining: &remaining,
+            apps: &pool_apps,
+            app_cycle: &app_cycle,
+            query_number: labels_used,
+        };
+        let take = batch_size.min(config.budget - labels_used);
+        // Positions come back sorted descending, so swap_remove is safe.
+        let positions = crate::strategy::select_batch(config.strategy, &ctx, &mut rng, take);
+        let mut batch_indices = Vec::with_capacity(positions.len());
+        for pos in positions {
+            let pool_index = remaining.swap_remove(pos);
+            labeled_x.push_row(pool.x.row(pool_index));
+            labeled_y.push(pool.y[pool_index]);
+            batch_indices.push(pool_index);
+        }
+        // One re-train per batch; the oracle labeled the whole batch.
+        model.fit(&labeled_x, &labeled_y, n_classes);
+        let scores = evaluate(model.as_ref());
+        if config.target_f1.is_some_and(|t| scores.f1 >= t) {
+            reached = true;
+        }
+        for pool_index in batch_indices {
+            records.push(QueryRecord {
+                pool_index,
+                true_label: pool.y[pool_index],
+                app: pool.meta[pool_index].app.clone(),
+                scores,
+            });
+            labels_used += 1;
+        }
+    }
+
+    SessionResult { strategy: config.strategy, initial_scores, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alba_data::{LabelEncoder, Matrix, SampleMeta};
+    use alba_ml::ForestParams;
+
+    fn meta(app: &str) -> SampleMeta {
+        SampleMeta {
+            app: app.into(),
+            input_deck: 0,
+            run_id: 0,
+            node: 0,
+            node_count: 1,
+            intensity_pct: 0,
+        }
+    }
+
+    /// Builds (seed, pool, test) on two separable blobs with a handful of
+    /// seed samples.
+    fn toy_problem() -> (Dataset, Dataset, Dataset) {
+        let enc = LabelEncoder::from_names(&["healthy", "anom"]);
+        let features = vec!["f0".to_string(), "f1".to_string()];
+        let make = |n: usize, offset: usize| -> Dataset {
+            let mut rows = Vec::new();
+            let mut y = Vec::new();
+            let mut metas = Vec::new();
+            for i in 0..n {
+                let j = i + offset;
+                let jit = ((j * 29) % 23) as f64 * 0.01;
+                if j.is_multiple_of(2) {
+                    rows.push(vec![jit, 0.1 + jit]);
+                    y.push(0);
+                } else {
+                    rows.push(vec![1.0 - jit, 0.9]);
+                    y.push(1);
+                }
+                metas.push(meta(if j % 4 < 2 { "bt" } else { "cg" }));
+            }
+            Dataset::new(Matrix::from_rows(&rows), y, enc.clone(), metas, features.clone())
+        };
+        (make(4, 0), make(60, 100), make(40, 1000))
+    }
+
+    fn spec() -> ModelSpec {
+        ModelSpec::Forest(ForestParams { n_estimators: 10, ..ForestParams::default() })
+    }
+
+    fn config(strategy: Strategy) -> SessionConfig {
+        SessionConfig { strategy, budget: 10, target_f1: None, seed: 3 }
+    }
+
+    #[test]
+    fn session_runs_and_records_queries() {
+        let (seed, pool, test) = toy_problem();
+        let res = run_session(&spec(), &seed, &pool, &test, &config(Strategy::Uncertainty));
+        assert_eq!(res.records.len(), 10);
+        assert_eq!(res.f1_curve().len(), 11);
+        // Separable problem: scores should be high throughout.
+        assert!(res.records.last().unwrap().scores.f1 > 0.9);
+        // Pool indices are unique.
+        let mut idx: Vec<usize> = res.records.iter().map(|r| r.pool_index).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    fn target_f1_stops_early() {
+        let (seed, pool, test) = toy_problem();
+        let cfg = SessionConfig {
+            strategy: Strategy::Uncertainty,
+            budget: 50,
+            target_f1: Some(0.9),
+            seed: 3,
+        };
+        let res = run_session(&spec(), &seed, &pool, &test, &cfg);
+        assert!(res.records.len() < 50, "should stop early on a separable problem");
+        assert!(res.queries_to_reach(0.9).is_some());
+    }
+
+    #[test]
+    fn budget_larger_than_pool_is_clamped() {
+        let (seed, pool, test) = toy_problem();
+        let cfg = SessionConfig {
+            strategy: Strategy::Random,
+            budget: 1000,
+            target_f1: None,
+            seed: 3,
+        };
+        let res = run_session(&spec(), &seed, &pool, &test, &cfg);
+        assert_eq!(res.records.len(), pool.len());
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let (seed, pool, test) = toy_problem();
+        let a = run_session(&spec(), &seed, &pool, &test, &config(Strategy::Random));
+        let b = run_session(&spec(), &seed, &pool, &test, &config(Strategy::Random));
+        let ai: Vec<usize> = a.records.iter().map(|r| r.pool_index).collect();
+        let bi: Vec<usize> = b.records.iter().map(|r| r.pool_index).collect();
+        assert_eq!(ai, bi);
+    }
+
+    #[test]
+    fn oracle_labels_match_pool_ground_truth() {
+        let (seed, pool, test) = toy_problem();
+        let res = run_session(&spec(), &seed, &pool, &test, &config(Strategy::Entropy));
+        for r in &res.records {
+            assert_eq!(r.true_label, pool.y[r.pool_index]);
+            assert_eq!(r.app, pool.meta[r.pool_index].app);
+        }
+    }
+
+    #[test]
+    fn queries_to_reach_counts_from_initial() {
+        let (seed, pool, test) = toy_problem();
+        let res = run_session(&spec(), &seed, &pool, &test, &config(Strategy::Margin));
+        if res.initial_scores.f1 >= 0.5 {
+            assert_eq!(res.queries_to_reach(0.5), Some(0));
+        }
+        assert_eq!(res.queries_to_reach(2.0), None, "F1 cannot exceed 1");
+    }
+
+    #[test]
+    fn batched_session_counts_labels_not_retrains() {
+        let (seed, pool, test) = toy_problem();
+        let res = run_batched_session(
+            &spec(),
+            &seed,
+            &pool,
+            &test,
+            &SessionConfig { strategy: Strategy::Uncertainty, budget: 10, target_f1: None, seed: 3 },
+            4,
+        );
+        assert_eq!(res.records.len(), 10, "budget counts labels");
+        // Labels within a batch share post-batch scores.
+        let s0 = res.records[0].scores;
+        let s3 = res.records[3].scores;
+        assert_eq!(s0, s3, "first batch of 4 shares one evaluation");
+        // Pool indices are unique.
+        let mut idx: Vec<usize> = res.records.iter().map(|r| r.pool_index).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    fn batch_one_equals_run_session() {
+        let (seed, pool, test) = toy_problem();
+        let cfg = config(Strategy::Margin);
+        let a = run_session(&spec(), &seed, &pool, &test, &cfg);
+        let b = run_batched_session(&spec(), &seed, &pool, &test, &cfg, 1);
+        let ai: Vec<usize> = a.records.iter().map(|r| r.pool_index).collect();
+        let bi: Vec<usize> = b.records.iter().map(|r| r.pool_index).collect();
+        assert_eq!(ai, bi);
+    }
+
+    #[test]
+    fn all_strategies_run() {
+        let (seed, pool, test) = toy_problem();
+        for s in Strategy::ALL {
+            let res = run_session(&spec(), &seed, &pool, &test, &config(s));
+            assert_eq!(res.strategy, s);
+            assert!(!res.records.is_empty());
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Pool-based query strategies (paper Sec. III-D) and baselines
+//! (Sec. IV-D).
+//!
+//! Given the current model's class probabilities over the unlabeled pool,
+//! each strategy picks the next sample whose label to request:
+//!
+//! * **Uncertainty** (Eq. 1): maximise `U(x) = 1 - P(y|x)`.
+//! * **Margin** (Eq. 3): minimise `M(x) = P(y1|x) - P(y2|x)`.
+//! * **Entropy** (Eq. 4): maximise `H(x) = -Σ p log p`.
+//! * **Random**: uniform choice (the standard AL baseline).
+//! * **EqualApp**: cycle over application types, picking a random sample of
+//!   the due application each query.
+
+use alba_data::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A query strategy or baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Classification uncertainty (Eq. 1).
+    Uncertainty,
+    /// Classification margin (Eq. 3).
+    Margin,
+    /// Classification entropy (Eq. 4).
+    Entropy,
+    /// Uniform random baseline.
+    Random,
+    /// One sample per application type per cycle.
+    EqualApp,
+}
+
+impl Strategy {
+    /// All strategies in display order (query strategies then baselines).
+    pub const ALL: [Strategy; 5] = [
+        Strategy::Uncertainty,
+        Strategy::Margin,
+        Strategy::Entropy,
+        Strategy::Random,
+        Strategy::EqualApp,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Uncertainty => "uncertainty",
+            Strategy::Margin => "margin",
+            Strategy::Entropy => "entropy",
+            Strategy::Random => "random",
+            Strategy::EqualApp => "equal_app",
+        }
+    }
+
+    /// True for the informative (non-baseline) strategies.
+    pub fn is_informative(self) -> bool {
+        matches!(self, Strategy::Uncertainty | Strategy::Margin | Strategy::Entropy)
+    }
+}
+
+/// Uncertainty score `1 - max_k p_k` (higher = more uncertain).
+pub fn uncertainty_score(proba: &[f64]) -> f64 {
+    1.0 - proba.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Margin score `p(1st) - p(2nd)` (lower = more uncertain).
+pub fn margin_score(proba: &[f64]) -> f64 {
+    let mut first = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for &p in proba {
+        if p > first {
+            second = first;
+            first = p;
+        } else if p > second {
+            second = p;
+        }
+    }
+    if second.is_finite() {
+        first - second
+    } else {
+        first // single-class edge case
+    }
+}
+
+/// Entropy score `-Σ p ln p` (higher = more uncertain).
+pub fn entropy_score(proba: &[f64]) -> f64 {
+    -proba.iter().filter(|&&p| p > 1e-300).map(|&p| p * p.ln()).sum::<f64>()
+}
+
+/// Context handed to [`select`] for one query.
+pub struct SelectionContext<'a> {
+    /// Class probabilities for every *remaining* pool sample (row i
+    /// corresponds to `remaining[i]`).
+    pub proba: &'a Matrix,
+    /// Pool indices still unlabeled, parallel to `proba` rows.
+    pub remaining: &'a [usize],
+    /// Application name per pool index (full pool, indexed by pool index).
+    pub apps: &'a [String],
+    /// Distinct application names, in cycling order (for `EqualApp`).
+    pub app_cycle: &'a [String],
+    /// How many queries have been issued so far (drives the app cycle).
+    pub query_number: usize,
+}
+
+/// Picks the position *within `remaining`* of the next sample to label.
+///
+/// Ties break toward the lower pool index, making informative strategies
+/// fully deterministic; `Random` and `EqualApp` draw from `rng`.
+///
+/// # Panics
+/// Panics when `remaining` is empty.
+pub fn select(strategy: Strategy, ctx: &SelectionContext<'_>, rng: &mut StdRng) -> usize {
+    assert!(!ctx.remaining.is_empty(), "no samples left to query");
+    assert_eq!(ctx.proba.rows(), ctx.remaining.len(), "probability rows mismatch");
+    match strategy {
+        Strategy::Uncertainty => argbest(ctx, uncertainty_score, true),
+        Strategy::Entropy => argbest(ctx, entropy_score, true),
+        Strategy::Margin => argbest(ctx, margin_score, false),
+        Strategy::Random => rng.gen_range(0..ctx.remaining.len()),
+        Strategy::EqualApp => {
+            // The application whose turn it is this query.
+            let due = &ctx.app_cycle[ctx.query_number % ctx.app_cycle.len().max(1)];
+            let candidates: Vec<usize> = (0..ctx.remaining.len())
+                .filter(|&i| &ctx.apps[ctx.remaining[i]] == due)
+                .collect();
+            if candidates.is_empty() {
+                // The due application is exhausted; fall back to uniform.
+                rng.gen_range(0..ctx.remaining.len())
+            } else {
+                candidates[rng.gen_range(0..candidates.len())]
+            }
+        }
+    }
+}
+
+/// Picks the positions (within `remaining`) of the `batch` most informative
+/// samples under `strategy` — batch-mode active learning, an extension the
+/// paper lists as future work ("design a custom query strategy ... to
+/// further reduce the necessary labeled samples"). For `Random` the batch
+/// is uniform without replacement; for `EqualApp` it continues the
+/// application cycle. Returned positions are unique and sorted descending
+/// so callers can `swap_remove` them directly.
+///
+/// # Panics
+/// Panics when `remaining` is empty or `batch` is zero.
+pub fn select_batch(
+    strategy: Strategy,
+    ctx: &SelectionContext<'_>,
+    rng: &mut StdRng,
+    batch: usize,
+) -> Vec<usize> {
+    assert!(batch > 0, "batch must be positive");
+    assert!(!ctx.remaining.is_empty(), "no samples left to query");
+    let batch = batch.min(ctx.remaining.len());
+    let mut picks: Vec<usize> = match strategy {
+        Strategy::Uncertainty | Strategy::Entropy | Strategy::Margin => {
+            let score: fn(&[f64]) -> f64 = match strategy {
+                Strategy::Uncertainty => uncertainty_score,
+                Strategy::Entropy => entropy_score,
+                _ => margin_score,
+            };
+            let maximize = strategy != Strategy::Margin;
+            let mut scored: Vec<(usize, f64)> = (0..ctx.remaining.len())
+                .map(|i| (i, score(ctx.proba.row(i))))
+                .collect();
+            scored.sort_by(|a, b| {
+                let ord = a.1.partial_cmp(&b.1).expect("finite scores");
+                if maximize {
+                    ord.reverse().then(a.0.cmp(&b.0))
+                } else {
+                    ord.then(a.0.cmp(&b.0))
+                }
+            });
+            scored[..batch].iter().map(|&(i, _)| i).collect()
+        }
+        Strategy::Random => {
+            let mut idx: Vec<usize> = (0..ctx.remaining.len()).collect();
+            shuffle_positions(&mut idx, rng);
+            idx.truncate(batch);
+            idx
+        }
+        Strategy::EqualApp => {
+            let mut chosen: Vec<usize> = Vec::with_capacity(batch);
+            for offset in 0..batch {
+                let sub = SelectionContext {
+                    proba: ctx.proba,
+                    remaining: ctx.remaining,
+                    apps: ctx.apps,
+                    app_cycle: ctx.app_cycle,
+                    query_number: ctx.query_number + offset,
+                };
+                // Retry until an unchosen position appears (bounded).
+                let mut pos = select(Strategy::EqualApp, &sub, rng);
+                let mut guard = 0;
+                while chosen.contains(&pos) && guard < 64 {
+                    pos = select(Strategy::EqualApp, &sub, rng);
+                    guard += 1;
+                }
+                if chosen.contains(&pos) {
+                    // Fall back to the first free position.
+                    pos = (0..ctx.remaining.len())
+                        .find(|p| !chosen.contains(p))
+                        .expect("batch <= remaining");
+                }
+                chosen.push(pos);
+            }
+            chosen
+        }
+    };
+    picks.sort_unstable_by(|a, b| b.cmp(a));
+    picks
+}
+
+fn shuffle_positions(idx: &mut [usize], rng: &mut StdRng) {
+    use rand::seq::SliceRandom;
+    idx.shuffle(rng);
+}
+
+fn argbest(
+    ctx: &SelectionContext<'_>,
+    score: impl Fn(&[f64]) -> f64,
+    maximize: bool,
+) -> usize {
+    let mut best = 0usize;
+    let mut best_score = score(ctx.proba.row(0));
+    for i in 1..ctx.remaining.len() {
+        let s = score(ctx.proba.row(i));
+        let better = if maximize { s > best_score } else { s < best_score };
+        if better {
+            best = i;
+            best_score = s;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// The worked example of Sec. III-D (Eq. 2).
+    fn example_probs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.1, 0.85, 0.05],
+            vec![0.6, 0.3, 0.1],
+            vec![0.39, 0.61, 0.0],
+        ])
+    }
+
+    fn ctx<'a>(
+        proba: &'a Matrix,
+        remaining: &'a [usize],
+        apps: &'a [String],
+        cycle: &'a [String],
+        q: usize,
+    ) -> SelectionContext<'a> {
+        SelectionContext { proba, remaining, apps, app_cycle: cycle, query_number: q }
+    }
+
+    #[test]
+    fn paper_example_scores() {
+        let p = example_probs();
+        // U_list = [0.15, 0.4, 0.39]
+        assert!((uncertainty_score(p.row(0)) - 0.15).abs() < 1e-12);
+        assert!((uncertainty_score(p.row(1)) - 0.4).abs() < 1e-12);
+        assert!((uncertainty_score(p.row(2)) - 0.39).abs() < 1e-12);
+        // M_list = [0.75, 0.3, 0.22]
+        assert!((margin_score(p.row(0)) - 0.75).abs() < 1e-12);
+        assert!((margin_score(p.row(1)) - 0.3).abs() < 1e-12);
+        assert!((margin_score(p.row(2)) - 0.22).abs() < 1e-12);
+        // H_list = [0.52, 0.90, 0.67] (natural log, rounded in the paper)
+        assert!((entropy_score(p.row(0)) - 0.518).abs() < 5e-3);
+        assert!((entropy_score(p.row(1)) - 0.898).abs() < 5e-3);
+        assert!((entropy_score(p.row(2)) - 0.668).abs() < 5e-3);
+    }
+
+    #[test]
+    fn paper_example_selections() {
+        let p = example_probs();
+        let remaining = [10, 11, 12];
+        let apps: Vec<String> = vec!["a".into(); 13];
+        let cycle = vec!["a".to_string()];
+        let mut rng = StdRng::seed_from_u64(0);
+        // Uncertainty picks the second sample, margin the third, entropy the second.
+        let c = ctx(&p, &remaining, &apps, &cycle, 0);
+        assert_eq!(select(Strategy::Uncertainty, &c, &mut rng), 1);
+        assert_eq!(select(Strategy::Margin, &c, &mut rng), 2);
+        assert_eq!(select(Strategy::Entropy, &c, &mut rng), 1);
+    }
+
+    #[test]
+    fn random_is_uniform_ish_and_seed_deterministic() {
+        let p = Matrix::filled(4, 2, 0.5);
+        let remaining = [0, 1, 2, 3];
+        let apps: Vec<String> = vec!["a".into(); 4];
+        let cycle = vec!["a".to_string()];
+        let mut counts = [0usize; 4];
+        let mut rng = StdRng::seed_from_u64(5);
+        for q in 0..4000 {
+            let c = ctx(&p, &remaining, &apps, &cycle, q);
+            counts[select(Strategy::Random, &c, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let c = ctx(&p, &remaining, &apps, &cycle, 0);
+        assert_eq!(select(Strategy::Random, &c, &mut r1), select(Strategy::Random, &c, &mut r2));
+    }
+
+    #[test]
+    fn equal_app_cycles_applications() {
+        let p = Matrix::filled(6, 2, 0.5);
+        let remaining = [0, 1, 2, 3, 4, 5];
+        let apps: Vec<String> = ["bt", "bt", "cg", "cg", "ft", "ft"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cycle = vec!["bt".to_string(), "cg".to_string(), "ft".to_string()];
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in 0..3 {
+            let c = ctx(&p, &remaining, &apps, &cycle, q);
+            let chosen = select(Strategy::EqualApp, &c, &mut rng);
+            assert_eq!(apps[remaining[chosen]], cycle[q % 3]);
+        }
+    }
+
+    #[test]
+    fn equal_app_falls_back_when_app_exhausted() {
+        let p = Matrix::filled(2, 2, 0.5);
+        let remaining = [0, 1];
+        let apps: Vec<String> = vec!["cg".into(), "cg".into()];
+        let cycle = vec!["bt".to_string(), "cg".to_string()];
+        let mut rng = StdRng::seed_from_u64(1);
+        // Query 0 is bt's turn but no bt samples remain.
+        let c = ctx(&p, &remaining, &apps, &cycle, 0);
+        let chosen = select(Strategy::EqualApp, &c, &mut rng);
+        assert!(chosen < 2);
+    }
+
+    #[test]
+    fn margin_handles_single_class() {
+        assert_eq!(margin_score(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn batch_selection_returns_unique_descending_positions() {
+        let p = example_probs();
+        let remaining = [10, 11, 12];
+        let apps: Vec<String> = vec!["a".into(); 13];
+        let cycle = vec!["a".to_string()];
+        let mut rng = StdRng::seed_from_u64(2);
+        for strategy in Strategy::ALL {
+            let c = ctx(&p, &remaining, &apps, &cycle, 0);
+            let picks = select_batch(strategy, &c, &mut rng, 2);
+            assert_eq!(picks.len(), 2, "{strategy:?}");
+            assert!(picks[0] > picks[1], "{strategy:?}: {picks:?} must be descending");
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_select_for_informative_strategies() {
+        let p = example_probs();
+        let remaining = [0, 1, 2];
+        let apps: Vec<String> = vec!["a".into(); 3];
+        let cycle = vec!["a".to_string()];
+        let mut rng = StdRng::seed_from_u64(4);
+        for strategy in [Strategy::Uncertainty, Strategy::Margin, Strategy::Entropy] {
+            let c = ctx(&p, &remaining, &apps, &cycle, 0);
+            let single = select(strategy, &c, &mut rng);
+            let batch = select_batch(strategy, &c, &mut rng, 1);
+            assert_eq!(batch, vec![single], "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn batch_is_clamped_to_pool_size() {
+        let p = Matrix::filled(2, 2, 0.5);
+        let remaining = [5, 9];
+        let apps: Vec<String> = vec!["a".into(); 10];
+        let cycle = vec!["a".to_string()];
+        let mut rng = StdRng::seed_from_u64(8);
+        let picks = select_batch(Strategy::Random, &ctx(&p, &remaining, &apps, &cycle, 0), &mut rng, 10);
+        assert_eq!(picks.len(), 2);
+    }
+
+    #[test]
+    fn uncertainty_batch_orders_by_score() {
+        let p = example_probs(); // U = [0.15, 0.4, 0.39]
+        let remaining = [0, 1, 2];
+        let apps: Vec<String> = vec!["a".into(); 3];
+        let cycle = vec!["a".to_string()];
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = select_batch(
+            Strategy::Uncertainty,
+            &ctx(&p, &remaining, &apps, &cycle, 0),
+            &mut rng,
+            2,
+        );
+        // Most uncertain are samples 1 (0.4) and 2 (0.39).
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(Strategy::Uncertainty.name(), "uncertainty");
+        assert_eq!(Strategy::EqualApp.name(), "equal_app");
+        assert!(Strategy::Margin.is_informative());
+        assert!(!Strategy::Random.is_informative());
+    }
+}

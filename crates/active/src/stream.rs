@@ -1,0 +1,303 @@
+//! Stream-based selective sampling (paper Sec. II-A).
+//!
+//! The paper reviews three active-learning scenarios — membership query
+//! synthesis, *stream-based selective sampling*, and pool-based sampling —
+//! and picks pool-based because production telemetry arrives in bulk. The
+//! stream scenario is still operationally interesting (label-on-arrival at
+//! ingest time, no pool storage), so this module implements it as a
+//! counterpart to [`crate::learner`]: unlabeled samples are shown to the
+//! learner one at a time and it decides, against an uncertainty threshold,
+//! whether to ask the annotator for the label.
+
+use crate::learner::{QueryRecord, SessionConfig, SessionResult};
+use crate::strategy::{entropy_score, margin_score, uncertainty_score, Strategy};
+use alba_data::Dataset;
+use alba_ml::{Classifier, ModelSpec, Scores};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a stream-based session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Strategy whose score is thresholded. `Random` degenerates to
+    /// labeling a fixed fraction of the stream; `EqualApp` is not
+    /// meaningful in the stream setting and is rejected.
+    pub strategy: Strategy,
+    /// Query threshold: for uncertainty/entropy a sample is labeled when
+    /// its score *exceeds* the threshold; for margin when it falls *below*.
+    /// For `Random`, the probability of labeling each sample.
+    pub threshold: f64,
+    /// Maximum labels to request (annotator budget).
+    pub budget: usize,
+    /// Seed (stream order and stochastic choices).
+    pub seed: u64,
+}
+
+/// Outcome of one stream pass.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// The standard session history (one record per *label*).
+    pub session: SessionResult,
+    /// Samples that streamed past without a label request.
+    pub skipped: usize,
+    /// Samples inspected in total.
+    pub seen: usize,
+}
+
+impl StreamResult {
+    /// Fraction of the stream that was sent to the annotator.
+    pub fn query_rate(&self) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        self.session.records.len() as f64 / self.seen as f64
+    }
+}
+
+/// Runs one stream-based selective-sampling pass over the pool (presented
+/// in a seeded random order, mimicking arrival order). The model re-trains
+/// after every accepted label, exactly as in the pool-based loop.
+///
+/// # Panics
+/// Panics on an empty seed set, schema mismatch, or `EqualApp` strategy.
+pub fn run_stream_session(
+    spec: &ModelSpec,
+    seed_set: &Dataset,
+    stream: &Dataset,
+    test: &Dataset,
+    config: &StreamConfig,
+) -> StreamResult {
+    assert!(!seed_set.is_empty(), "the labeled seed set cannot be empty");
+    assert_eq!(seed_set.feature_names, stream.feature_names, "seed/stream schema mismatch");
+    assert_eq!(seed_set.feature_names, test.feature_names, "seed/test schema mismatch");
+    assert!(
+        config.strategy != Strategy::EqualApp,
+        "EqualApp has no stream-based formulation"
+    );
+    let n_classes = seed_set.n_classes();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut model = spec.with_seed(config.seed ^ 0xA1).build();
+
+    let mut labeled_x = seed_set.x.clone();
+    let mut labeled_y = seed_set.y.clone();
+
+    // Arrival order.
+    let mut order: Vec<usize> = (0..stream.len()).collect();
+    order.shuffle(&mut rng);
+
+    let evaluate = |model: &dyn Classifier| -> Scores {
+        Scores::compute(&test.y, &model.predict(&test.x), n_classes)
+    };
+    model.fit(&labeled_x, &labeled_y, n_classes);
+    let initial_scores = evaluate(model.as_ref());
+
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    let mut seen = 0usize;
+    for &idx in &order {
+        if records.len() >= config.budget {
+            break;
+        }
+        seen += 1;
+        let x_row = stream.x.select_rows(&[idx]);
+        let proba = model.predict_proba(&x_row);
+        let wants_label = match config.strategy {
+            Strategy::Uncertainty => uncertainty_score(proba.row(0)) > config.threshold,
+            Strategy::Entropy => entropy_score(proba.row(0)) > config.threshold,
+            Strategy::Margin => margin_score(proba.row(0)) < config.threshold,
+            Strategy::Random => {
+                use rand::Rng;
+                rng.gen::<f64>() < config.threshold
+            }
+            Strategy::EqualApp => unreachable!("rejected above"),
+        };
+        if !wants_label {
+            skipped += 1;
+            continue;
+        }
+        labeled_x.push_row(stream.x.row(idx));
+        labeled_y.push(stream.y[idx]);
+        model.fit(&labeled_x, &labeled_y, n_classes);
+        records.push(QueryRecord {
+            pool_index: idx,
+            true_label: stream.y[idx],
+            app: stream.meta[idx].app.clone(),
+            scores: evaluate(model.as_ref()),
+        });
+    }
+
+    StreamResult {
+        session: SessionResult {
+            strategy: config.strategy,
+            initial_scores,
+            records,
+        },
+        skipped,
+        seen,
+    }
+}
+
+/// Convenience: derives a [`StreamConfig`] from a pool [`SessionConfig`]
+/// with a given threshold.
+pub fn stream_config(config: &SessionConfig, threshold: f64) -> StreamConfig {
+    StreamConfig {
+        strategy: config.strategy,
+        threshold,
+        budget: config.budget,
+        seed: config.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alba_data::{LabelEncoder, Matrix, SampleMeta};
+    use alba_ml::ForestParams;
+
+    fn meta(app: &str) -> SampleMeta {
+        SampleMeta {
+            app: app.into(),
+            input_deck: 0,
+            run_id: 0,
+            node: 0,
+            node_count: 1,
+            intensity_pct: 0,
+        }
+    }
+
+    fn toy(n: usize, offset: usize) -> Dataset {
+        let enc = LabelEncoder::from_names(&["healthy", "anom"]);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut metas = Vec::new();
+        for i in 0..n {
+            let j = i + offset;
+            let jit = ((j * 29) % 23) as f64 * 0.01;
+            if j % 2 == 0 {
+                rows.push(vec![jit, 0.1 + jit]);
+                y.push(0);
+            } else {
+                rows.push(vec![1.0 - jit, 0.9]);
+                y.push(1);
+            }
+            metas.push(meta("bt"));
+        }
+        Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            enc,
+            metas,
+            vec!["f0".into(), "f1".into()],
+        )
+    }
+
+    fn spec() -> ModelSpec {
+        ModelSpec::Forest(ForestParams { n_estimators: 8, ..ForestParams::default() })
+    }
+
+    #[test]
+    fn stream_respects_budget_and_counts() {
+        let seed = toy(6, 0);
+        let stream = toy(60, 100);
+        let test = toy(30, 1000);
+        let res = run_stream_session(
+            &spec(),
+            &seed,
+            &stream,
+            &test,
+            &StreamConfig { strategy: Strategy::Random, threshold: 1.0, budget: 10, seed: 3 },
+        );
+        // threshold 1.0 on Random = label everything until the budget.
+        assert_eq!(res.session.records.len(), 10);
+        assert_eq!(res.skipped, 0);
+        assert_eq!(res.seen, 10);
+        assert!((res.query_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_threshold_skips_confident_samples() {
+        let seed = toy(20, 0);
+        let stream = toy(60, 100);
+        let test = toy(30, 1000);
+        // On separable data the model is confident; an extreme uncertainty
+        // threshold should label (almost) nothing.
+        let res = run_stream_session(
+            &spec(),
+            &seed,
+            &stream,
+            &test,
+            &StreamConfig {
+                strategy: Strategy::Uncertainty,
+                threshold: 0.95,
+                budget: 20,
+                seed: 5,
+            },
+        );
+        assert!(res.session.records.len() <= 2, "labeled {}", res.session.records.len());
+        assert!(res.skipped >= 58 - 2);
+    }
+
+    #[test]
+    fn margin_threshold_direction_is_respected() {
+        let seed = toy(4, 0);
+        let stream = toy(60, 100);
+        let test = toy(30, 1000);
+        // Margin labels when the score falls BELOW the threshold: an
+        // impossible threshold (0) labels nothing, a permissive one (>1,
+        // since margins live in [0,1]) labels everything up to the budget.
+        let strict = run_stream_session(
+            &spec(),
+            &seed,
+            &stream,
+            &test,
+            &StreamConfig { strategy: Strategy::Margin, threshold: 0.0, budget: 15, seed: 7 },
+        );
+        assert!(strict.session.records.is_empty());
+        assert_eq!(strict.skipped, strict.seen);
+        let permissive = run_stream_session(
+            &spec(),
+            &seed,
+            &stream,
+            &test,
+            &StreamConfig { strategy: Strategy::Margin, threshold: 1.01, budget: 15, seed: 7 },
+        );
+        assert_eq!(permissive.session.records.len(), 15);
+        let last = permissive.session.records.last().unwrap().scores.f1;
+        assert!(last >= permissive.session.initial_scores.f1 - 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let seed = toy(6, 0);
+        let stream = toy(40, 100);
+        let test = toy(20, 1000);
+        let cfg = StreamConfig {
+            strategy: Strategy::Uncertainty,
+            threshold: 0.2,
+            budget: 8,
+            seed: 11,
+        };
+        let a = run_stream_session(&spec(), &seed, &stream, &test, &cfg);
+        let b = run_stream_session(&spec(), &seed, &stream, &test, &cfg);
+        let ai: Vec<usize> = a.session.records.iter().map(|r| r.pool_index).collect();
+        let bi: Vec<usize> = b.session.records.iter().map(|r| r.pool_index).collect();
+        assert_eq!(ai, bi);
+    }
+
+    #[test]
+    #[should_panic(expected = "EqualApp has no stream-based formulation")]
+    fn equal_app_is_rejected() {
+        let seed = toy(4, 0);
+        let stream = toy(10, 100);
+        let test = toy(10, 1000);
+        let _ = run_stream_session(
+            &spec(),
+            &seed,
+            &stream,
+            &test,
+            &StreamConfig { strategy: Strategy::EqualApp, threshold: 0.5, budget: 5, seed: 1 },
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Developer diagnostic: class-separability report for the simulated
+//! campaigns. Prints per-class F1, the confusion matrix and per-intensity
+//! recall so simulator signal levels can be calibrated against the paper's
+//! observed behaviour.
+
+use alba_ml::{Classifier, ConfusionMatrix, ModelFamily, ModelSpec};
+use albadross::prelude::*;
+use albadross::{prepare_split, SplitConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let system = if args.iter().any(|a| a == "eclipse") { System::Eclipse } else { System::Volta };
+    let scale = if args.iter().any(|a| a == "default") { Scale::Default } else { Scale::Smoke };
+    let method = if args.iter().any(|a| a == "tsfresh") {
+        FeatureMethod::TsFresh
+    } else {
+        FeatureMethod::Mvts
+    };
+    let t0 = std::time::Instant::now();
+    let data = SystemData::generate(system, method, scale, 7);
+    println!(
+        "system={} method={} scale={scale:?} samples={} features={} gen_time={:?}",
+        system.name(),
+        method.name(),
+        data.dataset.len(),
+        data.dataset.x.cols(),
+        t0.elapsed()
+    );
+    println!("class counts: {:?}", data.dataset.class_counts());
+
+    let split = prepare_split(
+        &data.dataset,
+        &SplitConfig { train_fraction: 0.6, top_k_features: 1200 },
+        1,
+    );
+    let spec = ModelSpec::tuned(ModelFamily::Rf, system == System::Volta);
+    let t1 = std::time::Instant::now();
+    let mut model = spec.build();
+    model.fit(&split.train.x, &split.train.y, split.train.n_classes());
+    println!("fit({} samples) in {:?}", split.train.len(), t1.elapsed());
+    // Capacity check: training accuracy + alternative models.
+    let train_pred = model.predict(&split.train.x);
+    let train_cm = ConfusionMatrix::from_predictions(&split.train.y, &train_pred, 6);
+    println!("tuned RF train macro F1={:.3}", train_cm.macro_f1());
+    {
+        use alba_ml::{Criterion, DecisionTree, MaxFeatures, TreeParams};
+        let mut tree = DecisionTree::new(TreeParams::default());
+        tree.fit(&split.train.x, &split.train.y, 6);
+        let p = tree.predict(&split.test.x);
+        let cm = ConfusionMatrix::from_predictions(&split.test.y, &p, 6);
+        println!("single full tree: test macro F1={:.3} miss={:.3}", cm.macro_f1(), cm.anomaly_miss_rate(0));
+        let mut big = alba_ml::RandomForest::new(alba_ml::ForestParams {
+            n_estimators: 100,
+            max_depth: None,
+            criterion: Criterion::Gini,
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+            seed: 1,
+        });
+        big.fit(&split.train.x, &split.train.y, 6);
+        let p = big.predict(&split.test.x);
+        let cm = ConfusionMatrix::from_predictions(&split.test.y, &p, 6);
+        println!("RF100 unlimited: test macro F1={:.3} miss={:.3}", cm.macro_f1(), cm.anomaly_miss_rate(0));
+    }
+    let pred = model.predict(&split.test.x);
+    let cm = ConfusionMatrix::from_predictions(&split.test.y, &pred, 6);
+    println!(
+        "macro F1={:.3} FAR={:.3} MISS={:.3}",
+        cm.macro_f1(),
+        cm.false_alarm_rate(0),
+        cm.anomaly_miss_rate(0)
+    );
+    for c in 0..6 {
+        println!(
+            "  class {c} ({}): f1={:.3} precision={:.3} recall={:.3}",
+            split.test.encoder.decode(c).unwrap(),
+            cm.f1(c),
+            cm.precision(c),
+            cm.recall(c)
+        );
+    }
+    print!("confusion:\n     ");
+    for p in 0..6 {
+        print!("{:>6}", split.test.encoder.decode(p).unwrap().chars().take(5).collect::<String>());
+    }
+    println!();
+    for t in 0..6 {
+        print!("{:>5}", split.test.encoder.decode(t).unwrap().chars().take(5).collect::<String>());
+        for p in 0..6 {
+            print!("{:>6}", cm.get(t, p));
+        }
+        println!();
+    }
+    // Per-intensity recall on anomalous test samples.
+    let mut by_intensity: std::collections::BTreeMap<u32, (usize, usize)> = Default::default();
+    for i in 0..split.test.len() {
+        if split.test.y[i] == 0 {
+            continue;
+        }
+        let e = by_intensity.entry(split.test.meta[i].intensity_pct).or_default();
+        e.1 += 1;
+        if pred[i] == split.test.y[i] {
+            e.0 += 1;
+        }
+    }
+    for (int, (ok, total)) in by_intensity {
+        println!("intensity {int:>3}%: correctly diagnosed {ok}/{total}");
+    }
+
+    // Class-conditional means of hand-picked diagnostic features (raw,
+    // pre-selection dataset) to verify the anomaly signal exists at all.
+    for needle in [
+        "procstat.per_core_user.0::mean",
+        "perfevent.llc_misses.0::mean",
+        "meminfo.mem_bw.0::mean",
+        "cray_aries.cpu_freq.0::mean",
+        "cray_aries.power.0::mean",
+        "cray_aries.wb_counter.0::mean",
+    ] {
+        let Some(col) = data.dataset.feature_names.iter().position(|n| n == needle) else {
+            println!("feature {needle} missing");
+            continue;
+        };
+        let mut sums = [0.0f64; 6];
+        let mut counts = [0usize; 6];
+        // Split high-intensity anomalies out to see the raw effect.
+        let mut hi_sums = [0.0f64; 6];
+        let mut hi_counts = [0usize; 6];
+        for i in 0..data.dataset.len() {
+            let c = data.dataset.y[i];
+            let v = data.dataset.x.get(i, col);
+            sums[c] += v;
+            counts[c] += 1;
+            if data.dataset.meta[i].intensity_pct >= 50 || c == 0 {
+                hi_sums[c] += v;
+                hi_counts[c] += 1;
+            }
+        }
+        print!("{needle:<36}");
+        for c in 0..6 {
+            let all = sums[c] / counts[c].max(1) as f64;
+            let hi = hi_sums[c] / hi_counts[c].max(1) as f64;
+            print!(" {:>5.1}/{:<5.1}", all, hi);
+        }
+        println!();
+    }
+    // Was the key feature selected by chi2?
+    let selected: Vec<&String> =
+        split.selected_features.iter().map(|&i| &data.dataset.feature_names[i]).collect();
+    for stem in ["per_core_user", "llc_misses", "mem_bw", "cpu_freq", "power", "wb_counter", "Active"] {
+        let n = selected.iter().filter(|s| s.contains(stem)).count();
+        println!("chi2 kept {n} features containing {stem:?}");
+    }
+    // Global chi2 rank of each stem's best feature.
+    {
+        use alba_features::chi_square_scores;
+        let scores = chi_square_scores(&data.dataset.x, &data.dataset.y, 6);
+        let order = scores.top_k(data.dataset.x.cols());
+        for stem in ["per_core_user", "per_core_sys", "cpu_freq", "power", "llc_misses", "pgfault"] {
+            let rank = order
+                .iter()
+                .position(|&c| data.dataset.feature_names[c].contains(stem));
+            println!("best rank of {stem:?}: {rank:?}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Renders saved curve artifacts (`results/figN_<scale>.json`, as written
+//! by `repro`) into the paper-style SVG panels without re-running the
+//! experiment.
+//!
+//! ```text
+//! render_svg results/fig3_default.json [more.json ...]
+//! ```
+
+use alba_active::MethodCurves;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: render_svg <curves.json> [...]");
+        std::process::exit(2);
+    }
+    for arg in &args {
+        let path = Path::new(arg);
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {arg}: {e}"));
+        let curves: Vec<MethodCurves> = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{arg} is not a curves artifact: {e}"));
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("file has a stem")
+            .to_string();
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        for (name, svg) in albadross::figure_panels(&stem, &curves) {
+            let out = dir.join(format!("{name}.svg"));
+            std::fs::write(&out, svg).expect("write SVG");
+            println!("wrote {}", out.display());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! `repro` — regenerates every table and figure of the ALBADross paper.
+//!
+//! ```text
+//! repro --exp <id>[,<id>...] [--scale smoke|default|full] [--seed N] [--out DIR]
+//!
+//! ids: tables-setup  Tables I–III (experimental setup)
+//!      table4        Table IV (hyperparameter grid search, both systems)
+//!      table5        Table V (summary of diagnosis results)
+//!      fig3          Fig. 3 (Volta query curves)
+//!      fig4          Fig. 4 (Volta query drill-down)
+//!      fig5          Fig. 5 (Eclipse query curves)
+//!      fig6          Fig. 6 (previously unseen applications)
+//!      fig7          Fig. 7 (robustness motivation)
+//!      fig8          Fig. 8 (previously unseen inputs)
+//!      ablations     extensions beyond the paper (strategy x model matrix,
+//!                    extractor 2x2, chi-square k sweep, intensity sensitivity,
+//!                    batch-mode querying)
+//!      all           everything above
+//! ```
+//!
+//! Text renderings go to stdout; machine-readable JSON is written to
+//! `--out` (default `results/`).
+
+use albadross::experiments::{
+    self, run_curves, run_robustness, run_table4, run_unseen_apps, run_unseen_inputs, CurvesConfig, DrilldownResult, RobustnessConfig, Table4Config,
+    UnseenAppsConfig, UnseenInputsConfig,
+};
+use albadross::prelude::*;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Args {
+    exps: Vec<String>,
+    scale_name: String,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut exps = vec!["all".to_string()];
+    let mut scale_name = "default".to_string();
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exps = argv[i].split(',').map(str::to_string).collect();
+            }
+            "--scale" => {
+                i += 1;
+                scale_name = argv[i].clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv[i].parse().expect("seed must be an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&argv[i]);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--exp id,id,...] [--scale smoke|default|full] \
+                     [--seed N] [--out DIR]\nids: tables-setup table4 table5 fig3 fig4 \
+                     fig5 fig6 fig7 fig8 ablations all"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Args { exps, scale_name, seed, out }
+}
+
+fn save_svgs(dir: &Path, stem: &str, curves: &[alba_active::MethodCurves]) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    for (name, svg) in albadross::figure_panels(stem, curves) {
+        let path = dir.join(format!("{name}.svg"));
+        std::fs::write(&path, svg).expect("write SVG");
+        println!("[saved {}]", path.display());
+    }
+}
+
+fn save_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialise result");
+    std::fs::write(&path, json).expect("write result file");
+    println!("[saved {}]", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = RunScale::parse(&args.scale_name, args.seed)
+        .unwrap_or_else(|| panic!("unknown scale {:?}", args.scale_name));
+    let wants = |id: &str| {
+        args.exps.iter().any(|e| e == id) || args.exps.iter().any(|e| e == "all")
+    };
+    println!(
+        "# ALBADross reproduction harness — scale={} seed={}\n",
+        args.scale_name, args.seed
+    );
+    let t_total = Instant::now();
+
+    if wants("tables-setup") {
+        println!("{}", experiments::render_setup_tables());
+    }
+
+    // Keep the Fig.3 curves around: Fig. 4 and Table V reuse them.
+    let mut fig3_curves = None;
+    if wants("fig3") || wants("fig4") || wants("table5") {
+        let t = Instant::now();
+        let res = run_curves(&CurvesConfig {
+            system: System::Volta,
+            method: None,
+            scale: scale.clone(),
+            include_proctor: true,
+        });
+        println!("{}\n[fig3 in {:?}]\n", res.render(), t.elapsed());
+        save_json(&args.out, &format!("fig3_{}", args.scale_name), &res.curves);
+        save_svgs(&args.out, &format!("fig3_{}", args.scale_name), &res.curves);
+        fig3_curves = Some(res);
+    }
+
+    if wants("fig4") {
+        let res = fig3_curves.as_ref().expect("fig3 ran above");
+        let first_n = 50.min(scale.budget);
+        let d = DrilldownResult::from_curves(res, "uncertainty", first_n);
+        println!("{}", d.render());
+        save_json(&args.out, &format!("fig4_{}", args.scale_name), &d);
+    }
+
+    let mut fig5_curves = None;
+    if wants("fig5") || wants("table5") {
+        let t = Instant::now();
+        let res = run_curves(&CurvesConfig {
+            system: System::Eclipse,
+            method: None,
+            scale: scale.clone(),
+            include_proctor: true,
+        });
+        println!("{}\n[fig5 in {:?}]\n", res.render(), t.elapsed());
+        save_json(&args.out, &format!("fig5_{}", args.scale_name), &res.curves);
+        save_svgs(&args.out, &format!("fig5_{}", args.scale_name), &res.curves);
+        fig5_curves = Some(res);
+    }
+
+    if wants("table5") {
+        let t = Instant::now();
+        let rows = vec![
+            experiments::table5_row(fig3_curves.as_ref().expect("fig3 ran"), &scale),
+            experiments::table5_row(fig5_curves.as_ref().expect("fig5 ran"), &scale),
+        ];
+        let table = experiments::Table5 { rows };
+        println!(
+            "== Table V-style summary ==\n{}\n[table5 in {:?}]\n",
+            table.render(),
+            t.elapsed()
+        );
+        save_json(&args.out, &format!("table5_{}", args.scale_name), &table);
+    }
+
+    if wants("fig6") {
+        let t = Instant::now();
+        let res = run_unseen_apps(&UnseenAppsConfig::paper(scale.clone()));
+        println!("{}\n[fig6 in {:?}]\n", res.render(), t.elapsed());
+        save_json(&args.out, &format!("fig6_{}", args.scale_name), &res);
+    }
+
+    if wants("fig7") {
+        let t = Instant::now();
+        let res = run_robustness(&RobustnessConfig::paper(scale.clone()));
+        println!("{}\n[fig7 in {:?}]\n", res.render(), t.elapsed());
+        save_json(&args.out, &format!("fig7_{}", args.scale_name), &res);
+    }
+
+    if wants("fig8") {
+        let t = Instant::now();
+        let res = run_unseen_inputs(&UnseenInputsConfig::paper(scale.clone()));
+        println!("{}\n[fig8 in {:?}]\n", res.render(), t.elapsed());
+        save_json(&args.out, &format!("fig8_{}", args.scale_name), &res);
+    }
+
+    if wants("ablations") {
+        let t = Instant::now();
+        let res = experiments::run_ablations(&scale);
+        println!("{}\n[ablations in {:?}]\n", res.render(), t.elapsed());
+        save_json(&args.out, &format!("ablations_{}", args.scale_name), &res);
+    }
+
+    if wants("table4") {
+        for system in [System::Volta, System::Eclipse] {
+            let t = Instant::now();
+            let res = run_table4(&Table4Config::paper(system, scale.clone()));
+            println!("{}\n[table4/{} in {:?}]\n", res.render(), system.name(), t.elapsed());
+            save_json(
+                &args.out,
+                &format!("table4_{}_{}", system.name().to_lowercase(), args.scale_name),
+                &res,
+            );
+        }
+    }
+
+    println!("# done in {:?}", t_total.elapsed());
+}

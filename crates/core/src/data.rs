@@ -1,0 +1,168 @@
+//! End-to-end dataset preparation: campaign generation → preprocessing →
+//! feature extraction (Fig. 1's first stage).
+
+use alba_data::Dataset;
+use alba_features::{extract_features, FeatureExtractor, Mvts, PreprocessConfig, TsFresh};
+use alba_telemetry::{class_names, CampaignConfig, Scale};
+use serde::{Deserialize, Serialize};
+
+/// Which feature-extraction toolkit to use (Sec. III-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureMethod {
+    /// MVTS: 48 statistical features per metric.
+    Mvts,
+    /// TSFRESH-style: 176 features per metric.
+    TsFresh,
+}
+
+impl FeatureMethod {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureMethod::Mvts => "MVTS",
+            FeatureMethod::TsFresh => "TSFRESH",
+        }
+    }
+
+    /// The extractor instance.
+    pub fn extractor(self) -> Box<dyn FeatureExtractor> {
+        match self {
+            FeatureMethod::Mvts => Box::new(Mvts),
+            FeatureMethod::TsFresh => Box::new(TsFresh),
+        }
+    }
+}
+
+/// Which of the paper's two systems a dataset comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum System {
+    /// The Volta testbed (11 applications, 4-node runs).
+    Volta,
+    /// The Eclipse production system (6 applications, 4/8/16-node runs).
+    Eclipse,
+}
+
+impl System {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Volta => "Volta",
+            System::Eclipse => "Eclipse",
+        }
+    }
+
+    /// The campaign configuration for this system at a given scale.
+    pub fn campaign(self, scale: Scale, seed: u64) -> CampaignConfig {
+        match self {
+            System::Volta => CampaignConfig::volta(scale, seed),
+            System::Eclipse => CampaignConfig::eclipse(scale, seed),
+        }
+    }
+
+    /// The feature extractor the paper found best for this system
+    /// (Table V: TSFRESH on Volta, MVTS on Eclipse).
+    pub fn best_feature_method(self) -> FeatureMethod {
+        match self {
+            System::Volta => FeatureMethod::TsFresh,
+            System::Eclipse => FeatureMethod::Mvts,
+        }
+    }
+}
+
+/// A fully featurised system dataset, ready for splitting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemData {
+    /// Which system generated the telemetry.
+    pub system: System,
+    /// Extraction method used.
+    pub method: FeatureMethod,
+    /// The feature dataset (one row per node sample; *not* yet cleaned of
+    /// degenerate columns — that happens per split to avoid leakage).
+    pub dataset: Dataset,
+}
+
+impl SystemData {
+    /// Generates the campaign, preprocesses every sample and extracts
+    /// features. This is the expensive step; results are memoised per
+    /// `(system, method, scale, seed)` so that the eight experiment drivers
+    /// sharing a dataset pay for generation once per process.
+    pub fn generate(system: System, method: FeatureMethod, scale: Scale, seed: u64) -> Self {
+        use parking_lot::Mutex;
+        use std::collections::HashMap;
+        use std::sync::Arc;
+        type Key = (System, FeatureMethod, Scale, u64);
+        static CACHE: Mutex<Option<HashMap<Key, Arc<SystemData>>>> = Mutex::new(None);
+
+        let key = (system, method, scale, seed);
+        if let Some(hit) = CACHE.lock().as_ref().and_then(|m| m.get(&key).cloned()) {
+            return (*hit).clone();
+        }
+        let data = Self::generate_uncached(system, method, scale, seed);
+        let mut guard = CACHE.lock();
+        let map = guard.get_or_insert_with(HashMap::new);
+        // Datasets are large; keep only a handful of distinct configurations.
+        if map.len() >= 6 {
+            map.clear();
+        }
+        map.insert(key, Arc::new(data.clone()));
+        data
+    }
+
+    /// [`SystemData::generate`] without memoisation.
+    pub fn generate_uncached(
+        system: System,
+        method: FeatureMethod,
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        let campaign = system.campaign(scale, seed);
+        let samples = campaign.generate();
+        let extractor = method.extractor();
+        let dataset = extract_features(
+            &samples,
+            extractor.as_ref(),
+            &PreprocessConfig::default(),
+            &class_names(),
+        );
+        Self { system, method, dataset }
+    }
+
+    /// Convenience: generate with the system's best extraction method.
+    pub fn generate_best(system: System, scale: Scale, seed: u64) -> Self {
+        Self::generate(system, system.best_feature_method(), scale, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_methods_match_table_v() {
+        assert_eq!(System::Volta.best_feature_method(), FeatureMethod::TsFresh);
+        assert_eq!(System::Eclipse.best_feature_method(), FeatureMethod::Mvts);
+    }
+
+    #[test]
+    fn generate_produces_labeled_features() {
+        let sd = SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 3);
+        assert!(sd.dataset.len() > 100, "smoke campaign yields hundreds of samples");
+        assert_eq!(sd.dataset.n_classes(), 6);
+        assert_eq!(sd.dataset.encoder.decode(0), Some("healthy"));
+        // ~10% anomaly ratio.
+        let ratio = sd.dataset.anomaly_ratio(0);
+        assert!((0.07..=0.14).contains(&ratio), "anomaly ratio {ratio}");
+        // All 11 applications present.
+        assert_eq!(sd.dataset.applications().len(), 11);
+    }
+
+    #[test]
+    fn eclipse_smoke_has_six_apps_and_three_node_counts() {
+        let sd = SystemData::generate(System::Eclipse, FeatureMethod::Mvts, Scale::Smoke, 4);
+        assert_eq!(sd.dataset.applications().len(), 6);
+        let mut node_counts: Vec<usize> = sd.dataset.meta.iter().map(|m| m.node_count).collect();
+        node_counts.sort_unstable();
+        node_counts.dedup();
+        assert_eq!(node_counts, vec![4, 8, 16]);
+    }
+}

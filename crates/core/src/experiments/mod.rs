@@ -1,0 +1,34 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index).
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`setup_tables`] | Tables I–III (setup) |
+//! | [`table4`] | Table IV (hyperparameter search) |
+//! | [`table5`] | Table V (summary of diagnosis results) |
+//! | [`curves`] | Figs. 3 and 5 (F1 / false-alarm / miss vs queries) |
+//! | [`drilldown`] | Fig. 4 (queried labels & applications) |
+//! | [`unseen_apps`] | Fig. 6 (previously unseen applications) |
+//! | [`robustness`] | Fig. 7 (robustness motivation, no AL) |
+//! | [`unseen_inputs`] | Fig. 8 (previously unseen input decks) |
+//! | [`ablations`] | extensions beyond the paper (DESIGN.md) |
+
+pub mod ablations;
+pub mod curves;
+pub mod drilldown;
+pub mod robustness;
+pub mod setup_tables;
+pub mod table4;
+pub mod table5;
+pub mod unseen_apps;
+pub mod unseen_inputs;
+
+pub use ablations::{run_ablations, AblationSuite};
+pub use curves::{run_curves, CurvesConfig, CurvesResult};
+pub use drilldown::DrilldownResult;
+pub use robustness::{run_robustness, RobustnessConfig, RobustnessResult};
+pub use setup_tables::{render_setup_tables, render_table1, render_table2, render_table3};
+pub use table4::{run_table4, Table4Config, Table4Result};
+pub use table5::{run_table5, table5_row, Table5, Table5Row};
+pub use unseen_apps::{run_unseen_apps, UnseenAppsConfig, UnseenAppsResult};
+pub use unseen_inputs::{run_unseen_inputs, UnseenInputsConfig, UnseenInputsResult};

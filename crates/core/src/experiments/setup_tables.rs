@@ -1,0 +1,91 @@
+//! Tables I–III: the experimental-setup tables (applications per system
+//! and the HPAS anomaly suite), regenerated from the simulator's catalogs.
+
+use crate::report::render_table;
+use alba_telemetry::{eclipse_catalog, eclipse_intensities, volta_catalog, AnomalyKind};
+
+/// Renders Table I (applications run on Volta).
+pub fn render_table1() -> String {
+    let rows: Vec<Vec<String>> = volta_catalog()
+        .iter()
+        .map(|a| vec![a.suite.clone(), a.name.clone(), a.description.clone()])
+        .collect();
+    format!(
+        "== Table I: applications run on Volta ==\n{}",
+        render_table(&["Benchmark", "Application", "Description"], &rows)
+    )
+}
+
+/// Renders Table II (applications run on Eclipse).
+pub fn render_table2() -> String {
+    let rows: Vec<Vec<String>> = eclipse_catalog()
+        .iter()
+        .map(|a| vec![a.suite.clone(), a.name.clone(), a.description.clone()])
+        .collect();
+    format!(
+        "== Table II: applications run on Eclipse ==\n{}",
+        render_table(&["Suite", "Application", "Description"], &rows)
+    )
+}
+
+/// Renders Table III (HPAS anomalies), extended with the intensity settings
+/// of both campaigns.
+pub fn render_table3() -> String {
+    let rows: Vec<Vec<String>> = AnomalyKind::ALL
+        .iter()
+        .map(|&k| {
+            vec![
+                k.label().to_string(),
+                k.behavior().to_string(),
+                "2,5,10,20,50,100".to_string(),
+                eclipse_intensities(k)
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ]
+        })
+        .collect();
+    format!(
+        "== Table III: HPAS anomalies ==\n{}",
+        render_table(
+            &["Anomaly", "Behavior", "Volta intensities (%)", "Eclipse intensities (%)"],
+            &rows
+        )
+    )
+}
+
+/// All three setup tables.
+pub fn render_setup_tables() -> String {
+    format!("{}\n{}\n{}", render_table1(), render_table2(), render_table3())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_volta_apps() {
+        let t = render_table1();
+        for app in ["BT", "CG", "FT", "LU", "MG", "SP", "MiniMD", "CoMD", "MiniGhost", "MiniAMR", "Kripke"] {
+            assert!(t.contains(app), "missing {app}");
+        }
+    }
+
+    #[test]
+    fn table2_lists_all_eclipse_apps() {
+        let t = render_table2();
+        for app in ["LAMMPS", "HACC", "sw4", "ExaMiniMD", "SWFFT", "sw4lite"] {
+            assert!(t.contains(app), "missing {app}");
+        }
+    }
+
+    #[test]
+    fn table3_lists_all_anomalies_with_intensities() {
+        let t = render_table3();
+        for a in ["cpuoccupy", "cachecopy", "membw", "memleak", "dial"] {
+            assert!(t.contains(a), "missing {a}");
+        }
+        assert!(t.contains("2,5,10,20,50,100"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Online monitoring — the paper's deployment scenario (Sec. VI future
+//! work: "a scenario where ALBADross is deployed on a production HPC
+//! system").
+//!
+//! A [`NodeMonitor`] ingests one node's telemetry sample-by-sample,
+//! maintains a sliding window, and periodically extracts features and runs
+//! the deployed [`DiagnosisModel`] over the window — turning the offline
+//! per-run diagnosis of the paper into a continuous per-node health signal
+//! with hysteresis (an alarm is raised only after `confirm` consecutive
+//! anomalous windows, suppressing one-off glitches).
+
+use alba_data::{Matrix, MetricDef, MultiSeries};
+use alba_features::{preprocess, FeatureExtractor, PreprocessConfig};
+use alba_ml::{Diagnosis, DiagnosisModel};
+use serde::{Deserialize, Serialize};
+
+/// Monitoring configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Sliding-window length in samples (1 Hz ⇒ seconds).
+    pub window: usize,
+    /// Diagnose every `stride` new samples.
+    pub stride: usize,
+    /// Consecutive anomalous windows required before an alarm is raised.
+    pub confirm: usize,
+    /// Minimum model confidence for a window to count as anomalous.
+    pub min_confidence: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self { window: 60, stride: 10, confirm: 3, min_confidence: 0.5 }
+    }
+}
+
+/// A raised alarm.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    /// Sample index (time) at which the alarm fired.
+    pub at: usize,
+    /// Diagnosed anomaly label.
+    pub label: String,
+    /// Mean confidence over the confirming windows.
+    pub confidence: f64,
+}
+
+/// One window diagnosis (alarmed or not).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WindowVerdict {
+    /// Sample index at the window's end.
+    pub at: usize,
+    /// The model's diagnosis for the window.
+    pub diagnosis: Diagnosis,
+}
+
+/// Sliding-window online diagnoser for one compute node.
+pub struct NodeMonitor<'m> {
+    model: &'m DiagnosisModel,
+    extractor: &'m dyn FeatureExtractor,
+    /// Projection of extracted features into the model's feature view
+    /// (the split's selected columns), applied before scaling.
+    selected_features: Vec<usize>,
+    scaler: alba_features::MinMaxScaler,
+    config: MonitorConfig,
+    buffer: MultiSeries,
+    since_last: usize,
+    ingested: usize,
+    /// Labels of the most recent consecutive anomalous windows.
+    streak: Vec<Diagnosis>,
+    /// All verdicts so far.
+    verdicts: Vec<WindowVerdict>,
+    /// Raised alarms.
+    alarms: Vec<Alarm>,
+}
+
+impl<'m> NodeMonitor<'m> {
+    /// Creates a monitor for one node.
+    pub fn new(
+        model: &'m DiagnosisModel,
+        extractor: &'m dyn FeatureExtractor,
+        metrics: Vec<MetricDef>,
+        selected_features: Vec<usize>,
+        scaler: alba_features::MinMaxScaler,
+        config: MonitorConfig,
+    ) -> Self {
+        assert!(config.window >= 8, "windows shorter than 8 samples are meaningless");
+        assert!(config.stride >= 1, "stride must be positive");
+        assert!(config.confirm >= 1, "confirm must be positive");
+        Self {
+            model,
+            extractor,
+            selected_features,
+            scaler,
+            config,
+            buffer: MultiSeries::new(metrics),
+            since_last: 0,
+            ingested: 0,
+            streak: Vec::new(),
+            verdicts: Vec::new(),
+            alarms: Vec::new(),
+        }
+    }
+
+    /// Ingests one timestamp of readings; returns a fresh alarm if this
+    /// sample completed a confirmed anomalous streak.
+    pub fn ingest(&mut self, readings: &[f64]) -> Option<Alarm> {
+        self.buffer.push_sample(readings);
+        self.ingested += 1;
+        self.since_last += 1;
+        // Trim the buffer to the window length.
+        if self.buffer.len() > self.config.window {
+            let excess = self.buffer.len() - self.config.window;
+            for series in &mut self.buffer.values {
+                series.drain(..excess);
+            }
+        }
+        if self.buffer.len() < self.config.window || self.since_last < self.config.stride {
+            return None;
+        }
+        self.since_last = 0;
+        self.diagnose_window()
+    }
+
+    fn diagnose_window(&mut self) -> Option<Alarm> {
+        // Preprocess a copy of the window: counters in the live stream are
+        // cumulative, exactly as in offline collection. No trimming — the
+        // window is already steady-state by construction.
+        let mut window = self.buffer.clone();
+        preprocess(
+            &mut window,
+            &PreprocessConfig { trim_frac: 0.0, diff_counters: true, interpolate: true },
+        );
+        let mut row = Vec::with_capacity(self.selected_features.len());
+        let mut full = Vec::new();
+        for m in 0..window.n_metrics() {
+            self.extractor.extract(window.metric(m), &mut full);
+        }
+        for &c in &self.selected_features {
+            row.push(full[c]);
+        }
+        let mut x = Matrix::from_rows(&[row]);
+        self.scaler.transform_inplace(&mut x);
+        let diagnosis = self.model.diagnose(&x).remove(0);
+        let verdict = WindowVerdict { at: self.ingested, diagnosis: diagnosis.clone() };
+        self.verdicts.push(verdict);
+
+        let anomalous =
+            diagnosis.label != "healthy" && diagnosis.confidence >= self.config.min_confidence;
+        if !anomalous {
+            self.streak.clear();
+            return None;
+        }
+        // Streak must agree on the label to confirm.
+        if self.streak.first().map(|d| d.label.as_str()) != Some(diagnosis.label.as_str()) {
+            self.streak.clear();
+        }
+        self.streak.push(diagnosis.clone());
+        if self.streak.len() >= self.config.confirm {
+            let confidence =
+                self.streak.iter().map(|d| d.confidence).sum::<f64>() / self.streak.len() as f64;
+            let alarm = Alarm { at: self.ingested, label: diagnosis.label, confidence };
+            self.alarms.push(alarm.clone());
+            self.streak.clear();
+            return Some(alarm);
+        }
+        None
+    }
+
+    /// All window verdicts so far.
+    pub fn verdicts(&self) -> &[WindowVerdict] {
+        &self.verdicts
+    }
+
+    /// All alarms raised so far.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Samples ingested so far.
+    pub fn ingested(&self) -> usize {
+        self.ingested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{FeatureMethod, System, SystemData};
+    use crate::split::{prepare_split, SplitConfig};
+    use alba_features::Mvts;
+    use alba_ml::{Classifier, FittedModel, ForestParams, RandomForest};
+    use alba_telemetry::{
+        find_application, generate_run, AnomalyKind, Injection, NoiseConfig, RunConfig, Scale,
+        SignatureConfig,
+    };
+
+    /// Trains a small deployable model and returns everything a monitor
+    /// needs.
+    fn deployable() -> (DiagnosisModel, Vec<usize>, alba_features::MinMaxScaler) {
+        let data = SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 61);
+        let split = prepare_split(
+            &data.dataset,
+            &SplitConfig { train_fraction: 0.6, top_k_features: 300 },
+            61,
+        );
+        let mut f =
+            RandomForest::new(ForestParams { n_estimators: 15, ..ForestParams::default() });
+        f.fit(&split.train.x, &split.train.y, split.train.n_classes());
+        let model = DiagnosisModel::new(
+            FittedModel::Forest(f),
+            split.train.encoder.names().to_vec(),
+        );
+        (model, split.selected_features.clone(), split.scaler.clone())
+    }
+
+    fn run_stream(
+        injection: Option<Injection>,
+        cfg: MonitorConfig,
+    ) -> (Vec<WindowVerdict>, Vec<Alarm>) {
+        let (model, selected, scaler) = deployable();
+        let campaign = System::Volta.campaign(Scale::Smoke, 61);
+        let catalog = campaign.catalog();
+        let run = generate_run(
+            &RunConfig {
+                app: find_application("BT").unwrap(),
+                input_deck: 0,
+                node_count: 1,
+                duration_s: 200,
+                injection,
+                run_id: 1,
+                seed: 99,
+            },
+            &catalog,
+            &SignatureConfig::default(),
+            &NoiseConfig::testbed(),
+        );
+        let series = &run[0].series;
+        let mut monitor = NodeMonitor::new(
+            &model,
+            &Mvts,
+            series.metrics.clone(),
+            selected,
+            scaler,
+            cfg,
+        );
+        let mut row = vec![0.0; series.n_metrics()];
+        for t in 0..series.len() {
+            for m in 0..series.n_metrics() {
+                row[m] = series.metric(m)[t];
+            }
+            monitor.ingest(&row);
+        }
+        (monitor.verdicts().to_vec(), monitor.alarms().to_vec())
+    }
+
+    #[test]
+    fn healthy_stream_raises_no_alarm() {
+        let (verdicts, alarms) = run_stream(None, MonitorConfig::default());
+        assert!(!verdicts.is_empty(), "windows were diagnosed");
+        assert!(
+            alarms.is_empty(),
+            "healthy run must not alarm (got {alarms:?})"
+        );
+    }
+
+    #[test]
+    fn memleak_stream_raises_a_confirmed_alarm() {
+        let (verdicts, alarms) = run_stream(
+            Some(Injection::new(AnomalyKind::MemLeak, 100)),
+            MonitorConfig { confirm: 2, ..MonitorConfig::default() },
+        );
+        assert!(!verdicts.is_empty());
+        assert!(!alarms.is_empty(), "a full-intensity memleak must alarm");
+        assert_eq!(alarms[0].label, "memleak");
+        assert!(alarms[0].confidence >= 0.5);
+    }
+
+    #[test]
+    fn stride_controls_diagnosis_cadence() {
+        let (verdicts, _) = run_stream(
+            None,
+            MonitorConfig { window: 60, stride: 30, ..MonitorConfig::default() },
+        );
+        // ~232 total samples (incl. transients): first window at 60, then
+        // every 30 samples.
+        let expected = 1 + (230usize.saturating_sub(60)) / 30;
+        assert!(
+            (verdicts.len() as i64 - expected as i64).abs() <= 2,
+            "verdicts {} expected ~{expected}",
+            verdicts.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let (model, selected, scaler) = deployable();
+        let _ = NodeMonitor::new(
+            &model,
+            &Mvts,
+            vec![],
+            selected,
+            scaler,
+            MonitorConfig { stride: 0, ..MonitorConfig::default() },
+        );
+    }
+}

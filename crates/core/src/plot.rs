@@ -1,0 +1,228 @@
+//! Minimal SVG rendering of experiment curves — regenerates the paper's
+//! figures as vector graphics (no plotting dependency; the SVG is written
+//! by hand, which is ample for line charts with confidence bands).
+
+use alba_active::MethodCurves;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 360.0;
+const MARGIN_L: f64 = 56.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+/// Color cycle (paper-style qualitative palette).
+const COLORS: [&str; 7] =
+    ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#17becf"];
+
+fn x_pos(i: usize, n: usize) -> f64 {
+    MARGIN_L + (WIDTH - MARGIN_L - MARGIN_R) * i as f64 / (n.max(2) - 1) as f64
+}
+
+fn y_pos(v: f64, lo: f64, hi: f64) -> f64 {
+    let t = ((v - lo) / (hi - lo).max(1e-12)).clamp(0.0, 1.0);
+    HEIGHT - MARGIN_B - (HEIGHT - MARGIN_T - MARGIN_B) * t
+}
+
+fn polyline(points: &[(f64, f64)]) -> String {
+    points
+        .iter()
+        .map(|(x, y)| format!("{x:.1},{y:.1}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders one panel (e.g. "F1-score vs queries") for a set of methods.
+///
+/// `select` picks which trajectory of a [`MethodCurves`] to draw (mean) and
+/// band (CI half-width). The y-range is fixed to `[0, 1]` — every metric in
+/// the paper is a rate or a score.
+pub fn render_curves_svg(
+    title: &str,
+    x_label: &str,
+    curves: &[MethodCurves],
+    select: impl Fn(&MethodCurves) -> (&[f64], &[f64]),
+) -> String {
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    ));
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    svg.push_str(&format!(
+        r#"<text x="{:.1}" y="22" font-family="sans-serif" font-size="15" font-weight="bold">{title}</text>"#,
+        MARGIN_L
+    ));
+
+    // Axes.
+    let x0 = MARGIN_L;
+    let x1 = WIDTH - MARGIN_R;
+    let y0 = HEIGHT - MARGIN_B;
+    let y1 = MARGIN_T;
+    svg.push_str(&format!(
+        r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/><line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#
+    ));
+    // Y ticks at 0, 0.25, 0.5, 0.75, 1.
+    for k in 0..=4 {
+        let v = k as f64 / 4.0;
+        let y = y_pos(v, 0.0, 1.0);
+        svg.push_str(&format!(
+            r##"<line x1="{:.1}" y1="{y:.1}" x2="{x0}" y2="{y:.1}" stroke="black"/><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end">{v:.2}</text><line x1="{x0}" y1="{y:.1}" x2="{x1}" y2="{y:.1}" stroke="#dddddd" stroke-dasharray="3,3"/>"##,
+            x0 - 4.0,
+            x0 - 7.0,
+            y + 4.0
+        ));
+    }
+    let n = curves.iter().map(|c| select(c).0.len()).max().unwrap_or(2);
+    // X ticks: 5 evenly spaced query counts.
+    for k in 0..=4 {
+        let q = k * (n.max(2) - 1) / 4;
+        let x = x_pos(q, n);
+        svg.push_str(&format!(
+            r#"<line x1="{x:.1}" y1="{y0}" x2="{x:.1}" y2="{:.1}" stroke="black"/><text x="{x:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="middle">{q}</text>"#,
+            y0 + 4.0,
+            y0 + 18.0
+        ));
+    }
+    svg.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle">{x_label}</text>"#,
+        (x0 + x1) / 2.0,
+        HEIGHT - 12.0
+    ));
+
+    // Curves with CI bands + legend.
+    for (ci_idx, curve) in curves.iter().enumerate() {
+        let color = COLORS[ci_idx % COLORS.len()];
+        let (mean, band) = select(curve);
+        if mean.is_empty() {
+            continue;
+        }
+        // Confidence band polygon (upper then reversed lower).
+        if band.iter().any(|&b| b > 0.0) {
+            let mut pts: Vec<(f64, f64)> = mean
+                .iter()
+                .zip(band)
+                .enumerate()
+                .map(|(i, (&m, &b))| (x_pos(i, n), y_pos(m + b, 0.0, 1.0)))
+                .collect();
+            let lower: Vec<(f64, f64)> = mean
+                .iter()
+                .zip(band)
+                .enumerate()
+                .rev()
+                .map(|(i, (&m, &b))| (x_pos(i, n), y_pos(m - b, 0.0, 1.0)))
+                .collect();
+            pts.extend(lower);
+            svg.push_str(&format!(
+                r#"<polygon points="{}" fill="{color}" opacity="0.15"/>"#,
+                polyline(&pts)
+            ));
+        }
+        let pts: Vec<(f64, f64)> = mean
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (x_pos(i, n), y_pos(m, 0.0, 1.0)))
+            .collect();
+        svg.push_str(&format!(
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            polyline(&pts)
+        ));
+        // Legend entry.
+        let ly = MARGIN_T + 16.0 * ci_idx as f64;
+        svg.push_str(&format!(
+            r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2.5"/><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+            x1 + 8.0,
+            x1 + 30.0,
+            x1 + 36.0,
+            ly + 4.0,
+            curve.name
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders the three paper panels (F1, false-alarm rate, anomaly-miss
+/// rate) for one curves result, returning `(file stem, svg)` pairs.
+pub fn figure_panels(stem: &str, curves: &[MethodCurves]) -> Vec<(String, String)> {
+    vec![
+        (
+            format!("{stem}_f1"),
+            render_curves_svg("Macro F1-score", "labeled samples", curves, |c| {
+                (&c.f1.mean, &c.f1.ci95)
+            }),
+        ),
+        (
+            format!("{stem}_false_alarm"),
+            render_curves_svg("False alarm rate", "labeled samples", curves, |c| {
+                (&c.false_alarm.mean, &c.false_alarm.ci95)
+            }),
+        ),
+        (
+            format!("{stem}_miss_rate"),
+            render_curves_svg("Anomaly miss rate", "labeled samples", curves, |c| {
+                (&c.miss_rate.mean, &c.miss_rate.ci95)
+            }),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alba_active::CurveBand;
+
+    fn toy_curves() -> Vec<MethodCurves> {
+        let mk = |name: &str, up: bool| MethodCurves {
+            name: name.into(),
+            f1: CurveBand {
+                mean: (0..20)
+                    .map(|i| if up { 0.5 + 0.02 * i as f64 } else { 0.5 })
+                    .collect(),
+                ci95: vec![0.03; 20],
+            },
+            false_alarm: CurveBand { mean: vec![0.5; 20], ci95: vec![0.0; 20] },
+            miss_rate: CurveBand { mean: vec![0.1; 20], ci95: vec![0.01; 20] },
+        };
+        vec![mk("uncertainty", true), mk("random", false)]
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_contains_curves() {
+        let curves = toy_curves();
+        let svg = render_curves_svg("F1", "queries", &curves, |c| (&c.f1.mean, &c.f1.ci95));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2, "one line per method");
+        assert_eq!(svg.matches("<polygon").count(), 2, "one CI band per method");
+        assert!(svg.contains("uncertainty"));
+        assert!(svg.contains("random"));
+        // Balanced tags.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn zero_ci_bands_are_omitted() {
+        let curves = toy_curves();
+        let svg = render_curves_svg("FAR", "queries", &curves, |c| {
+            (&c.false_alarm.mean, &c.false_alarm.ci95)
+        });
+        assert_eq!(svg.matches("<polygon").count(), 0, "no CI -> no band polygon");
+    }
+
+    #[test]
+    fn panels_produce_three_files() {
+        let curves = toy_curves();
+        let panels = figure_panels("fig3", &curves);
+        assert_eq!(panels.len(), 3);
+        assert_eq!(panels[0].0, "fig3_f1");
+        assert!(panels.iter().all(|(_, svg)| svg.contains("</svg>")));
+    }
+
+    #[test]
+    fn coordinates_stay_in_canvas() {
+        let curves = toy_curves();
+        let svg = render_curves_svg("F1", "q", &curves, |c| (&c.f1.mean, &c.f1.ci95));
+        // Crude check: no negative coordinates.
+        assert!(!svg.contains("\"-"), "negative coordinate in {svg}");
+    }
+}

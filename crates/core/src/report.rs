@@ -1,0 +1,121 @@
+//! Plain-text rendering of experiment results (tables and curve digests)
+//! for the `repro` harness and EXPERIMENTS.md.
+
+/// Renders an aligned text table. `header.len()` must match every row.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), n_cols, "row {i} has {} cells, expected {n_cols}", r.len());
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (c, cell) in r.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+    }
+    out
+}
+
+/// Formats an `Option<f64>` count ("-" when absent).
+pub fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or("-".to_string(), |x| format!("{x:.0}"))
+}
+
+/// Formats a score to two decimals.
+pub fn fmt_score(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Down-samples a curve for compact text display: `(query, value)` pairs at
+/// roughly `points` positions, always including first and last.
+pub fn digest_curve(curve: &[f64], points: usize) -> Vec<(usize, f64)> {
+    if curve.is_empty() {
+        return Vec::new();
+    }
+    let n = curve.len();
+    let points = points.max(2).min(n);
+    let mut out = Vec::with_capacity(points);
+    for i in 0..points {
+        let idx = i * (n - 1) / (points - 1).max(1);
+        out.push((idx, curve[idx]));
+    }
+    out.dedup_by_key(|(i, _)| *i);
+    out
+}
+
+/// Renders a curve digest as a single line: `q0:0.72 q10:0.81 ...`.
+pub fn render_curve_line(curve: &[f64], points: usize) -> String {
+    digest_curve(curve, points)
+        .iter()
+        .map(|(q, v)| format!("q{q}:{v:.3}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2.50".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{t}");
+        assert!(t.contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 has")]
+    fn table_validates_row_width() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn digest_includes_endpoints() {
+        let curve: Vec<f64> = (0..101).map(|i| i as f64 / 100.0).collect();
+        let d = digest_curve(&curve, 5);
+        assert_eq!(d.first().unwrap().0, 0);
+        assert_eq!(d.last().unwrap().0, 100);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn digest_handles_short_curves() {
+        assert_eq!(digest_curve(&[0.5], 10), vec![(0, 0.5)]);
+        assert!(digest_curve(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_opt(None), "-");
+        assert_eq!(fmt_opt(Some(27.4)), "27");
+        assert_eq!(fmt_score(0.94999), "0.95");
+        assert!(render_curve_line(&[0.1, 0.2, 0.3], 3).starts_with("q0:0.100"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # alba-data
+//!
+//! Shared data structures for the ALBADross reproduction: a dense row-major
+//! [`Matrix`], labeled [`Dataset`]s with per-sample provenance, multivariate
+//! time-series containers, and stratified splitting / cross-validation
+//! utilities used throughout the evaluation.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod labels;
+pub mod matrix;
+pub mod series;
+pub mod split;
+
+pub use dataset::{Dataset, SampleMeta};
+pub use labels::LabelEncoder;
+pub use matrix::{dot, Matrix};
+pub use series::{MetricDef, MetricKind, MultiSeries};
+pub use split::{
+    bootstrap_indices, one_per_app_class_pair, shuffle_indices, stratified_k_fold,
+    stratified_split,
+};

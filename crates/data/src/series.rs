@@ -1,0 +1,174 @@
+//! Multivariate time-series containers produced by the telemetry substrate
+//! and consumed by the feature-extraction pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// How a metric reports its value, mirroring LDMS semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Instantaneous value (e.g. `MemFree`).
+    Gauge,
+    /// Monotonically increasing counter (e.g. per-core CPU time); the
+    /// pipeline differences these before feature extraction (Sec. IV-E.1).
+    Counter,
+}
+
+/// Static description of one collected metric.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MetricDef {
+    /// Fully qualified name, e.g. `"meminfo.MemFree"`.
+    pub name: String,
+    /// Subsystem grouping (memory, cpu, network, filesystem, cray).
+    pub subsystem: String,
+    /// Gauge or cumulative counter.
+    pub kind: MetricKind,
+}
+
+/// A multivariate time series: `T` timestamps x `M` metrics, sampled at a
+/// fixed rate (1 Hz in the paper). Values may be NaN where the collector
+/// dropped a sample.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiSeries {
+    /// Metric definitions, parallel to the inner vectors of `values`.
+    pub metrics: Vec<MetricDef>,
+    /// `values[m][t]` is metric `m` at timestamp `t`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl MultiSeries {
+    /// Creates an empty series for the given metric definitions.
+    pub fn new(metrics: Vec<MetricDef>) -> Self {
+        let n = metrics.len();
+        Self { metrics, values: vec![Vec::new(); n] }
+    }
+
+    /// Number of metrics.
+    pub fn n_metrics(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Number of timestamps (0 when no metric has been appended yet).
+    pub fn len(&self) -> usize {
+        self.values.first().map_or(0, Vec::len)
+    }
+
+    /// True when no timestamps have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one timestamp worth of readings.
+    ///
+    /// # Panics
+    /// Panics when `row.len()` differs from the metric count.
+    pub fn push_sample(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.n_metrics(), "sample width mismatch");
+        for (series, &v) in self.values.iter_mut().zip(row) {
+            series.push(v);
+        }
+    }
+
+    /// Returns the series of metric `m`.
+    pub fn metric(&self, m: usize) -> &[f64] {
+        &self.values[m]
+    }
+
+    /// Drops the first `head` and last `tail` timestamps from every metric —
+    /// the paper omits initialization and termination phases (Sec. IV-E.1).
+    ///
+    /// If fewer than `head + tail + 1` timestamps exist, the series is left
+    /// with a single middle sample rather than becoming empty.
+    pub fn trim(&mut self, head: usize, tail: usize) {
+        let len = self.len();
+        if len == 0 {
+            return;
+        }
+        let (head, tail) = if head + tail >= len {
+            // Keep the middle sample.
+            let mid = len / 2;
+            (mid, len - mid - 1)
+        } else {
+            (head, tail)
+        };
+        for series in &mut self.values {
+            series.drain(len - tail..);
+            series.drain(..head);
+        }
+    }
+
+    /// Verifies internal consistency (all metrics same length).
+    pub fn validate(&self) -> Result<(), String> {
+        let len = self.len();
+        for (m, series) in self.values.iter().enumerate() {
+            if series.len() != len {
+                return Err(format!(
+                    "metric {m} ({}) has {} samples, expected {len}",
+                    self.metrics[m].name,
+                    series.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defs(n: usize) -> Vec<MetricDef> {
+        (0..n)
+            .map(|i| MetricDef {
+                name: format!("m{i}"),
+                subsystem: "cpu".into(),
+                kind: MetricKind::Gauge,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_sample_grows_all_metrics() {
+        let mut s = MultiSeries::new(defs(3));
+        s.push_sample(&[1.0, 2.0, 3.0]);
+        s.push_sample(&[4.0, 5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.metric(1), &[2.0, 5.0]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn trim_removes_transients() {
+        let mut s = MultiSeries::new(defs(1));
+        for t in 0..10 {
+            s.push_sample(&[t as f64]);
+        }
+        s.trim(2, 3);
+        assert_eq!(s.metric(0), &[2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn trim_never_empties_short_series() {
+        let mut s = MultiSeries::new(defs(1));
+        for t in 0..4 {
+            s.push_sample(&[t as f64]);
+        }
+        s.trim(10, 10);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.metric(0), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample width mismatch")]
+    fn push_sample_validates_width() {
+        let mut s = MultiSeries::new(defs(2));
+        s.push_sample(&[1.0]);
+    }
+
+    #[test]
+    fn validate_detects_ragged_series() {
+        let mut s = MultiSeries::new(defs(2));
+        s.push_sample(&[1.0, 2.0]);
+        s.values[1].push(9.0);
+        assert!(s.validate().is_err());
+    }
+}

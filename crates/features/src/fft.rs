@@ -1,0 +1,216 @@
+//! Minimal radix-2 FFT and Welch power-spectral-density estimation.
+//!
+//! TSFRESH's spectral features (Welch PSD coefficients, FFT aggregates) need
+//! a Fourier transform; rather than pulling in a DSP dependency we implement
+//! the iterative Cooley–Tukey radix-2 algorithm, which is ample for the
+//! series lengths produced by 1 Hz telemetry.
+
+use std::f64::consts::TAU;
+
+/// In-place iterative radix-2 FFT over interleaved complex values.
+///
+/// `re`/`im` hold the real and imaginary parts.
+///
+/// # Panics
+/// Panics when the length is not a power of two or the slices differ in
+/// length.
+pub fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -TAU / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut cur_r = 1.0f64;
+            let mut cur_i = 0.0f64;
+            for k in 0..len / 2 {
+                let even_r = re[i + k];
+                let even_i = im[i + k];
+                let odd_r = re[i + k + len / 2];
+                let odd_i = im[i + k + len / 2];
+                let tr = odd_r * cur_r - odd_i * cur_i;
+                let ti = odd_r * cur_i + odd_i * cur_r;
+                re[i + k] = even_r + tr;
+                im[i + k] = even_i + ti;
+                re[i + k + len / 2] = even_r - tr;
+                im[i + k + len / 2] = even_i - ti;
+                let nr = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = nr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Magnitudes of the one-sided FFT of a real signal, zero-padded to the next
+/// power of two. Returns `n_fft/2 + 1` magnitudes.
+pub fn real_fft_magnitudes(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return vec![0.0];
+    }
+    let n = x.len().next_power_of_two();
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    re[..x.len()].copy_from_slice(x);
+    fft_in_place(&mut re, &mut im);
+    (0..=n / 2).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect()
+}
+
+/// Welch power-spectral-density estimate (Hann window, 50 % overlap).
+///
+/// Returns `segment/2 + 1` PSD values. `segment` is clamped to a power of
+/// two no larger than the signal; signals shorter than 8 points yield a
+/// zero spectrum of the requested size.
+pub fn welch_psd(x: &[f64], segment: usize) -> Vec<f64> {
+    // The output length is a function of `segment` alone so that feature
+    // vectors stay rectangular across samples of different durations.
+    let seg = segment.next_power_of_two().max(8);
+    let out_len = seg / 2 + 1;
+    if x.len() < 8 {
+        return vec![0.0; out_len];
+    }
+    let hop = seg / 2;
+    let window: Vec<f64> = (0..seg)
+        .map(|i| 0.5 - 0.5 * (TAU * i as f64 / (seg - 1) as f64).cos())
+        .collect();
+    let win_power: f64 = window.iter().map(|w| w * w).sum();
+    let mut psd = vec![0.0f64; out_len];
+    let mut n_segments = 0usize;
+    let mut start = 0usize;
+    let mut re = vec![0.0; seg];
+    let mut im = vec![0.0; seg];
+    while start + seg <= x.len() {
+        for i in 0..seg {
+            re[i] = x[start + i] * window[i];
+            im[i] = 0.0;
+        }
+        fft_in_place(&mut re, &mut im);
+        for (k, p) in psd.iter_mut().enumerate() {
+            let mag2 = re[k] * re[k] + im[k] * im[k];
+            // One-sided scaling: double interior bins.
+            let scale = if k == 0 || k == out_len - 1 { 1.0 } else { 2.0 };
+            *p += scale * mag2 / win_power;
+        }
+        n_segments += 1;
+        start += hop;
+    }
+    if n_segments == 0 {
+        // Signal shorter than one segment: single padded segment.
+        let mut re = vec![0.0; seg];
+        let mut im = vec![0.0; seg];
+        for (i, &v) in x.iter().enumerate() {
+            re[i] = v * window[i.min(seg - 1)];
+        }
+        fft_in_place(&mut re, &mut im);
+        for (k, p) in psd.iter_mut().enumerate() {
+            *p = (re[k] * re[k] + im[k] * im[k]) / win_power;
+        }
+        return psd;
+    }
+    for p in &mut psd {
+        *p /= n_segments as f64;
+    }
+    psd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        re[0] = 1.0;
+        fft_in_place(&mut re, &mut im);
+        for k in 0..8 {
+            assert!((re[k] - 1.0).abs() < 1e-12);
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let mut re = vec![1.0; 16];
+        let mut im = vec![0.0; 16];
+        fft_in_place(&mut re, &mut im);
+        assert!((re[0] - 16.0).abs() < 1e-9);
+        for k in 1..16 {
+            assert!(re[k].abs() < 1e-9 && im[k].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_resolves_single_tone() {
+        let n = 64;
+        let freq = 5;
+        let x: Vec<f64> = (0..n).map(|i| (TAU * freq as f64 * i as f64 / n as f64).sin()).collect();
+        let mags = real_fft_magnitudes(&x);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(peak, freq);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_in_place(&mut re, &mut im);
+    }
+
+    #[test]
+    fn welch_peak_matches_tone_frequency() {
+        // 1 Hz sampling, tone at 0.125 cycles/sample, 256-sample signal.
+        let x: Vec<f64> = (0..256).map(|i| (TAU * 0.125 * i as f64).sin()).collect();
+        let psd = welch_psd(&x, 64);
+        let peak = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        // Bin k corresponds to k/seg cycles per sample: 0.125 * 64 = 8.
+        assert_eq!(peak, 8);
+    }
+
+    #[test]
+    fn welch_handles_short_signals() {
+        let x = [1.0, 2.0, 3.0];
+        let psd = welch_psd(&x, 64);
+        assert!(psd.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn welch_energy_scales_with_amplitude() {
+        let tone = |a: f64| -> Vec<f64> {
+            (0..256).map(|i| a * (TAU * 0.1 * i as f64).sin()).collect()
+        };
+        let p1: f64 = welch_psd(&tone(1.0), 64).iter().sum();
+        let p2: f64 = welch_psd(&tone(2.0), 64).iter().sum();
+        assert!((p2 / p1 - 4.0).abs() < 0.1, "power is quadratic in amplitude");
+    }
+}

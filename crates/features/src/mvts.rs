@@ -1,0 +1,230 @@
+//! MVTS-style feature extraction: 48 statistical features per metric.
+//!
+//! Mirrors the MVTS-Data Toolkit used by the paper: descriptive statistics,
+//! absolute differences between the descriptive statistics of the first and
+//! second halves of the series, and long-run trend features such as the
+//! longest monotonic increase (Sec. III-A).
+
+use crate::extract::FeatureExtractor;
+use crate::stats::*;
+
+/// The MVTS extractor (stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mvts;
+
+/// Names of the 48 features, in output order.
+pub const MVTS_FEATURE_NAMES: [&str; 48] = [
+    // Descriptive statistics (12).
+    "mean",
+    "std",
+    "var",
+    "min",
+    "max",
+    "median",
+    "q25",
+    "q75",
+    "iqr",
+    "rms",
+    "skewness",
+    "kurtosis",
+    // Change / complexity statistics (10).
+    "mean_abs_change",
+    "mean_change",
+    "abs_energy",
+    "cid_ce",
+    "variation_coefficient",
+    "mean_crossings",
+    "count_peaks",
+    "fraction_above_mean",
+    "longest_strike_above_mean",
+    "longest_strike_below_mean",
+    // Long-run trends (4).
+    "trend_slope",
+    "trend_intercept",
+    "longest_monotonic_increase",
+    "longest_monotonic_decrease",
+    // First-half vs second-half absolute differences (11).
+    "halves_abs_diff_mean",
+    "halves_abs_diff_std",
+    "halves_abs_diff_min",
+    "halves_abs_diff_max",
+    "halves_abs_diff_median",
+    "halves_abs_diff_q25",
+    "halves_abs_diff_q75",
+    "halves_abs_diff_skewness",
+    "halves_abs_diff_kurtosis",
+    "halves_abs_diff_slope",
+    "halves_abs_diff_rms",
+    // Positional / boundary statistics (11).
+    "first_value",
+    "last_value",
+    "last_minus_first",
+    "argmax_fraction",
+    "argmin_fraction",
+    "autocorr_lag1",
+    "autocorr_lag2",
+    "autocorr_lag5",
+    "sum",
+    "q10",
+    "q90",
+];
+
+impl FeatureExtractor for Mvts {
+    fn name(&self) -> &'static str {
+        "mvts"
+    }
+
+    fn n_features_per_metric(&self) -> usize {
+        MVTS_FEATURE_NAMES.len()
+    }
+
+    fn feature_names(&self, metric: &str) -> Vec<String> {
+        MVTS_FEATURE_NAMES.iter().map(|f| format!("{metric}::{f}")).collect()
+    }
+
+    fn extract(&self, x: &[f64], out: &mut Vec<f64>) {
+        let mut sorted = x.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite input"));
+        let q25 = quantile_sorted(&sorted, 0.25);
+        let q75 = quantile_sorted(&sorted, 0.75);
+
+        // Descriptive statistics.
+        out.push(mean(x));
+        out.push(std_dev(x));
+        out.push(variance(x));
+        out.push(min(x));
+        out.push(max(x));
+        out.push(quantile_sorted(&sorted, 0.5));
+        out.push(q25);
+        out.push(q75);
+        out.push(q75 - q25);
+        out.push(rms(x));
+        out.push(skewness(x));
+        out.push(kurtosis(x));
+
+        // Change / complexity.
+        out.push(mean_abs_change(x));
+        out.push(mean_change(x));
+        out.push(abs_energy(x));
+        out.push(cid_ce(x));
+        out.push(variation_coefficient(x));
+        out.push(mean_crossings(x) as f64);
+        out.push(count_peaks(x) as f64);
+        out.push(fraction_above_mean(x));
+        out.push(longest_strike_above_mean(x) as f64);
+        out.push(longest_strike_below_mean(x) as f64);
+
+        // Long-run trends.
+        out.push(linear_trend_slope(x));
+        out.push(linear_trend_intercept(x));
+        out.push(longest_monotonic_increase(x) as f64);
+        out.push(longest_monotonic_decrease(x) as f64);
+
+        // First half vs second half.
+        let mid = x.len() / 2;
+        let (a, b) = x.split_at(mid);
+        out.push((mean(a) - mean(b)).abs());
+        out.push((std_dev(a) - std_dev(b)).abs());
+        out.push((min(a) - min(b)).abs());
+        out.push((max(a) - max(b)).abs());
+        out.push((median(a) - median(b)).abs());
+        out.push((quantile(a, 0.25) - quantile(b, 0.25)).abs());
+        out.push((quantile(a, 0.75) - quantile(b, 0.75)).abs());
+        out.push((skewness(a) - skewness(b)).abs());
+        out.push((kurtosis(a) - kurtosis(b)).abs());
+        out.push((linear_trend_slope(a) - linear_trend_slope(b)).abs());
+        out.push((rms(a) - rms(b)).abs());
+
+        // Positional / boundary.
+        out.push(x.first().copied().unwrap_or(0.0));
+        out.push(x.last().copied().unwrap_or(0.0));
+        out.push(match (x.first(), x.last()) {
+            (Some(f), Some(l)) => l - f,
+            _ => 0.0,
+        });
+        let arg_of = |cmp: fn(&f64, &f64) -> bool| -> f64 {
+            if x.is_empty() {
+                return 0.0;
+            }
+            let mut idx = 0usize;
+            for (i, v) in x.iter().enumerate() {
+                if cmp(v, &x[idx]) {
+                    idx = i;
+                }
+            }
+            idx as f64 / x.len() as f64
+        };
+        out.push(arg_of(|v, best| v > best));
+        out.push(arg_of(|v, best| v < best));
+        out.push(autocorrelation(x, 1));
+        out.push(autocorrelation(x, 2));
+        out.push(autocorrelation(x, 5));
+        out.push(x.iter().sum());
+        out.push(quantile_sorted(&sorted, 0.1));
+        out.push(quantile_sorted(&sorted, 0.9));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extract(x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        Mvts.extract(x, &mut out);
+        out
+    }
+
+    #[test]
+    fn produces_exactly_48_features() {
+        assert_eq!(MVTS_FEATURE_NAMES.len(), 48);
+        assert_eq!(Mvts.n_features_per_metric(), 48);
+        let out = extract(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(out.len(), 48);
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        for input in [vec![], vec![1.0], vec![1.0, 1.0], vec![0.0; 10]] {
+            let out = extract(&input);
+            assert_eq!(out.len(), 48);
+            assert!(out.iter().all(|v| v.is_finite()), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn feature_names_are_prefixed_and_unique() {
+        let names = Mvts.feature_names("meminfo.MemFree.0");
+        assert_eq!(names.len(), 48);
+        assert!(names[0].starts_with("meminfo.MemFree.0::"));
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 48);
+    }
+
+    #[test]
+    fn known_values_on_simple_series() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let out = extract(&x);
+        let idx = |n: &str| MVTS_FEATURE_NAMES.iter().position(|&f| f == n).unwrap();
+        assert!((out[idx("mean")] - 2.5).abs() < 1e-12);
+        assert!((out[idx("min")] - 1.0).abs() < 1e-12);
+        assert!((out[idx("max")] - 4.0).abs() < 1e-12);
+        assert!((out[idx("last_minus_first")] - 3.0).abs() < 1e-12);
+        assert!((out[idx("trend_slope")] - 1.0).abs() < 1e-12);
+        assert!((out[idx("sum")] - 10.0).abs() < 1e-12);
+        assert_eq!(out[idx("longest_monotonic_increase")], 4.0);
+        assert_eq!(out[idx("argmax_fraction")], 0.75);
+        assert_eq!(out[idx("argmin_fraction")], 0.0);
+    }
+
+    #[test]
+    fn half_diffs_detect_level_shift() {
+        let mut x = vec![1.0; 50];
+        x.extend(vec![10.0; 50]);
+        let out = extract(&x);
+        let idx = |n: &str| MVTS_FEATURE_NAMES.iter().position(|&f| f == n).unwrap();
+        assert!((out[idx("halves_abs_diff_mean")] - 9.0).abs() < 1e-12);
+    }
+}

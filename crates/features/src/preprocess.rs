@@ -1,0 +1,187 @@
+//! Raw-telemetry cleanup (paper Sec. IV-E.1).
+//!
+//! Before feature extraction the paper (1) omits the initialization and
+//! termination intervals, (2) differences cumulative performance counters
+//! ("we are interested in the change, not the raw value"), and (3) linearly
+//! interpolates missing values lost during collection.
+
+use alba_data::{MetricKind, MultiSeries};
+use serde::{Deserialize, Serialize};
+
+/// Preprocessing configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Fraction of the series trimmed from each end (init / termination).
+    pub trim_frac: f64,
+    /// Difference cumulative counters into per-interval rates.
+    pub diff_counters: bool,
+    /// Linearly interpolate NaN gaps (and extend edge values outward).
+    pub interpolate: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self { trim_frac: 0.08, diff_counters: true, interpolate: true }
+    }
+}
+
+/// Linearly interpolates NaN runs in place.
+///
+/// Interior gaps are filled by the line between the flanking finite values;
+/// leading/trailing gaps are filled with the nearest finite value. A series
+/// with no finite value at all becomes all zeros.
+pub fn interpolate_gaps(series: &mut [f64]) {
+    let n = series.len();
+    if n == 0 {
+        return;
+    }
+    let mut last_finite: Option<usize> = None;
+    let mut i = 0;
+    while i < n {
+        if series[i].is_finite() {
+            if let Some(prev) = last_finite {
+                if i > prev + 1 {
+                    // Fill the interior gap (prev, i).
+                    let a = series[prev];
+                    let b = series[i];
+                    let span = (i - prev) as f64;
+                    for (off, v) in series[prev + 1..i].iter_mut().enumerate() {
+                        *v = a + (b - a) * (off + 1) as f64 / span;
+                    }
+                }
+            } else if i > 0 {
+                // Leading gap: back-fill.
+                let v = series[i];
+                for s in &mut series[..i] {
+                    *s = v;
+                }
+            }
+            last_finite = Some(i);
+        }
+        i += 1;
+    }
+    match last_finite {
+        Some(last) if last + 1 < n => {
+            let v = series[last];
+            for s in &mut series[last + 1..] {
+                *s = v;
+            }
+        }
+        None => {
+            for s in series.iter_mut() {
+                *s = 0.0;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// First-differences a cumulative counter series in place, producing
+/// per-interval increments. The first element becomes the first increment
+/// (i.e. the output length equals the input length, with `out[0] = out[1]`'s
+/// predecessor increment duplicated from the first delta) so that series
+/// stay aligned with gauges.
+///
+/// Counter resets (decreasing values, as happen when a collector restarts)
+/// clamp to zero rather than producing a huge negative spike.
+pub fn diff_counter(series: &mut [f64]) {
+    if series.len() < 2 {
+        if let Some(v) = series.first_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    let mut prev = series[0];
+    for v in series.iter_mut().skip(1) {
+        let cur = *v;
+        *v = (cur - prev).max(0.0);
+        prev = cur;
+    }
+    series[0] = series[1];
+}
+
+/// Applies the full preprocessing pipeline to one node's telemetry.
+pub fn preprocess(series: &mut MultiSeries, cfg: &PreprocessConfig) {
+    let len = series.len();
+    if len == 0 {
+        return;
+    }
+    let trim = (len as f64 * cfg.trim_frac) as usize;
+    series.trim(trim, trim);
+    for (m, def) in series.metrics.clone().iter().enumerate() {
+        let s = &mut series.values[m];
+        if cfg.interpolate {
+            interpolate_gaps(s);
+        }
+        if cfg.diff_counters && def.kind == MetricKind::Counter {
+            diff_counter(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alba_data::MetricDef;
+
+    #[test]
+    fn interpolates_interior_gap() {
+        let mut s = vec![1.0, f64::NAN, f64::NAN, 4.0];
+        interpolate_gaps(&mut s);
+        assert_eq!(s, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn extends_edges() {
+        let mut s = vec![f64::NAN, 5.0, f64::NAN];
+        interpolate_gaps(&mut s);
+        assert_eq!(s, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn all_nan_becomes_zero() {
+        let mut s = vec![f64::NAN, f64::NAN];
+        interpolate_gaps(&mut s);
+        assert_eq!(s, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_series_is_fine() {
+        let mut s: Vec<f64> = vec![];
+        interpolate_gaps(&mut s);
+        diff_counter(&mut s);
+    }
+
+    #[test]
+    fn diff_recovers_rates() {
+        let mut s = vec![10.0, 12.0, 15.0, 15.0, 21.0];
+        diff_counter(&mut s);
+        assert_eq!(s, vec![2.0, 2.0, 3.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn diff_clamps_counter_resets() {
+        let mut s = vec![100.0, 110.0, 5.0, 15.0];
+        diff_counter(&mut s);
+        assert_eq!(s, vec![10.0, 10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn full_pipeline_trims_interpolates_and_diffs() {
+        let defs = vec![
+            MetricDef { name: "g".into(), subsystem: "s".into(), kind: MetricKind::Gauge },
+            MetricDef { name: "c".into(), subsystem: "s".into(), kind: MetricKind::Counter },
+        ];
+        let mut ms = MultiSeries::new(defs);
+        for t in 0..100 {
+            let gauge = if t == 50 { f64::NAN } else { t as f64 };
+            ms.push_sample(&[gauge, (t * 2) as f64]);
+        }
+        preprocess(&mut ms, &PreprocessConfig::default());
+        assert_eq!(ms.len(), 100 - 2 * 8);
+        // Gauge gap interpolated.
+        assert!(ms.metric(0).iter().all(|v| v.is_finite()));
+        // Counter became a constant rate of 2.
+        assert!(ms.metric(1).iter().all(|&v| (v - 2.0).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,181 @@
+//! Chi-square feature selection (paper Sec. III-B).
+//!
+//! The chi-square test scores how dependent each (non-negative) feature is
+//! on the class label: for every feature the observed per-class mass is
+//! compared against the mass expected under independence, and features are
+//! ranked by descending score. This mirrors `sklearn.feature_selection.chi2`
+//! followed by `SelectKBest`.
+//!
+//! Chi-square requires non-negative inputs, so scores are computed on a
+//! min-max-rescaled copy of the matrix (the ranking is what matters; the
+//! model later trains on separately scaled data).
+
+use alba_data::{Dataset, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Result of scoring every feature.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChiSquareScores {
+    /// One score per feature column (same order as the dataset).
+    pub scores: Vec<f64>,
+}
+
+impl ChiSquareScores {
+    /// Indices of the `k` highest-scoring features, best first.
+    /// Ties break toward the lower column index for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Computes chi-square scores of every feature against the labels.
+///
+/// `n_classes` must cover every label in `y`. Features are internally
+/// rescaled to `[0, 1]`; constant features score 0.
+pub fn chi_square_scores(x: &Matrix, y: &[usize], n_classes: usize) -> ChiSquareScores {
+    assert_eq!(x.rows(), y.len(), "labels must match rows");
+    assert!(y.iter().all(|&c| c < n_classes), "label out of range");
+    let (rows, cols) = x.shape();
+    if rows == 0 {
+        return ChiSquareScores { scores: vec![0.0; cols] };
+    }
+    let mut class_freq = vec![0.0f64; n_classes];
+    for &c in y {
+        class_freq[c] += 1.0;
+    }
+    let total = rows as f64;
+    let (mins, maxs) = x.column_min_max();
+
+    let scores = (0..cols)
+        .map(|c| {
+            let range = maxs[c] - mins[c];
+            if range < 1e-12 {
+                return 0.0;
+            }
+            // Observed per-class mass of the rescaled feature.
+            let mut observed = vec![0.0f64; n_classes];
+            let mut feature_total = 0.0f64;
+            for r in 0..rows {
+                let v = (x.get(r, c) - mins[c]) / range;
+                observed[y[r]] += v;
+                feature_total += v;
+            }
+            if feature_total < 1e-12 {
+                return 0.0;
+            }
+            let mut chi2 = 0.0;
+            for k in 0..n_classes {
+                let expected = feature_total * class_freq[k] / total;
+                if expected > 1e-12 {
+                    let d = observed[k] - expected;
+                    chi2 += d * d / expected;
+                }
+            }
+            chi2
+        })
+        .collect();
+    ChiSquareScores { scores }
+}
+
+/// Scores a dataset's features and returns the top-`k` column indices,
+/// best first.
+pub fn select_top_k(ds: &Dataset, k: usize) -> Vec<usize> {
+    chi_square_scores(&ds.x, &ds.y, ds.n_classes()).top_k(k.min(ds.x.cols()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alba_data::{LabelEncoder, SampleMeta};
+
+    fn meta() -> SampleMeta {
+        SampleMeta {
+            app: "a".into(),
+            input_deck: 0,
+            run_id: 0,
+            node: 0,
+            node_count: 1,
+            intensity_pct: 0,
+        }
+    }
+
+    /// Three columns: perfectly class-dependent, noise, constant.
+    fn toy() -> Dataset {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let class = i % 2;
+            let informative = class as f64; // exactly the label
+            let noise = ((i * 7919 % 13) as f64) / 13.0; // label-independent
+            rows.push(vec![informative, noise, 3.5]);
+            y.push(class);
+        }
+        Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            LabelEncoder::from_names(&["healthy", "anom"]),
+            vec![meta(); 40],
+            vec!["informative".into(), "noise".into(), "constant".into()],
+        )
+    }
+
+    #[test]
+    fn informative_feature_wins() {
+        let ds = toy();
+        let scores = chi_square_scores(&ds.x, &ds.y, 2);
+        assert!(scores.scores[0] > scores.scores[1] * 5.0, "{:?}", scores.scores);
+        assert_eq!(scores.scores[2], 0.0, "constant feature scores zero");
+        assert_eq!(scores.top_k(1), vec![0]);
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let s = ChiSquareScores { scores: vec![1.0, 5.0, 3.0, 5.0] };
+        assert_eq!(s.top_k(3), vec![1, 3, 2], "ties break toward lower index");
+        assert_eq!(s.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn select_top_k_clamps_to_width() {
+        let ds = toy();
+        assert_eq!(select_top_k(&ds, 100).len(), 3);
+    }
+
+    #[test]
+    fn negative_features_are_handled_by_rescaling() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let class = i % 2;
+            rows.push(vec![if class == 0 { -5.0 } else { -1.0 }]);
+            y.push(class);
+        }
+        let scores = chi_square_scores(&Matrix::from_rows(&rows), &y, 2);
+        assert!(scores.scores[0] > 1.0, "negative but informative feature must score");
+    }
+
+    #[test]
+    fn scores_scale_with_dependence() {
+        // Feature A is fully determined by the class, feature B only partly.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let class = i % 2;
+            let a = class as f64;
+            let b = if i % 10 < 7 { class as f64 } else { 1.0 - class as f64 };
+            rows.push(vec![a, b]);
+            y.push(class);
+        }
+        let scores = chi_square_scores(&Matrix::from_rows(&rows), &y, 2);
+        assert!(scores.scores[0] > scores.scores[1]);
+        assert!(scores.scores[1] > 0.0);
+    }
+}

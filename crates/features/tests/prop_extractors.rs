@@ -1,0 +1,69 @@
+//! Property tests on the feature extractors: for *any* finite input series
+//! the extractors must emit exactly their advertised number of finite
+//! values, independent of length, scale or degeneracy — a broken invariant
+//! here poisons every downstream dataset.
+
+use alba_features::{FeatureExtractor, Mvts, TsFresh};
+use proptest::prelude::*;
+
+fn any_series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e7f64..1e7, 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mvts_always_emits_48_finite_values(series in any_series()) {
+        let mut out = Vec::new();
+        Mvts.extract(&series, &mut out);
+        prop_assert_eq!(out.len(), 48);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tsfresh_always_emits_176_finite_values(series in any_series()) {
+        let mut out = Vec::new();
+        TsFresh.extract(&series, &mut out);
+        prop_assert_eq!(out.len(), 176);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn extractors_are_deterministic(series in any_series()) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        TsFresh.extract(&series, &mut a);
+        TsFresh.extract(&series, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_series_have_zero_dispersion_features(level in -1e5f64..1e5, len in 2usize..100) {
+        let series = vec![level; len];
+        let mut out = Vec::new();
+        Mvts.extract(&series, &mut out);
+        let names = alba_features::MVTS_FEATURE_NAMES;
+        let idx = |n: &str| names.iter().position(|&f| f == n).unwrap();
+        // Floating-point: the mean of n copies of `level` can differ from
+        // `level` in the last ulp, leaving a tiny positive variance.
+        let tol = 1e-6 * (1.0 + level.abs());
+        prop_assert!(out[idx("std")].abs() < tol, "std {}", out[idx("std")]);
+        prop_assert!(out[idx("mean_abs_change")].abs() < tol);
+        prop_assert!((out[idx("mean")] - level).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mvts_mean_is_shift_equivariant(series in prop::collection::vec(-1e3f64..1e3, 2..80), shift in -1e3f64..1e3) {
+        let shifted: Vec<f64> = series.iter().map(|v| v + shift).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Mvts.extract(&series, &mut a);
+        Mvts.extract(&shifted, &mut b);
+        let mean_idx = alba_features::MVTS_FEATURE_NAMES.iter().position(|&f| f == "mean").unwrap();
+        prop_assert!((a[mean_idx] + shift - b[mean_idx]).abs() < 1e-6);
+        // Dispersion features unchanged by the shift.
+        let std_idx = alba_features::MVTS_FEATURE_NAMES.iter().position(|&f| f == "std").unwrap();
+        prop_assert!((a[std_idx] - b[std_idx]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,204 @@
+//! Deep autoencoder — the representation learner inside the Proctor
+//! baseline (Sec. IV-E.3).
+//!
+//! Proctor trains "a deep autoencoder with 2000 neurons in the code layer"
+//! with the Adadelta optimiser and MSE loss for 100 epochs, then trains a
+//! logistic-regression head on the code representation. This module
+//! provides the autoencoder; the Proctor composition lives in the
+//! `albadross` crate. Layer widths are configurable so the default
+//! reduced-scale runs stay fast while `paper()` reproduces the topology.
+
+use crate::nn::{Activation, FeedForward, Optimizer};
+use alba_data::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Autoencoder hyperparameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AutoencoderParams {
+    /// Encoder hidden widths, ending with the code width; the decoder
+    /// mirrors it. E.g. `[512, 256]` encodes `in -> 512 -> 256 -> 512 -> in`.
+    pub encoder_widths: Vec<usize>,
+    /// Training epochs (the paper uses 100).
+    pub epochs: usize,
+    /// Mini-batch size cap.
+    pub batch_size: usize,
+    /// Weight-init / shuffle seed.
+    pub seed: u64,
+}
+
+impl AutoencoderParams {
+    /// Reduced-scale default: 128-wide code, 20 epochs (sized for the
+    /// single-machine reproduction; `paper()` restores the original).
+    pub fn reduced() -> Self {
+        Self { encoder_widths: vec![256, 128], epochs: 20, batch_size: 128, seed: 0 }
+    }
+
+    /// The Proctor topology: 2000-neuron code layer, 100 epochs.
+    pub fn paper() -> Self {
+        Self { encoder_widths: vec![2000], epochs: 100, batch_size: 128, seed: 0 }
+    }
+}
+
+/// A fitted autoencoder.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Autoencoder {
+    params: AutoencoderParams,
+    net: Option<FeedForward>,
+    n_inputs: usize,
+    /// Index of the code layer within the network's activation list.
+    code_layer: usize,
+}
+
+impl Autoencoder {
+    /// Creates an unfitted autoencoder.
+    pub fn new(params: AutoencoderParams) -> Self {
+        Self { params, net: None, n_inputs: 0, code_layer: 0 }
+    }
+
+    /// Width of the code (bottleneck) layer.
+    pub fn code_width(&self) -> usize {
+        *self.params.encoder_widths.last().expect("non-empty encoder")
+    }
+
+    /// Trains with MSE reconstruction loss and Adadelta (Sec. IV-E.3).
+    pub fn fit(&mut self, x: &Matrix) {
+        assert!(x.rows() > 0, "cannot fit on an empty dataset");
+        assert!(!self.params.encoder_widths.is_empty(), "encoder needs at least one layer");
+        let (n, d) = x.shape();
+        self.n_inputs = d;
+        // Symmetric topology: d -> enc... -> code -> ...enc reversed -> d.
+        let mut widths = vec![d];
+        widths.extend(&self.params.encoder_widths);
+        for w in self.params.encoder_widths.iter().rev().skip(1) {
+            widths.push(*w);
+        }
+        widths.push(d);
+        self.code_layer = self.params.encoder_widths.len();
+        let mut acts = vec![Activation::Relu; widths.len() - 2];
+        acts.push(Activation::Linear); // linear reconstruction output
+        let mut net = FeedForward::new(&widths, &acts, self.params.seed);
+        let mut opt = Optimizer::adadelta();
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0xAE);
+        let batch = self.params.batch_size.clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..self.params.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                let xb = x.select_rows(chunk);
+                let acts_all = net.forward_all(&xb);
+                let out = acts_all.last().expect("output layer");
+                // dMSE/dout = 2 (out - x) / d.
+                let mut delta = out.clone();
+                for (v, &t) in delta.as_mut_slice().iter_mut().zip(xb.as_slice()) {
+                    *v = 2.0 * (*v - t) / d as f64;
+                }
+                let grads = net.backward(&acts_all, delta);
+                opt.step(&mut net, &grads, 0.0);
+            }
+        }
+        self.net = Some(net);
+    }
+
+    /// Mean squared reconstruction error per sample.
+    pub fn reconstruction_errors(&self, x: &Matrix) -> Vec<f64> {
+        let recon = self.reconstruct(x);
+        (0..x.rows())
+            .map(|r| {
+                let a = x.row(r);
+                let b = recon.row(r);
+                a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>() / a.len() as f64
+            })
+            .collect()
+    }
+
+    /// Full reconstruction.
+    pub fn reconstruct(&self, x: &Matrix) -> Matrix {
+        self.net.as_ref().expect("reconstruct before fit").forward(x)
+    }
+
+    /// Code-layer representation (`n x code_width`).
+    pub fn encode(&self, x: &Matrix) -> Matrix {
+        let net = self.net.as_ref().expect("encode before fit");
+        let mut cur = x.clone();
+        for layer in net.layers.iter().take(self.code_layer) {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data on a 1-D manifold embedded in 4-D.
+    fn manifold(n: usize) -> Matrix {
+        Matrix::from_rows(
+            &(0..n)
+                .map(|i| {
+                    let t = i as f64 / n as f64;
+                    vec![t, 2.0 * t, -t, 0.5 * t + 0.1]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn quick_params() -> AutoencoderParams {
+        AutoencoderParams { encoder_widths: vec![8, 2], epochs: 200, batch_size: 32, seed: 1 }
+    }
+
+    #[test]
+    fn reconstructs_low_rank_data() {
+        let x = manifold(64);
+        let mut ae = Autoencoder::new(quick_params());
+        ae.fit(&x);
+        let errs = ae.reconstruction_errors(&x);
+        let mean_err: f64 = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < 0.01, "reconstruction error {mean_err}");
+    }
+
+    #[test]
+    fn encode_has_code_width() {
+        let x = manifold(32);
+        let mut ae = Autoencoder::new(quick_params());
+        ae.fit(&x);
+        let code = ae.encode(&x);
+        assert_eq!(code.shape(), (32, 2));
+        assert_eq!(ae.code_width(), 2);
+    }
+
+    #[test]
+    fn anomalous_points_reconstruct_worse() {
+        let x = manifold(64);
+        let mut ae = Autoencoder::new(quick_params());
+        ae.fit(&x);
+        // A point far off the manifold.
+        let off = Matrix::from_rows(&[vec![1.0, -2.0, 1.0, 3.0]]);
+        let on = Matrix::from_rows(&[vec![0.5, 1.0, -0.5, 0.35]]);
+        let e_off = ae.reconstruction_errors(&off)[0];
+        let e_on = ae.reconstruction_errors(&on)[0];
+        assert!(e_off > 5.0 * e_on, "off-manifold {e_off} vs on-manifold {e_on}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = manifold(32);
+        let mut a = Autoencoder::new(quick_params());
+        let mut b = Autoencoder::new(quick_params());
+        a.fit(&x);
+        b.fit(&x);
+        assert_eq!(a.encode(&x).as_slice(), b.encode(&x).as_slice());
+    }
+
+    #[test]
+    fn paper_topology_has_2000_code() {
+        assert_eq!(
+            AutoencoderParams::paper().encoder_widths.last().copied(),
+            Some(2000)
+        );
+    }
+}

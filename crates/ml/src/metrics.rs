@@ -1,0 +1,266 @@
+//! Evaluation metrics (paper Sec. V).
+//!
+//! The paper reports three scores: the macro-averaged F1-score, the false
+//! alarm rate (healthy samples classified as any anomaly), and the anomaly
+//! miss rate (anomalous samples classified as healthy). Class 0 is the
+//! `healthy` class throughout the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// A confusion matrix over `n` classes; `counts[truth][pred]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn from_predictions(truth: &[usize], pred: &[usize], n_classes: usize) -> Self {
+        assert_eq!(truth.len(), pred.len(), "prediction length mismatch");
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for (&t, &p) in truth.iter().zip(pred) {
+            assert!(t < n_classes && p < n_classes, "label out of range");
+            counts[t * n_classes + p] += 1;
+        }
+        Self { n: n_classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn get(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.n + p]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Per-class precision (0.0 when the class was never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.get(class, class) as f64;
+        let predicted: usize = (0..self.n).map(|t| self.get(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp / predicted as f64
+        }
+    }
+
+    /// Per-class recall (0.0 when the class has no true samples).
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.get(class, class) as f64;
+        let actual: usize = (0..self.n).map(|p| self.get(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp / actual as f64
+        }
+    }
+
+    /// Per-class F1 (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r < 1e-12 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that appear in the truth or the
+    /// predictions (classes absent from both are excluded, mirroring
+    /// scikit-learn's behaviour with `labels` restricted to observed ones).
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.n {
+            let present = (0..self.n).any(|k| self.get(c, k) > 0 || self.get(k, c) > 0);
+            if present {
+                sum += self.f1(c);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (0..self.n).map(|c| self.get(c, c)).sum::<usize>() as f64 / total as f64
+    }
+
+    /// False alarm rate: fraction of *healthy* samples (true class
+    /// `healthy_class`) classified as any other class.
+    pub fn false_alarm_rate(&self, healthy_class: usize) -> f64 {
+        let healthy: usize = (0..self.n).map(|p| self.get(healthy_class, p)).sum();
+        if healthy == 0 {
+            return 0.0;
+        }
+        let false_alarms = healthy - self.get(healthy_class, healthy_class);
+        false_alarms as f64 / healthy as f64
+    }
+
+    /// Anomaly miss rate: fraction of *anomalous* samples (true class is
+    /// not `healthy_class`) classified as healthy.
+    pub fn anomaly_miss_rate(&self, healthy_class: usize) -> f64 {
+        let mut anomalous = 0usize;
+        let mut missed = 0usize;
+        for t in 0..self.n {
+            if t == healthy_class {
+                continue;
+            }
+            for p in 0..self.n {
+                let c = self.get(t, p);
+                anomalous += c;
+                if p == healthy_class {
+                    missed += c;
+                }
+            }
+        }
+        if anomalous == 0 {
+            0.0
+        } else {
+            missed as f64 / anomalous as f64
+        }
+    }
+}
+
+/// The paper's score triple.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scores {
+    /// Macro-averaged F1-score.
+    pub f1: f64,
+    /// False-positive rate on healthy samples.
+    pub false_alarm_rate: f64,
+    /// False-negative rate on anomalous samples.
+    pub anomaly_miss_rate: f64,
+}
+
+impl Scores {
+    /// Computes the score triple from predictions (class 0 = healthy).
+    pub fn compute(truth: &[usize], pred: &[usize], n_classes: usize) -> Self {
+        let cm = ConfusionMatrix::from_predictions(truth, pred, n_classes);
+        Self {
+            f1: cm.macro_f1(),
+            false_alarm_rate: cm.false_alarm_rate(0),
+            anomaly_miss_rate: cm.anomaly_miss_rate(0),
+        }
+    }
+}
+
+/// Mean and symmetric 95 % confidence half-width of a set of values
+/// (normal approximation, as in the paper's shaded CI bands).
+pub fn mean_and_ci95(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = vec![0, 1, 2, 0, 1, 2];
+        let cm = ConfusionMatrix::from_predictions(&truth, &truth, 3);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.false_alarm_rate(0), 0.0);
+        assert_eq!(cm.anomaly_miss_rate(0), 0.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // truth:  0 0 0 0 1 1
+        // pred:   0 0 1 1 1 0
+        let truth = vec![0, 0, 0, 0, 1, 1];
+        let pred = vec![0, 0, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 2);
+        assert_eq!(cm.get(0, 1), 2);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 0.5).abs() < 1e-12);
+        // False alarm: 2 of 4 healthy misclassified.
+        assert!((cm.false_alarm_rate(0) - 0.5).abs() < 1e-12);
+        // Miss: 1 of 2 anomalies predicted healthy.
+        assert!((cm.anomaly_miss_rate(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        // Class 2 never appears in truth or predictions.
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 1, 1];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 3);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn macro_f1_penalises_predicted_only_classes() {
+        let truth = vec![0, 0, 0, 0];
+        let pred = vec![0, 0, 0, 1];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 2);
+        // Class 1: precision 0, recall 0 -> F1 0; class 0 F1 = 6/7.
+        let f0 = 2.0 * (1.0 * 0.75) / 1.75;
+        assert!((cm.macro_f1() - f0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_with_no_relevant_samples_are_zero() {
+        let truth = vec![1, 1];
+        let pred = vec![1, 1];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 2);
+        assert_eq!(cm.false_alarm_rate(0), 0.0, "no healthy samples");
+        let truth = vec![0, 0];
+        let cm = ConfusionMatrix::from_predictions(&truth, &truth, 2);
+        assert_eq!(cm.anomaly_miss_rate(0), 0.0, "no anomalous samples");
+    }
+
+    #[test]
+    fn scores_compute_matches_manual() {
+        let truth = vec![0, 1, 2, 2];
+        let pred = vec![0, 0, 2, 1];
+        let s = Scores::compute(&truth, &pred, 3);
+        assert!((s.anomaly_miss_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.false_alarm_rate, 0.0);
+        assert!(s.f1 > 0.0 && s.f1 < 1.0);
+    }
+
+    #[test]
+    fn ci_is_zero_for_singletons_and_positive_for_spread() {
+        assert_eq!(mean_and_ci95(&[5.0]), (5.0, 0.0));
+        let (m, ci) = mean_and_ci95(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!(ci > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_labels_panic() {
+        let _ = ConfusionMatrix::from_predictions(&[0], &[5], 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Multi-layer perceptron classifier (Table IV's `MLP`).
+//!
+//! ReLU hidden layers, softmax cross-entropy output, Adam optimiser and L2
+//! regularisation `alpha` — mirroring scikit-learn's `MLPClassifier`
+//! defaults used by the paper, with `hidden_layer_sizes`, `alpha` and
+//! `max_iter` as the searched hyperparameters.
+
+use crate::model::{softmax_row, Classifier};
+use crate::nn::{Activation, FeedForward, Optimizer};
+use alba_data::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// MLP hyperparameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MlpParams {
+    /// Hidden-layer widths, e.g. `[50, 100, 50]`.
+    pub hidden_layer_sizes: Vec<usize>,
+    /// L2 regularisation strength.
+    pub alpha: f64,
+    /// Training epochs.
+    pub max_iter: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Mini-batch size cap (scikit-learn uses `min(200, n)`).
+    pub batch_size: usize,
+    /// Weight-init / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self {
+            hidden_layer_sizes: vec![100],
+            alpha: 1e-4,
+            max_iter: 200,
+            lr: 1e-3,
+            batch_size: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted MLP classifier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MlpClassifier {
+    params: MlpParams,
+    net: Option<FeedForward>,
+    n_classes: usize,
+}
+
+impl MlpClassifier {
+    /// Creates an unfitted classifier.
+    pub fn new(params: MlpParams) -> Self {
+        Self { params, net: None, n_classes: 0 }
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        assert!(x.rows() > 0, "cannot fit on an empty dataset");
+        assert!(y.iter().all(|&c| c < n_classes), "label out of range");
+        self.n_classes = n_classes;
+        let (n, d) = x.shape();
+        let mut widths = vec![d];
+        widths.extend(&self.params.hidden_layer_sizes);
+        widths.push(n_classes);
+        let mut acts = vec![Activation::Relu; self.params.hidden_layer_sizes.len()];
+        acts.push(Activation::Linear); // softmax applied in the loss
+        let mut net = FeedForward::new(&widths, &acts, self.params.seed);
+        let mut opt = Optimizer::adam(self.params.lr);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x5EED);
+        let batch = self.params.batch_size.clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..self.params.max_iter {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                let xb = x.select_rows(chunk);
+                let acts_all = net.forward_all(&xb);
+                let out = acts_all.last().expect("output layer");
+                // Softmax cross-entropy delta: p - onehot.
+                let mut delta = out.clone();
+                for r in 0..delta.rows() {
+                    softmax_row(delta.row_mut(r));
+                }
+                for (r, &i) in chunk.iter().enumerate() {
+                    let v = delta.get(r, y[i]);
+                    delta.set(r, y[i], v - 1.0);
+                }
+                let grads = net.backward(&acts_all, delta);
+                opt.step(&mut net, &grads, self.params.alpha);
+            }
+        }
+        self.net = Some(net);
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let net = self.net.as_ref().expect("predict before fit");
+        let mut out = net.forward(x);
+        for r in 0..out.rows() {
+            softmax_row(out.row_mut(r));
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> MlpParams {
+        MlpParams { hidden_layer_sizes: vec![16], max_iter: 150, lr: 0.01, ..MlpParams::default() }
+    }
+
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..90 {
+            let jitter = ((i * 13) % 17) as f64 * 0.02;
+            match i % 3 {
+                0 => {
+                    rows.push(vec![0.0 + jitter, 0.0]);
+                    y.push(0);
+                }
+                1 => {
+                    rows.push(vec![1.0, 1.0 - jitter]);
+                    y.push(1);
+                }
+                _ => {
+                    rows.push(vec![0.0, 1.0 + jitter]);
+                    y.push(2);
+                }
+            }
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_blobs() {
+        let (x, y) = blobs();
+        let mut m = MlpClassifier::new(quick());
+        m.fit(&x, &y, 3);
+        let acc = m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_xor_unlike_linear_models() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let jit = ((i * 7) % 13) as f64 * 0.005;
+            rows.push(vec![a + jit, b - jit]);
+            y.push((a as usize) ^ (b as usize));
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut m = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![16, 16],
+            max_iter: 400,
+            lr: 0.01,
+            ..MlpParams::default()
+        });
+        m.fit(&x, &y, 2);
+        let acc = m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let (x, y) = blobs();
+        let mut m = MlpClassifier::new(quick());
+        m.fit(&x, &y, 3);
+        let p = m.predict_proba(&x);
+        for r in 0..p.rows() {
+            assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs();
+        let mut a = MlpClassifier::new(quick());
+        let mut b = MlpClassifier::new(quick());
+        a.fit(&x, &y, 3);
+        b.fit(&x, &y, 3);
+        assert_eq!(a.predict_proba(&x).as_slice(), b.predict_proba(&x).as_slice());
+    }
+
+    #[test]
+    fn three_hidden_layers_shape() {
+        let (x, y) = blobs();
+        let mut m = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![10, 10, 10],
+            max_iter: 50,
+            lr: 0.01,
+            ..MlpParams::default()
+        });
+        m.fit(&x, &y, 3);
+        let net = m.net.as_ref().unwrap();
+        assert_eq!(net.layers.len(), 4);
+        assert_eq!(net.n_outputs(), 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! The classifier abstraction shared by every model and the active-learning
+//! loop.
+
+use alba_data::Matrix;
+
+/// A multi-class probabilistic classifier.
+///
+/// Implementations are deterministic given their construction-time seed, so
+/// experiments are exactly reproducible.
+pub trait Classifier: Send + Sync {
+    /// Fits the model on `x` (rows = samples) with labels `y` drawn from
+    /// `0..n_classes`. Refitting replaces the previous state.
+    ///
+    /// `n_classes` is passed explicitly because active-learning training
+    /// sets routinely miss classes early on, yet the model must still emit
+    /// a probability column for every class.
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize);
+
+    /// Returns an `n_samples x n_classes` matrix of class probabilities.
+    /// Every row sums to 1.
+    ///
+    /// # Panics
+    /// Panics if called before `fit`.
+    fn predict_proba(&self, x: &Matrix) -> Matrix;
+
+    /// Predicted class per sample (argmax of `predict_proba`, ties toward
+    /// the lower class index).
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let proba = self.predict_proba(x);
+        proba
+            .rows_iter()
+            .map(|row| {
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Number of classes the model was fitted for (0 before `fit`).
+    fn n_classes(&self) -> usize;
+}
+
+/// Normalises a probability row in place; falls back to uniform when the
+/// mass is zero or non-finite.
+pub fn normalize_row(row: &mut [f64]) {
+    let sum: f64 = row.iter().sum();
+    if sum > 1e-300 && sum.is_finite() {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        let u = 1.0 / row.len().max(1) as f64;
+        for v in row.iter_mut() {
+            *v = u;
+        }
+    }
+}
+
+/// Numerically stable in-place softmax.
+pub fn softmax_row(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant {
+        proba: Vec<f64>,
+    }
+
+    impl Classifier for Constant {
+        fn fit(&mut self, _x: &Matrix, _y: &[usize], _n: usize) {}
+        fn predict_proba(&self, x: &Matrix) -> Matrix {
+            let mut m = Matrix::zeros(x.rows(), self.proba.len());
+            for r in 0..x.rows() {
+                m.row_mut(r).copy_from_slice(&self.proba);
+            }
+            m
+        }
+        fn n_classes(&self) -> usize {
+            self.proba.len()
+        }
+    }
+
+    #[test]
+    fn predict_takes_argmax_with_low_index_ties() {
+        let c = Constant { proba: vec![0.4, 0.4, 0.2] };
+        let x = Matrix::zeros(3, 1);
+        assert_eq!(c.predict(&x), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn normalize_handles_zero_mass() {
+        let mut row = vec![0.0, 0.0];
+        normalize_row(&mut row);
+        assert_eq!(row, vec![0.5, 0.5]);
+        let mut row = vec![2.0, 6.0];
+        normalize_row(&mut row);
+        assert_eq!(row, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut row = vec![1000.0, 1001.0];
+        softmax_row(&mut row);
+        assert!(row.iter().all(|v| v.is_finite()));
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(row[1] > row[0]);
+    }
+}

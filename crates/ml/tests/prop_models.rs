@@ -1,0 +1,104 @@
+//! Property tests on the classifiers: probability normalisation, label
+//! range and determinism must hold for any labeled dataset, not only the
+//! unit-test fixtures.
+
+use alba_data::Matrix;
+use alba_ml::{
+    Classifier, ForestParams, GbmParams, GradientBoosting, LogRegParams, LogisticRegression,
+    RandomForest,
+};
+use proptest::prelude::*;
+
+/// An arbitrary small labeled dataset with at least one sample per class.
+fn dataset() -> impl Strategy<Value = (Matrix, Vec<usize>, usize)> {
+    (2usize..4, 4usize..24, 1usize..5, 0u64..10_000).prop_map(|(classes, n, d, seed)| {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut x = Matrix::zeros(n, d);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let class = r % classes; // guarantees every class appears
+            for c in 0..d {
+                x.set(r, c, class as f64 + next() * 0.6 - 0.3);
+            }
+            y.push(class);
+        }
+        (x, y, classes)
+    })
+}
+
+fn check_probabilities(model: &dyn Classifier, x: &Matrix, n_classes: usize) -> Result<(), TestCaseError> {
+    let p = model.predict_proba(x);
+    prop_assert_eq!(p.shape(), (x.rows(), n_classes));
+    for r in 0..p.rows() {
+        let row = p.row(r);
+        prop_assert!(row.iter().all(|v| v.is_finite() && *v >= -1e-12));
+        let sum: f64 = row.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+    }
+    let pred = model.predict(x);
+    prop_assert!(pred.iter().all(|&c| c < n_classes));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forest_probabilities_are_valid((x, y, k) in dataset()) {
+        let mut m = RandomForest::new(ForestParams { n_estimators: 5, ..ForestParams::default() });
+        m.fit(&x, &y, k);
+        check_probabilities(&m, &x, k)?;
+    }
+
+    #[test]
+    fn gbm_probabilities_are_valid((x, y, k) in dataset()) {
+        let mut m = GradientBoosting::new(GbmParams {
+            n_estimators: 5,
+            num_leaves: 4,
+            ..GbmParams::default()
+        });
+        m.fit(&x, &y, k);
+        check_probabilities(&m, &x, k)?;
+    }
+
+    #[test]
+    fn logreg_probabilities_are_valid((x, y, k) in dataset()) {
+        let mut m = LogisticRegression::new(LogRegParams { max_iter: 50, ..LogRegParams::default() });
+        m.fit(&x, &y, k);
+        check_probabilities(&m, &x, k)?;
+    }
+
+    #[test]
+    fn forest_is_deterministic_under_seed((x, y, k) in dataset()) {
+        let params = ForestParams { n_estimators: 4, seed: 9, ..ForestParams::default() };
+        let mut a = RandomForest::new(params);
+        let mut b = RandomForest::new(params);
+        a.fit(&x, &y, k);
+        b.fit(&x, &y, k);
+        let pa = a.predict_proba(&x);
+        let pb = b.predict_proba(&x);
+        prop_assert_eq!(pa.as_slice(), pb.as_slice());
+    }
+
+    #[test]
+    fn well_separated_classes_are_learned((x, y, k) in dataset()) {
+        // The generator puts class c at level c with ±0.3 jitter: fully
+        // separable, so a forest must fit the training data perfectly.
+        let mut m = RandomForest::new(ForestParams { n_estimators: 10, ..ForestParams::default() });
+        m.fit(&x, &y, k);
+        let acc = m
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / y.len() as f64;
+        prop_assert!(acc > 0.95, "training accuracy {acc}");
+    }
+}

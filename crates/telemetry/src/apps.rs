@@ -1,0 +1,132 @@
+//! Application catalogs (paper Tables I and II).
+
+use serde::{Deserialize, Serialize};
+
+/// Broad computational dwarf an application belongs to; drives the shape of
+/// its resource-usage signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppClass {
+    /// Structured-grid implicit solvers (BT, LU, SP, sw4, sw4lite).
+    Solver,
+    /// Sparse linear algebra, memory-latency bound (CG).
+    SparseIterative,
+    /// Spectral all-to-all codes (FT, SWFFT, part of HACC).
+    SpectralFft,
+    /// Multigrid hierarchy traversal (MG).
+    Multigrid,
+    /// Molecular dynamics (MiniMD, CoMD, ExaMiniMD, LAMMPS).
+    MolecularDynamics,
+    /// Halo-exchange stencil PDE (MiniGhost).
+    Stencil,
+    /// Adaptive mesh refinement (MiniAMR).
+    Amr,
+    /// Particle transport sweeps (Kripke).
+    Transport,
+    /// N-body cosmology with FFT phases (HACC).
+    Cosmology,
+}
+
+/// One application in the catalog.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Application {
+    /// Canonical name as used in the paper.
+    pub name: String,
+    /// Benchmark suite or origin ("NAS", "Mantevo", "ECP Proxy", "Real", "Other").
+    pub suite: String,
+    /// One-line description (Tables I / II).
+    pub description: String,
+    /// Computational dwarf.
+    pub class: AppClass,
+}
+
+impl Application {
+    fn new(name: &str, suite: &str, description: &str, class: AppClass) -> Self {
+        Self {
+            name: name.into(),
+            suite: suite.into(),
+            description: description.into(),
+            class,
+        }
+    }
+}
+
+/// The eleven applications run on Volta (Table I).
+pub fn volta_catalog() -> Vec<Application> {
+    vec![
+        Application::new("BT", "NAS", "Block tri-diagonal solver", AppClass::Solver),
+        Application::new("CG", "NAS", "Conjugate gradient", AppClass::SparseIterative),
+        Application::new("FT", "NAS", "3D Fast Fourier Transform", AppClass::SpectralFft),
+        Application::new("LU", "NAS", "Gauss-Seidel solver", AppClass::Solver),
+        Application::new("MG", "NAS", "Multi-grid on meshes", AppClass::Multigrid),
+        Application::new("SP", "NAS", "Scalar penta-diagonal solver", AppClass::Solver),
+        Application::new("MiniMD", "Mantevo", "Molecular dynamics", AppClass::MolecularDynamics),
+        Application::new("CoMD", "Mantevo", "Molecular dynamics", AppClass::MolecularDynamics),
+        Application::new(
+            "MiniGhost",
+            "Mantevo",
+            "Partial differential equations",
+            AppClass::Stencil,
+        ),
+        Application::new("MiniAMR", "Mantevo", "Stencil calculation", AppClass::Amr),
+        Application::new("Kripke", "Other", "Particle transport", AppClass::Transport),
+    ]
+}
+
+/// The six applications run on Eclipse (Table II).
+pub fn eclipse_catalog() -> Vec<Application> {
+    vec![
+        Application::new("LAMMPS", "Real", "Molecular dynamics", AppClass::MolecularDynamics),
+        Application::new("HACC", "Real", "Cosmological simulation", AppClass::Cosmology),
+        Application::new("sw4", "Real", "Seismic modeling", AppClass::Solver),
+        Application::new("ExaMiniMD", "ECP Proxy", "Molecular dynamics", AppClass::MolecularDynamics),
+        Application::new("SWFFT", "ECP Proxy", "3D Fast Fourier Transform", AppClass::SpectralFft),
+        Application::new("sw4lite", "ECP Proxy", "Numerical kernel optimizations", AppClass::Solver),
+    ]
+}
+
+/// Looks up an application by name in either catalog.
+pub fn find_application(name: &str) -> Option<Application> {
+    volta_catalog()
+        .into_iter()
+        .chain(eclipse_catalog())
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_has_eleven_apps() {
+        let cat = volta_catalog();
+        assert_eq!(cat.len(), 11);
+        assert!(cat.iter().any(|a| a.name == "Kripke"));
+        assert_eq!(cat.iter().filter(|a| a.suite == "NAS").count(), 6);
+        assert_eq!(cat.iter().filter(|a| a.suite == "Mantevo").count(), 4);
+    }
+
+    #[test]
+    fn eclipse_has_six_apps_three_real() {
+        let cat = eclipse_catalog();
+        assert_eq!(cat.len(), 6);
+        assert_eq!(cat.iter().filter(|a| a.suite == "Real").count(), 3);
+        assert_eq!(cat.iter().filter(|a| a.suite == "ECP Proxy").count(), 3);
+    }
+
+    #[test]
+    fn names_are_unique_within_catalogs() {
+        for cat in [volta_catalog(), eclipse_catalog()] {
+            let mut names: Vec<_> = cat.iter().map(|a| &a.name).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), cat.len());
+        }
+    }
+
+    #[test]
+    fn find_application_is_case_insensitive() {
+        assert_eq!(find_application("kripke").unwrap().name, "Kripke");
+        assert_eq!(find_application("LAMMPS").unwrap().class, AppClass::MolecularDynamics);
+        assert!(find_application("nonexistent").is_none());
+    }
+}

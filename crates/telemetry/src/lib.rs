@@ -1,0 +1,37 @@
+//! # alba-telemetry
+//!
+//! Synthetic HPC telemetry substrate for the ALBADross reproduction.
+//!
+//! The paper collects LDMS telemetry on two Sandia systems while running
+//! real applications and injecting HPAS anomalies; neither the systems nor
+//! the data are available, so this crate simulates the whole data-collection
+//! stack at configurable scale:
+//!
+//! * [`system`] — the Volta and Eclipse machine specs,
+//! * [`apps`] — the application catalogs of Tables I and II,
+//! * [`metrics`] — an LDMS-like metric catalog driven by latent
+//!   utilisation groups,
+//! * [`signature`] — per-(application, input deck, allocation) healthy
+//!   resource-usage signatures,
+//! * [`anomaly`] — HPAS-style anomaly effect models (Table III),
+//! * [`generator`] — 1 Hz multivariate time series per node per run,
+//! * [`campaign`] — whole-campaign dataset assembly with the paper's
+//!   10 % anomaly ratio.
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod apps;
+pub mod campaign;
+pub mod generator;
+pub mod metrics;
+pub mod signature;
+pub mod system;
+
+pub use anomaly::{eclipse_intensities, AnomalyKind, Injection, VOLTA_INTENSITIES};
+pub use apps::{eclipse_catalog, find_application, volta_catalog, AppClass, Application};
+pub use campaign::{class_names, enforce_anomaly_ratio, CampaignConfig, RunShape, Scale};
+pub use generator::{generate_run, NodeTelemetry, NoiseConfig, RunConfig, HEALTHY_LABEL};
+pub use metrics::{MetricCatalog, MetricGroup, SimMetric};
+pub use signature::{build_signature, GroupPattern, Signature, SignatureConfig};
+pub use system::SystemSpec;

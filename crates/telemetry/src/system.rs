@@ -1,0 +1,82 @@
+//! HPC system descriptions mirroring the paper's two machines.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a monitored HPC system (Sec. IV-A).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// System name (`"volta"` or `"eclipse"`).
+    pub name: String,
+    /// Total compute nodes.
+    pub nodes: usize,
+    /// CPU sockets per node.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Memory per node in GiB.
+    pub mem_gib: usize,
+    /// Telemetry sampling period in seconds (LDMS runs at 1 Hz).
+    pub sample_period_s: f64,
+    /// Number of distinct metrics collected in the paper's deployment
+    /// (721 on Volta, 806 on Eclipse). The simulated catalog is scaled
+    /// relative to this (see [`crate::metrics`]).
+    pub paper_metric_count: usize,
+}
+
+impl SystemSpec {
+    /// Volta: Sandia Cray XC30m testbed — 52 nodes, 2x Intel Xeon E5-2695 v2
+    /// (12 cores each), 64 GiB per node.
+    pub fn volta() -> Self {
+        Self {
+            name: "volta".into(),
+            nodes: 52,
+            sockets: 2,
+            cores_per_socket: 12,
+            mem_gib: 64,
+            sample_period_s: 1.0,
+            paper_metric_count: 721,
+        }
+    }
+
+    /// Eclipse: Sandia production system — 1488 nodes, 2x Intel Xeon E5-2695
+    /// v4 (18 cores each), 128 GiB per node, 1.8 PF peak.
+    pub fn eclipse() -> Self {
+        Self {
+            name: "eclipse".into(),
+            nodes: 1488,
+            sockets: 2,
+            cores_per_socket: 18,
+            mem_gib: 128,
+            sample_period_s: 1.0,
+            paper_metric_count: 806,
+        }
+    }
+
+    /// Total physical cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_matches_paper() {
+        let v = SystemSpec::volta();
+        assert_eq!(v.nodes, 52);
+        assert_eq!(v.cores_per_node(), 24);
+        assert_eq!(v.mem_gib, 64);
+        assert_eq!(v.paper_metric_count, 721);
+    }
+
+    #[test]
+    fn eclipse_matches_paper() {
+        let e = SystemSpec::eclipse();
+        assert_eq!(e.nodes, 1488);
+        assert_eq!(e.cores_per_node(), 36);
+        assert_eq!(e.mem_gib, 128);
+        assert_eq!(e.paper_metric_count, 806);
+    }
+}

@@ -1,0 +1,95 @@
+//! Deployment scenario (paper Sec. III-E): train with active learning until
+//! a target score, store the final model ("as a pickle object" — here,
+//! serde JSON), reload it, and diagnose freshly collected node telemetry,
+//! returning the anomaly label *and its confidence* per node.
+//!
+//! Run with: `cargo run --release --example deploy_diagnosis`
+
+use albadross_repro::features::{extract_features, Mvts, PreprocessConfig};
+use albadross_repro::framework::prelude::*;
+use albadross_repro::framework::{prepare_split, seed_and_pool, SplitConfig};
+use albadross_repro::ml::{DiagnosisModel, FittedModel, RandomForest};
+use albadross_repro::telemetry::{
+    class_names, find_application, generate_run, AnomalyKind, Injection, NoiseConfig, RunConfig,
+    SignatureConfig,
+};
+
+fn main() {
+    // --- Training phase: active learning to a target, as in Fig. 1. -----
+    println!("training with active learning...");
+    let data = SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 77);
+    let split_cfg = SplitConfig { train_fraction: 0.5, top_k_features: 300 };
+    let split = prepare_split(&data.dataset, &split_cfg, 77);
+    let sp = seed_and_pool(&split.train, None, 77);
+    let spec = ModelSpec::tuned(ModelFamily::Rf, true);
+    let session = run_session(
+        &spec,
+        &sp.seed_set,
+        &sp.pool,
+        &split.test,
+        &SessionConfig {
+            strategy: Strategy::Uncertainty,
+            budget: 40,
+            target_f1: Some(0.85),
+            seed: 77,
+        },
+    );
+    println!(
+        "  stopped after {} queries at F1={:.3}",
+        session.records.len(),
+        session.records.last().map_or(session.initial_scores.f1, |r| r.scores.f1)
+    );
+
+    // Re-fit the final model on seed + queried labels (the learner state).
+    let queried: Vec<usize> = session.records.iter().map(|r| r.pool_index).collect();
+    let labeled = sp.seed_set.concat(&sp.pool.select(&queried));
+    let mut forest = RandomForest::new(match spec {
+        ModelSpec::Forest(p) => p,
+        _ => unreachable!(),
+    });
+    use albadross_repro::ml::Classifier;
+    forest.fit(&labeled.x, &labeled.y, labeled.n_classes());
+
+    // --- Store the model (the paper's pickle step). ----------------------
+    let model = DiagnosisModel::new(
+        FittedModel::Forest(forest),
+        labeled.encoder.names().to_vec(),
+    );
+    let path = std::env::temp_dir().join("albadross_model.json");
+    model.save(&path).expect("write model");
+    println!("  stored model at {} ({} bytes)", path.display(), model.to_json().len());
+
+    // --- Deployment: reload and diagnose fresh telemetry. ----------------
+    let restored = DiagnosisModel::load(&path).expect("reload model");
+    println!("\ndiagnosing a fresh MiniAMR run with a membw stressor on node 0...");
+    let campaign = System::Volta.campaign(Scale::Smoke, 77);
+    let catalog = campaign.catalog();
+    let fresh = generate_run(
+        &RunConfig {
+            app: find_application("MiniAMR").unwrap(),
+            input_deck: 1,
+            node_count: 4,
+            duration_s: 90,
+            injection: Some(Injection::new(AnomalyKind::MemBw, 100)),
+            run_id: 999,
+            seed: 4242,
+        },
+        &catalog,
+        &SignatureConfig::default(),
+        &NoiseConfig::testbed(),
+    );
+    // Same preprocessing + extraction + feature view + scaling as training:
+    // the prepared split carries the fitted selector and scaler.
+    let fresh_ds =
+        extract_features(&fresh, &Mvts, &PreprocessConfig::default(), &class_names());
+    let projected = split.project(&fresh_ds);
+    let x = projected.x;
+
+    for (node, d) in restored.diagnose(&x).iter().enumerate() {
+        println!(
+            "  node {node}: {:<10} (confidence {:.2})  [ground truth: {}]",
+            d.label, d.confidence, fresh[node].label
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,75 @@
+//! Production-system scenario: Eclipse, with real-application workloads on
+//! mixed allocation sizes and production-grade run-to-run variability —
+//! plus the Proctor semi-supervised baseline for comparison (Sec. IV-D).
+//!
+//! Demonstrates the paper's Eclipse findings in miniature: the diagnosis
+//! task starts from a much lower F1 than on the Volta testbed, and the
+//! margin strategy closes the gap with informative queries while Proctor's
+//! random labels barely move its score.
+//!
+//! Run with: `cargo run --release --example eclipse_production`
+
+use albadross_repro::framework::prelude::*;
+use albadross_repro::framework::{prepare_split, seed_and_pool, RunScale, SplitConfig};
+
+fn main() {
+    println!("generating a reduced Eclipse campaign (LAMMPS, HACC, sw4, ...)...");
+    let data = SystemData::generate_best(System::Eclipse, Scale::Smoke, 3);
+    println!(
+        "  {} node samples across allocations of 4/8/16 nodes; applications: {:?}",
+        data.dataset.len(),
+        data.dataset.applications()
+    );
+
+    let split = prepare_split(
+        &data.dataset,
+        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
+        5,
+    );
+    let sp = seed_and_pool(&split.train, None, 5);
+    println!(
+        "  seed: {} labeled samples (one per application/anomaly pair; Eclipse has 6 apps x 5 anomalies)",
+        sp.seed_set.len()
+    );
+
+    // Margin strategy (the paper's best on Eclipse) with the Eclipse-tuned
+    // random forest.
+    let spec = ModelSpec::tuned(ModelFamily::Rf, false);
+    let session = run_session(
+        &spec,
+        &sp.seed_set,
+        &sp.pool,
+        &split.test,
+        &SessionConfig { strategy: Strategy::Margin, budget: 25, target_f1: None, seed: 5 },
+    );
+    println!(
+        "\nmargin strategy:  F1 {:.3} -> {:.3} after {} queries (FAR {:.3} -> {:.3})",
+        session.initial_scores.f1,
+        session.records.last().map_or(session.initial_scores.f1, |r| r.scores.f1),
+        session.records.len(),
+        session.initial_scores.false_alarm_rate,
+        session.records.last().map_or(0.0, |r| r.scores.false_alarm_rate),
+    );
+
+    // Proctor: autoencoder representation + logistic-regression head,
+    // re-trained with *random* labels each iteration.
+    let scale = RunScale::smoke(5);
+    let proctor = run_proctor_session(&sp.seed_set, &sp.pool, &split.test, &{
+        let mut cfg = scale.proctor(5);
+        cfg.budget = 25;
+        cfg
+    });
+    println!(
+        "proctor baseline: F1 {:.3} -> {:.3} after {} random labels (FAR {:.3} -> {:.3})",
+        proctor.initial_scores.f1,
+        proctor.records.last().map_or(proctor.initial_scores.f1, |r| r.scores.f1),
+        proctor.records.len(),
+        proctor.initial_scores.false_alarm_rate,
+        proctor.records.last().map_or(0.0, |r| r.scores.false_alarm_rate),
+    );
+
+    println!(
+        "\nthe same production effects the paper reports: a harder starting point than\n\
+         the testbed, and informative queries buying far more F1 per label than random ones"
+    );
+}

@@ -1,0 +1,73 @@
+//! Query-strategy tour: compare uncertainty, margin, entropy, Random and
+//! Equal-App head-to-head on the same splits, reproducing the qualitative
+//! ordering of the paper's Fig. 3 in miniature — informative strategies
+//! reach a given F1 with far fewer labeled samples than Random.
+//!
+//! Run with: `cargo run --release --example query_strategy_tour`
+
+use albadross_repro::active::MethodCurves;
+use albadross_repro::framework::prelude::*;
+use albadross_repro::framework::{prepare_split, seed_and_pool, SplitConfig};
+
+fn main() {
+    println!("generating a reduced Volta campaign...");
+    let data = SystemData::generate_best(System::Volta, Scale::Smoke, 11);
+    let spec = ModelSpec::tuned(ModelFamily::Rf, true);
+
+    // Two stratified splits; every strategy sees the same seed/pool/test.
+    let mut sessions_per_strategy: Vec<(Strategy, Vec<_>)> =
+        Strategy::ALL.iter().map(|&s| (s, Vec::new())).collect();
+    for rep in 0..2u64 {
+        let split = prepare_split(
+            &data.dataset,
+            &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
+            100 + rep,
+        );
+        let sp = seed_and_pool(&split.train, None, 200 + rep);
+        for (strategy, sessions) in &mut sessions_per_strategy {
+            let session = run_session(
+                &spec,
+                &sp.seed_set,
+                &sp.pool,
+                &split.test,
+                &SessionConfig {
+                    strategy: *strategy,
+                    budget: 30,
+                    target_f1: None,
+                    seed: 300 + rep,
+                },
+            );
+            sessions.push(session);
+        }
+    }
+
+    println!("\nmean F1 trajectory (2 splits, 30 queries):");
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "strategy", "start", "q10", "q20", "q30");
+    for (strategy, sessions) in &sessions_per_strategy {
+        let curves = MethodCurves::from_sessions(strategy.name(), sessions);
+        let f1 = &curves.f1.mean;
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            strategy.name(),
+            f1[0],
+            f1[10.min(f1.len() - 1)],
+            f1[20.min(f1.len() - 1)],
+            f1[f1.len() - 1]
+        );
+    }
+
+    // Which labels did the best strategy ask for? (Fig. 4's drill-down.)
+    let (_, uncertainty_sessions) = &sessions_per_strategy[0];
+    let names: Vec<String> = data.dataset.encoder.names().to_vec();
+    let drill = albadross_repro::active::QueryDrilldown::compute(uncertainty_sessions, 15, &names);
+    println!("\nuncertainty's first 15 queries asked about:");
+    for (label, count) in &drill.label_counts {
+        println!("  {label:<10} {count:.1} samples on average");
+    }
+    if let Some((label, _)) = drill.top_label() {
+        println!(
+            "-> most-requested label: {label} (the seed set contains no healthy samples,\n   \
+             so strategies hunt for healthy labels first — exactly the paper's Fig. 4)"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: the whole ALBADross pipeline on a small simulated Volta
+//! campaign — generate telemetry, extract features, split, seed one label
+//! per (application, anomaly) pair, and let the uncertainty strategy pick
+//! which samples a human annotator should label next.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use albadross_repro::framework::prelude::*;
+use albadross_repro::framework::{seed_and_pool, SplitConfig};
+
+fn main() {
+    // 1. Simulate a data-collection campaign on the Volta testbed
+    //    (11 applications x 3 input decks, HPAS anomalies on node 0)
+    //    and extract TSFRESH-style statistical features.
+    println!("generating telemetry + extracting features...");
+    let data = SystemData::generate_best(System::Volta, Scale::Smoke, 42);
+    println!(
+        "  {} node samples, {} features, classes {:?}",
+        data.dataset.len(),
+        data.dataset.x.cols(),
+        data.dataset.encoder.names()
+    );
+
+    // 2. Stratified train/test split, chi-square top-k selection and
+    //    Min-Max scaling (fitted on the training side only).
+    let split = albadross_repro::framework::prepare_split(
+        &data.dataset,
+        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
+        7,
+    );
+
+    // 3. The initial labeled dataset: one sample per (application, anomaly)
+    //    pair; everything else is the unlabeled pool.
+    let sp = seed_and_pool(&split.train, None, 7);
+    println!(
+        "  seed set {} samples, unlabeled pool {} samples, test {} samples",
+        sp.seed_set.len(),
+        sp.pool.len(),
+        split.test.len()
+    );
+
+    // 4. Active learning: a tuned random forest plus the classification-
+    //    uncertainty query strategy (Eq. 1 of the paper).
+    let spec = ModelSpec::tuned(ModelFamily::Rf, true);
+    let session = run_session(
+        &spec,
+        &sp.seed_set,
+        &sp.pool,
+        &split.test,
+        &SessionConfig {
+            strategy: Strategy::Uncertainty,
+            budget: 25,
+            target_f1: Some(0.95),
+            seed: 7,
+        },
+    );
+
+    println!(
+        "\nstarting scores: F1={:.3} false-alarm={:.3} miss={:.3}",
+        session.initial_scores.f1,
+        session.initial_scores.false_alarm_rate,
+        session.initial_scores.anomaly_miss_rate
+    );
+    for (q, r) in session.records.iter().enumerate() {
+        println!(
+            "query {:>2}: asked about {:<28} -> label {:<10} | F1={:.3} FAR={:.3}",
+            q + 1,
+            r.app.clone(),
+            session
+                .records
+                .first()
+                .map(|_| sp.pool.encoder.decode(r.true_label).unwrap_or("?"))
+                .unwrap_or("?"),
+            r.scores.f1,
+            r.scores.false_alarm_rate
+        );
+    }
+    match session.queries_to_reach(0.9) {
+        Some(q) => println!("\nreached 0.90 F1 after {q} labeled samples"),
+        None => println!("\ndid not reach 0.90 F1 within the budget (try Scale::Default)"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Robustness scenario: previously unseen application inputs (Fig. 8).
+//!
+//! Every application runs with three input decks; the initial labeled set
+//! only covers two of them, while the test set contains exclusively the
+//! held-out deck. The seed-only model collapses (the paper reports an 0.2
+//! starting F1 and an 80 % false-alarm rate) and active learning repairs it
+//! by querying exactly the held-out-deck samples it is uncertain about.
+//!
+//! Run with: `cargo run --release --example unseen_inputs`
+
+use albadross_repro::framework::prelude::*;
+use albadross_repro::framework::{prepare_split, seed_and_pool_filtered, SplitConfig};
+
+fn main() {
+    let held_out_deck = 2usize;
+    println!("generating a reduced Volta campaign; holding out input deck {held_out_deck}...");
+    let data = SystemData::generate_best(System::Volta, Scale::Smoke, 8);
+
+    let split = prepare_split(
+        &data.dataset,
+        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
+        9,
+    );
+    // Seed labels only from the decks the operators have already seen.
+    let sp = seed_and_pool_filtered(&split.train, |m| m.input_deck != held_out_deck, 9);
+    // Test only on the never-before-labeled deck.
+    let test_idx = split.test.indices_where(|m, _| m.input_deck == held_out_deck);
+    let test = split.test.select(&test_idx);
+    println!(
+        "  seed {} samples (decks != {held_out_deck}), pool {}, test {} (deck {held_out_deck} only)",
+        sp.seed_set.len(),
+        sp.pool.len(),
+        test.len()
+    );
+
+    let spec = ModelSpec::tuned(ModelFamily::Rf, true);
+    for strategy in [Strategy::Uncertainty, Strategy::Random] {
+        let session = run_session(
+            &spec,
+            &sp.seed_set,
+            &sp.pool,
+            &test,
+            &SessionConfig { strategy, budget: 30, target_f1: None, seed: 9 },
+        );
+        let final_f1 = session.records.last().map_or(session.initial_scores.f1, |r| r.scores.f1);
+        // How many of the queried samples came from the held-out deck?
+        let held_out_queries = session
+            .records
+            .iter()
+            .filter(|r| sp.pool.meta[r.pool_index].input_deck == held_out_deck)
+            .count();
+        println!(
+            "\n{}: start F1={:.3} FAR={:.3}  ->  final F1={:.3} FAR={:.3}",
+            strategy.name(),
+            session.initial_scores.f1,
+            session.initial_scores.false_alarm_rate,
+            final_f1,
+            session.records.last().map_or(0.0, |r| r.scores.false_alarm_rate),
+        );
+        println!(
+            "   {held_out_queries}/{} queries targeted the unseen deck",
+            session.records.len()
+        );
+    }
+
+    println!(
+        "\nuncertainty spends its query budget on the distribution shift itself,\n\
+         which is how ALBADross stays robust to inputs nobody has labeled yet"
+    );
+}

@@ -1,0 +1,87 @@
+//! Volta campaign walk-through: build the telemetry substrate by hand —
+//! system spec, metric catalog, application signatures, HPAS injections —
+//! and inspect what an anomaly does to the raw 1 Hz time series before any
+//! ML sees it.
+//!
+//! Run with: `cargo run --release --example volta_campaign`
+
+use albadross_repro::data::MetricKind;
+use albadross_repro::telemetry::{
+    build_signature, find_application, generate_run, AnomalyKind, Injection, MetricCatalog,
+    MetricGroup, NoiseConfig, RunConfig, SignatureConfig, SystemSpec,
+};
+
+fn mean(xs: &[f64]) -> f64 {
+    let finite: Vec<f64> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+    finite.iter().sum::<f64>() / finite.len().max(1) as f64
+}
+
+fn main() {
+    // The Cray XC30m testbed of Sec. IV-A.
+    let volta = SystemSpec::volta();
+    println!(
+        "{}: {} nodes, {} cores/node, {} GiB/node ({} LDMS metrics in the paper)",
+        volta.name,
+        volta.nodes,
+        volta.cores_per_node(),
+        volta.mem_gib,
+        volta.paper_metric_count
+    );
+
+    // An LDMS-like metric catalog: 4 metrics per latent utilisation group.
+    let catalog = MetricCatalog::build(&volta, 4);
+    println!("simulated catalog: {} metrics across subsystems:", catalog.len());
+    for subsystem in ["procstat", "perfevent", "meminfo", "procnetdev", "lustre", "cray_aries"] {
+        let n = catalog.metrics.iter().filter(|m| m.def.subsystem == subsystem).count();
+        println!("  {subsystem:<12} {n} metrics");
+    }
+
+    // Application signatures: how Kripke's resource usage differs from CG's.
+    let cfg = SignatureConfig::default();
+    let kripke = build_signature(&find_application("Kripke").unwrap(), 0, 4, &cfg);
+    let cg = build_signature(&find_application("CG").unwrap(), 0, 4, &cfg);
+    println!("\nhealthy signature levels (Kripke vs CG, input deck 0):");
+    for g in [
+        MetricGroup::CpuUser,
+        MetricGroup::CacheMiss,
+        MetricGroup::MemBandwidth,
+        MetricGroup::NetTx,
+    ] {
+        println!(
+            "  {g:?}: {:.2} vs {:.2}",
+            kripke.pattern(g).level,
+            cg.pattern(g).level
+        );
+    }
+
+    // Run Kripke on 4 nodes for 5 minutes with a cache-contention stressor
+    // on the first allocated node (the paper's injection protocol).
+    let run = RunConfig {
+        app: find_application("Kripke").unwrap(),
+        input_deck: 0,
+        node_count: 4,
+        duration_s: 300,
+        injection: Some(Injection::new(AnomalyKind::CacheCopy, 100)),
+        run_id: 0,
+        seed: 2022,
+    };
+    let nodes = generate_run(&run, &catalog, &cfg, &NoiseConfig::testbed());
+    println!("\ngenerated {} node series of {} samples each", nodes.len(), nodes[0].series.len());
+
+    // Compare an LLC-miss gauge on the injected node vs a clean node.
+    let mi = catalog
+        .metrics
+        .iter()
+        .position(|m| m.group == MetricGroup::CacheMiss && m.def.kind == MetricKind::Gauge)
+        .expect("an LLC gauge exists");
+    let name = &catalog.metrics[mi].def.name;
+    let injected = mean(nodes[0].series.metric(mi));
+    let clean = mean(nodes[1].series.metric(mi));
+    println!("\nmetric {name}:");
+    println!("  node 0 (cachecopy @100%): mean {injected:.1}  [label: {}]", nodes[0].label);
+    println!("  node 1 (clean):           mean {clean:.1}  [label: {}]", nodes[1].label);
+    println!(
+        "  -> the stressor inflates LLC misses {:.1}x on the injected node only",
+        injected / clean
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the ALBADross reproduction workspace.
+//!
+//! Re-exports the public API of every workspace crate so that the
+//! `examples/` and `tests/` at the repository root can exercise the full
+//! stack through a single dependency.
+
+pub use alba_active as active;
+pub use alba_data as data;
+pub use alba_features as features;
+pub use alba_ml as ml;
+pub use alba_telemetry as telemetry;
+pub use albadross as framework;

@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: the full pipeline from simulated
+//! telemetry to active-learning sessions, exercised end-to-end at smoke
+//! scale.
+
+use albadross_repro::framework::prelude::*;
+use albadross_repro::framework::{prepare_split, seed_and_pool, SplitConfig};
+
+fn volta_smoke() -> SystemData {
+    SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 1234)
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let a = SystemData::generate_uncached(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 99);
+    let b = SystemData::generate_uncached(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 99);
+    assert_eq!(a.dataset.x.as_slice(), b.dataset.x.as_slice());
+    assert_eq!(a.dataset.y, b.dataset.y);
+
+    let sa = prepare_split(&a.dataset, &SplitConfig::default(), 5);
+    let sb = prepare_split(&b.dataset, &SplitConfig::default(), 5);
+    assert_eq!(sa.selected_features, sb.selected_features);
+    assert_eq!(sa.train.x.as_slice(), sb.train.x.as_slice());
+}
+
+#[test]
+fn train_test_split_has_no_run_level_leakage_in_seed() {
+    // Seed + pool partition the training split exactly; no sample appears
+    // in both, and together they reconstruct the training set.
+    let data = volta_smoke();
+    let split = prepare_split(&data.dataset, &SplitConfig::default(), 3);
+    let sp = seed_and_pool(&split.train, None, 3);
+    assert_eq!(sp.seed_set.len() + sp.pool.len(), split.train.len());
+    let mut seen: Vec<(String, usize, usize, usize)> = sp
+        .seed_set
+        .meta
+        .iter()
+        .chain(&sp.pool.meta)
+        .map(|m| (m.app.clone(), m.run_id, m.node, m.input_deck))
+        .collect();
+    let n = seen.len();
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), n, "a (run, node) sample appeared twice");
+}
+
+#[test]
+fn session_improves_f1_over_seed_only_model() {
+    let data = volta_smoke();
+    let split = prepare_split(
+        &data.dataset,
+        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
+        7,
+    );
+    let sp = seed_and_pool(&split.train, None, 7);
+    let spec = ModelSpec::tuned(ModelFamily::Rf, true);
+    let session = run_session(
+        &spec,
+        &sp.seed_set,
+        &sp.pool,
+        &split.test,
+        &SessionConfig { strategy: Strategy::Uncertainty, budget: 30, target_f1: None, seed: 7 },
+    );
+    let final_f1 = session.records.last().unwrap().scores.f1;
+    assert!(
+        final_f1 > session.initial_scores.f1,
+        "F1 must improve with 30 informative labels: {} -> {}",
+        session.initial_scores.f1,
+        final_f1
+    );
+}
+
+#[test]
+fn no_healthy_seeds_means_total_false_alarm_at_start() {
+    // The initial labeled set holds one sample per (app, anomaly) pair and
+    // no healthy samples, so the seed-only model cannot predict `healthy`:
+    // its false-alarm rate is exactly 1 and its miss rate exactly 0 — the
+    // starting point of the paper's Fig. 3 panels.
+    let data = volta_smoke();
+    let split = prepare_split(&data.dataset, &SplitConfig::default(), 11);
+    let sp = seed_and_pool(&split.train, None, 11);
+    let spec = ModelSpec::tuned(ModelFamily::Rf, true);
+    let session = run_session(
+        &spec,
+        &sp.seed_set,
+        &sp.pool,
+        &split.test,
+        &SessionConfig { strategy: Strategy::Margin, budget: 1, target_f1: None, seed: 11 },
+    );
+    assert_eq!(session.initial_scores.false_alarm_rate, 1.0);
+    assert_eq!(session.initial_scores.anomaly_miss_rate, 0.0);
+}
+
+#[test]
+fn early_queries_hunt_for_healthy_labels() {
+    // Fig. 4: with no healthy seeds, informative strategies spend most of
+    // their first queries asking for healthy labels.
+    let data = volta_smoke();
+    let split = prepare_split(&data.dataset, &SplitConfig::default(), 13);
+    let sp = seed_and_pool(&split.train, None, 13);
+    let spec = ModelSpec::tuned(ModelFamily::Rf, true);
+    let session = run_session(
+        &spec,
+        &sp.seed_set,
+        &sp.pool,
+        &split.test,
+        &SessionConfig {
+            strategy: Strategy::Uncertainty,
+            budget: 10,
+            target_f1: None,
+            seed: 13,
+        },
+    );
+    let healthy = split.train.encoder.encode("healthy").unwrap();
+    let healthy_queries = session.records.iter().filter(|r| r.true_label == healthy).count();
+    assert!(
+        healthy_queries >= 5,
+        "expected mostly healthy labels in the first 10 queries, got {healthy_queries}"
+    );
+}
+
+#[test]
+fn feature_methods_produce_different_widths() {
+    let mvts = SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 5);
+    let tsf = SystemData::generate(System::Volta, FeatureMethod::TsFresh, Scale::Smoke, 5);
+    assert_eq!(mvts.dataset.len(), tsf.dataset.len(), "same campaign, same samples");
+    assert!(tsf.dataset.x.cols() > 3 * mvts.dataset.x.cols(), "TSFRESH is far richer");
+}
+
+#[test]
+fn cached_generation_matches_uncached() {
+    let cached = SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 77);
+    let uncached =
+        SystemData::generate_uncached(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 77);
+    assert_eq!(cached.dataset.x.as_slice(), uncached.dataset.x.as_slice());
+    // Second cached call returns the same data.
+    let again = SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 77);
+    assert_eq!(cached.dataset.y, again.dataset.y);
+}
+
+#[test]
+fn proctor_session_is_comparable_and_low_false_alarm_at_end() {
+    let data = volta_smoke();
+    let split = prepare_split(
+        &data.dataset,
+        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
+        17,
+    );
+    let sp = seed_and_pool(&split.train, None, 17);
+    let scale = RunScale::smoke(17);
+    let mut cfg = scale.proctor(17);
+    cfg.budget = 20;
+    let session = run_proctor_session(&sp.seed_set, &sp.pool, &split.test, &cfg);
+    assert_eq!(session.records.len(), 20);
+    // Proctor's hallmark in the paper: excellent false-alarm behaviour.
+    let final_far = session.records.last().unwrap().scores.false_alarm_rate;
+    assert!(final_far < 0.3, "proctor final false-alarm rate {final_far}");
+}

@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) on the core data structures and
+//! numerical kernels: invariants that must hold for *any* input, not just
+//! the unit-test examples.
+
+use albadross_repro::active::{entropy_score, margin_score, uncertainty_score};
+use albadross_repro::data::Matrix;
+use albadross_repro::features::{chi_square_scores, interpolate_gaps, MinMaxScaler};
+use albadross_repro::features::stats;
+use albadross_repro::ml::{softmax_row, ConfusionMatrix};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 0..max_len)
+}
+
+fn nonempty_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- stats kernels -------------------------------------------------
+
+    #[test]
+    fn stats_are_always_finite(x in finite_vec(200)) {
+        prop_assert!(stats::mean(&x).is_finite());
+        prop_assert!(stats::std_dev(&x).is_finite());
+        prop_assert!(stats::skewness(&x).is_finite());
+        prop_assert!(stats::kurtosis(&x).is_finite());
+        prop_assert!(stats::linear_trend_slope(&x).is_finite());
+        prop_assert!(stats::binned_entropy(&x, 10).is_finite());
+        prop_assert!(stats::cid_ce(&x).is_finite());
+        prop_assert!(stats::autocorrelation(&x, 3).is_finite());
+    }
+
+    #[test]
+    fn mean_bounded_by_min_max(x in nonempty_vec(100)) {
+        let m = stats::mean(&x);
+        prop_assert!(m >= stats::min(&x) - 1e-9);
+        prop_assert!(m <= stats::max(&x) + 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(x in nonempty_vec(100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(stats::quantile(&x, lo) <= stats::quantile(&x, hi) + 1e-9);
+    }
+
+    #[test]
+    fn shift_invariance_of_dispersion(x in nonempty_vec(80), shift in -1e3f64..1e3) {
+        let shifted: Vec<f64> = x.iter().map(|v| v + shift).collect();
+        prop_assert!((stats::std_dev(&x) - stats::std_dev(&shifted)).abs() < 1e-6 * (1.0 + stats::std_dev(&x)));
+        prop_assert!((stats::mean_abs_change(&x) - stats::mean_abs_change(&shifted)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn autocorrelation_is_bounded(x in nonempty_vec(120), lag in 1usize..10) {
+        let a = stats::autocorrelation(&x, lag);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a), "autocorr {a}");
+    }
+
+    // ---- interpolation -------------------------------------------------
+
+    #[test]
+    fn interpolation_removes_all_gaps(
+        mut x in prop::collection::vec(prop_oneof![Just(f64::NAN), -1e3f64..1e3], 0..100)
+    ) {
+        interpolate_gaps(&mut x);
+        prop_assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn interpolation_preserves_finite_values(x in nonempty_vec(50), gap_at in 0usize..49) {
+        let mut with_gap = x.clone();
+        if gap_at < with_gap.len() {
+            with_gap[gap_at] = f64::NAN;
+        }
+        interpolate_gaps(&mut with_gap);
+        for (i, (&orig, &filled)) in x.iter().zip(&with_gap).enumerate() {
+            if i != gap_at {
+                prop_assert_eq!(orig, filled);
+            }
+        }
+    }
+
+    // ---- matrix --------------------------------------------------------
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let mut m = Matrix::zeros(rows, cols);
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        for v in m.as_mut_slice() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = (s >> 33) as f64 / (1u64 << 31) as f64 - 0.5;
+        }
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matvec_is_linear(cols in 1usize..6, a in -5.0f64..5.0) {
+        let m = Matrix::filled(3, cols, 2.0);
+        let v1 = vec![1.0; cols];
+        let scaled: Vec<f64> = v1.iter().map(|x| x * a).collect();
+        let r1 = m.matvec(&v1);
+        let r2 = m.matvec(&scaled);
+        for (x, y) in r1.iter().zip(&r2) {
+            prop_assert!((x * a - y).abs() < 1e-9);
+        }
+    }
+
+    // ---- scaling -------------------------------------------------------
+
+    #[test]
+    fn minmax_maps_training_to_unit_interval(rows in 2usize..12, cols in 1usize..6, seed in 0u64..1000) {
+        let mut m = Matrix::zeros(rows, cols);
+        let mut s = seed.wrapping_add(7);
+        for v in m.as_mut_slice() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *v = (s >> 33) as f64 / (1u64 << 28) as f64 - 16.0;
+        }
+        let scaler = MinMaxScaler::fit(&m);
+        let t = scaler.transform(&m);
+        for &v in t.as_slice() {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "scaled value {v}");
+        }
+    }
+
+    // ---- metrics -------------------------------------------------------
+
+    #[test]
+    fn scores_are_within_unit_interval(
+        truth in prop::collection::vec(0usize..4, 1..80),
+        seed in 0u64..500,
+    ) {
+        let mut s = seed;
+        let pred: Vec<usize> = truth.iter().map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize % 4
+        }).collect();
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 4);
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.false_alarm_rate(0)));
+        prop_assert!((0.0..=1.0).contains(&cm.anomaly_miss_rate(0)));
+        prop_assert_eq!(cm.total(), truth.len());
+    }
+
+    #[test]
+    fn perfect_predictions_always_score_one(truth in prop::collection::vec(0usize..3, 1..50)) {
+        let cm = ConfusionMatrix::from_predictions(&truth, &truth, 3);
+        prop_assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(cm.false_alarm_rate(0), 0.0);
+    }
+
+    // ---- query strategies ----------------------------------------------
+
+    #[test]
+    fn strategy_scores_are_consistent(raw in prop::collection::vec(0.01f64..10.0, 2..8)) {
+        let mut p = raw;
+        softmax_row(&mut p);
+        let u = uncertainty_score(&p);
+        let m = margin_score(&p);
+        let h = entropy_score(&p);
+        let k = p.len() as f64;
+        prop_assert!((0.0..=1.0).contains(&u), "uncertainty {u}");
+        prop_assert!((0.0..=1.0).contains(&m), "margin {m}");
+        prop_assert!(h >= -1e-12 && h <= k.ln() + 1e-9, "entropy {h}");
+    }
+
+    #[test]
+    fn certain_predictions_have_extreme_scores(winner in 0usize..4) {
+        let mut p = vec![0.0; 4];
+        p[winner] = 1.0;
+        prop_assert!(uncertainty_score(&p).abs() < 1e-12);
+        prop_assert!((margin_score(&p) - 1.0).abs() < 1e-12);
+        prop_assert!(entropy_score(&p).abs() < 1e-12);
+    }
+
+    // ---- chi-square ----------------------------------------------------
+
+    #[test]
+    fn chi_square_scores_are_nonnegative_and_finite(
+        rows in 4usize..30,
+        seed in 0u64..300,
+    ) {
+        let mut x = Matrix::zeros(rows, 3);
+        let mut y = Vec::with_capacity(rows);
+        let mut s = seed.wrapping_add(13);
+        for r in 0..rows {
+            y.push(r % 2);
+            for c in 0..3 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x.set(r, c, (s >> 33) as f64 / (1u64 << 30) as f64 - 4.0);
+            }
+        }
+        let scores = chi_square_scores(&x, &y, 2);
+        for &v in &scores.scores {
+            prop_assert!(v.is_finite() && v >= 0.0, "chi2 {v}");
+        }
+    }
+}
