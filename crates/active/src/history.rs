@@ -75,10 +75,8 @@ impl MethodCurves {
     /// Mean queries needed to reach a target F1 across sessions
     /// (`None` when the majority of sessions never reach it).
     pub fn mean_queries_to_target(sessions: &[SessionResult], target: f64) -> Option<f64> {
-        let hits: Vec<f64> = sessions
-            .iter()
-            .filter_map(|s| s.queries_to_reach(target).map(|q| q as f64))
-            .collect();
+        let hits: Vec<f64> =
+            sessions.iter().filter_map(|s| s.queries_to_reach(target).map(|q| q as f64)).collect();
         if hits.len() * 2 <= sessions.len() {
             return None;
         }
@@ -187,10 +185,7 @@ mod tests {
         let mc = MethodCurves::from_sessions("uncertainty", &[s1.clone(), s2.clone()]);
         assert_eq!(mc.name, "uncertainty");
         assert!((mc.f1.mean[0] - 0.55).abs() < 1e-12);
-        assert_eq!(
-            MethodCurves::mean_queries_to_target(&[s1, s2], 0.9),
-            Some(2.0)
-        );
+        assert_eq!(MethodCurves::mean_queries_to_target(&[s1, s2], 0.9), Some(2.0));
     }
 
     #[test]

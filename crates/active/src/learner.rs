@@ -273,12 +273,8 @@ mod tests {
     #[test]
     fn budget_larger_than_pool_is_clamped() {
         let (seed, pool, test) = toy_problem();
-        let cfg = SessionConfig {
-            strategy: Strategy::Random,
-            budget: 1000,
-            target_f1: None,
-            seed: 3,
-        };
+        let cfg =
+            SessionConfig { strategy: Strategy::Random, budget: 1000, target_f1: None, seed: 3 };
         let res = run_session(&spec(), &seed, &pool, &test, &cfg);
         assert_eq!(res.records.len(), pool.len());
     }
@@ -321,7 +317,12 @@ mod tests {
             &seed,
             &pool,
             &test,
-            &SessionConfig { strategy: Strategy::Uncertainty, budget: 10, target_f1: None, seed: 3 },
+            &SessionConfig {
+                strategy: Strategy::Uncertainty,
+                budget: 10,
+                target_f1: None,
+                seed: 3,
+            },
             4,
         );
         assert_eq!(res.records.len(), 10, "budget counts labels");

@@ -17,8 +17,8 @@ pub mod stream;
 pub use committee::{vote_entropy, Committee, CommitteeQuery};
 pub use history::{CurveBand, MethodCurves, QueryDrilldown};
 pub use learner::{run_batched_session, run_session, QueryRecord, SessionConfig, SessionResult};
-pub use stream::{run_stream_session, stream_config, StreamConfig, StreamResult};
 pub use strategy::{
     entropy_score, margin_score, select, select_batch, uncertainty_score, SelectionContext,
     Strategy,
 };
+pub use stream::{run_stream_session, stream_config, StreamConfig, StreamResult};

@@ -120,9 +120,8 @@ pub fn select(strategy: Strategy, ctx: &SelectionContext<'_>, rng: &mut StdRng) 
         Strategy::EqualApp => {
             // The application whose turn it is this query.
             let due = &ctx.app_cycle[ctx.query_number % ctx.app_cycle.len().max(1)];
-            let candidates: Vec<usize> = (0..ctx.remaining.len())
-                .filter(|&i| &ctx.apps[ctx.remaining[i]] == due)
-                .collect();
+            let candidates: Vec<usize> =
+                (0..ctx.remaining.len()).filter(|&i| &ctx.apps[ctx.remaining[i]] == due).collect();
             if candidates.is_empty() {
                 // The due application is exhausted; fall back to uniform.
                 rng.gen_range(0..ctx.remaining.len())
@@ -160,9 +159,8 @@ pub fn select_batch(
                 _ => margin_score,
             };
             let maximize = strategy != Strategy::Margin;
-            let mut scored: Vec<(usize, f64)> = (0..ctx.remaining.len())
-                .map(|i| (i, score(ctx.proba.row(i))))
-                .collect();
+            let mut scored: Vec<(usize, f64)> =
+                (0..ctx.remaining.len()).map(|i| (i, score(ctx.proba.row(i)))).collect();
             scored.sort_by(|a, b| {
                 let ord = a.1.partial_cmp(&b.1).expect("finite scores");
                 if maximize {
@@ -216,11 +214,7 @@ fn shuffle_positions(idx: &mut [usize], rng: &mut StdRng) {
     idx.shuffle(rng);
 }
 
-fn argbest(
-    ctx: &SelectionContext<'_>,
-    score: impl Fn(&[f64]) -> f64,
-    maximize: bool,
-) -> usize {
+fn argbest(ctx: &SelectionContext<'_>, score: impl Fn(&[f64]) -> f64, maximize: bool) -> usize {
     let mut best = 0usize;
     let mut best_score = score(ctx.proba.row(0));
     for i in 1..ctx.remaining.len() {
@@ -241,11 +235,7 @@ mod tests {
 
     /// The worked example of Sec. III-D (Eq. 2).
     fn example_probs() -> Matrix {
-        Matrix::from_rows(&[
-            vec![0.1, 0.85, 0.05],
-            vec![0.6, 0.3, 0.1],
-            vec![0.39, 0.61, 0.0],
-        ])
+        Matrix::from_rows(&[vec![0.1, 0.85, 0.05], vec![0.6, 0.3, 0.1], vec![0.39, 0.61, 0.0]])
     }
 
     fn ctx<'a>(
@@ -314,10 +304,8 @@ mod tests {
     fn equal_app_cycles_applications() {
         let p = Matrix::filled(6, 2, 0.5);
         let remaining = [0, 1, 2, 3, 4, 5];
-        let apps: Vec<String> = ["bt", "bt", "cg", "cg", "ft", "ft"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let apps: Vec<String> =
+            ["bt", "bt", "cg", "cg", "ft", "ft"].iter().map(|s| s.to_string()).collect();
         let cycle = vec!["bt".to_string(), "cg".to_string(), "ft".to_string()];
         let mut rng = StdRng::seed_from_u64(1);
         for q in 0..3 {
@@ -382,7 +370,8 @@ mod tests {
         let apps: Vec<String> = vec!["a".into(); 10];
         let cycle = vec!["a".to_string()];
         let mut rng = StdRng::seed_from_u64(8);
-        let picks = select_batch(Strategy::Random, &ctx(&p, &remaining, &apps, &cycle, 0), &mut rng, 10);
+        let picks =
+            select_batch(Strategy::Random, &ctx(&p, &remaining, &apps, &cycle, 0), &mut rng, 10);
         assert_eq!(picks.len(), 2);
     }
 

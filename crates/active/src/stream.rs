@@ -72,10 +72,7 @@ pub fn run_stream_session(
     assert!(!seed_set.is_empty(), "the labeled seed set cannot be empty");
     assert_eq!(seed_set.feature_names, stream.feature_names, "seed/stream schema mismatch");
     assert_eq!(seed_set.feature_names, test.feature_names, "seed/test schema mismatch");
-    assert!(
-        config.strategy != Strategy::EqualApp,
-        "EqualApp has no stream-based formulation"
-    );
+    assert!(config.strategy != Strategy::EqualApp, "EqualApp has no stream-based formulation");
     let n_classes = seed_set.n_classes();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut model = spec.with_seed(config.seed ^ 0xA1).build();
@@ -129,11 +126,7 @@ pub fn run_stream_session(
     }
 
     StreamResult {
-        session: SessionResult {
-            strategy: config.strategy,
-            initial_scores,
-            records,
-        },
+        session: SessionResult { strategy: config.strategy, initial_scores, records },
         skipped,
         seen,
     }
@@ -142,12 +135,7 @@ pub fn run_stream_session(
 /// Convenience: derives a [`StreamConfig`] from a pool [`SessionConfig`]
 /// with a given threshold.
 pub fn stream_config(config: &SessionConfig, threshold: f64) -> StreamConfig {
-    StreamConfig {
-        strategy: config.strategy,
-        threshold,
-        budget: config.budget,
-        seed: config.seed,
-    }
+    StreamConfig { strategy: config.strategy, threshold, budget: config.budget, seed: config.seed }
 }
 
 #[cfg(test)]
@@ -175,7 +163,7 @@ mod tests {
         for i in 0..n {
             let j = i + offset;
             let jit = ((j * 29) % 23) as f64 * 0.01;
-            if j % 2 == 0 {
+            if j.is_multiple_of(2) {
                 rows.push(vec![jit, 0.1 + jit]);
                 y.push(0);
             } else {
@@ -184,13 +172,7 @@ mod tests {
             }
             metas.push(meta("bt"));
         }
-        Dataset::new(
-            Matrix::from_rows(&rows),
-            y,
-            enc,
-            metas,
-            vec!["f0".into(), "f1".into()],
-        )
+        Dataset::new(Matrix::from_rows(&rows), y, enc, metas, vec!["f0".into(), "f1".into()])
     }
 
     fn spec() -> ModelSpec {
@@ -228,12 +210,7 @@ mod tests {
             &seed,
             &stream,
             &test,
-            &StreamConfig {
-                strategy: Strategy::Uncertainty,
-                threshold: 0.95,
-                budget: 20,
-                seed: 5,
-            },
+            &StreamConfig { strategy: Strategy::Uncertainty, threshold: 0.95, budget: 20, seed: 5 },
         );
         assert!(res.session.records.len() <= 2, "labeled {}", res.session.records.len());
         assert!(res.skipped >= 58 - 2);
@@ -273,12 +250,8 @@ mod tests {
         let seed = toy(6, 0);
         let stream = toy(40, 100);
         let test = toy(20, 1000);
-        let cfg = StreamConfig {
-            strategy: Strategy::Uncertainty,
-            threshold: 0.2,
-            budget: 8,
-            seed: 11,
-        };
+        let cfg =
+            StreamConfig { strategy: Strategy::Uncertainty, threshold: 0.2, budget: 8, seed: 11 };
         let a = run_stream_session(&spec(), &seed, &stream, &test, &cfg);
         let b = run_stream_session(&spec(), &seed, &stream, &test, &cfg);
         let ai: Vec<usize> = a.session.records.iter().map(|r| r.pool_index).collect();

@@ -8,22 +8,20 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use alba_ml::ModelFamily;
 use albadross::experiments::{
     render_setup_tables, run_curves, run_robustness, run_table4, run_unseen_apps,
     run_unseen_inputs, CurvesConfig, DrilldownResult, RobustnessConfig, Table4Config,
     UnseenAppsConfig, UnseenInputsConfig,
 };
 use albadross::prelude::*;
-use alba_ml::ModelFamily;
 
 fn scale() -> RunScale {
     RunScale::smoke(42)
 }
 
 fn bench_tables_setup(c: &mut Criterion) {
-    c.bench_function("paper/tables_1_2_3_setup", |b| {
-        b.iter(|| black_box(render_setup_tables()))
-    });
+    c.bench_function("paper/tables_1_2_3_setup", |b| b.iter(|| black_box(render_setup_tables())));
 }
 
 fn bench_fig3(c: &mut Criterion) {

@@ -28,11 +28,8 @@ fn main() {
     );
     println!("class counts: {:?}", data.dataset.class_counts());
 
-    let split = prepare_split(
-        &data.dataset,
-        &SplitConfig { train_fraction: 0.6, top_k_features: 1200 },
-        1,
-    );
+    let split =
+        prepare_split(&data.dataset, &SplitConfig { train_fraction: 0.6, top_k_features: 1200 }, 1);
     let spec = ModelSpec::tuned(ModelFamily::Rf, system == System::Volta);
     let t1 = std::time::Instant::now();
     let mut model = spec.build();
@@ -48,7 +45,11 @@ fn main() {
         tree.fit(&split.train.x, &split.train.y, 6);
         let p = tree.predict(&split.test.x);
         let cm = ConfusionMatrix::from_predictions(&split.test.y, &p, 6);
-        println!("single full tree: test macro F1={:.3} miss={:.3}", cm.macro_f1(), cm.anomaly_miss_rate(0));
+        println!(
+            "single full tree: test macro F1={:.3} miss={:.3}",
+            cm.macro_f1(),
+            cm.anomaly_miss_rate(0)
+        );
         let mut big = alba_ml::RandomForest::new(alba_ml::ForestParams {
             n_estimators: 100,
             max_depth: None,
@@ -60,7 +61,11 @@ fn main() {
         big.fit(&split.train.x, &split.train.y, 6);
         let p = big.predict(&split.test.x);
         let cm = ConfusionMatrix::from_predictions(&split.test.y, &p, 6);
-        println!("RF100 unlimited: test macro F1={:.3} miss={:.3}", cm.macro_f1(), cm.anomaly_miss_rate(0));
+        println!(
+            "RF100 unlimited: test macro F1={:.3} miss={:.3}",
+            cm.macro_f1(),
+            cm.anomaly_miss_rate(0)
+        );
     }
     let pred = model.predict(&split.test.x);
     let cm = ConfusionMatrix::from_predictions(&split.test.y, &pred, 6);
@@ -93,13 +98,13 @@ fn main() {
     }
     // Per-intensity recall on anomalous test samples.
     let mut by_intensity: std::collections::BTreeMap<u32, (usize, usize)> = Default::default();
-    for i in 0..split.test.len() {
-        if split.test.y[i] == 0 {
+    for (p, (m, &y)) in pred.iter().zip(split.test.meta.iter().zip(&split.test.y)) {
+        if y == 0 {
             continue;
         }
-        let e = by_intensity.entry(split.test.meta[i].intensity_pct).or_default();
+        let e = by_intensity.entry(m.intensity_pct).or_default();
         e.1 += 1;
-        if pred[i] == split.test.y[i] {
+        if *p == y {
             e.0 += 1;
         }
     }
@@ -147,7 +152,9 @@ fn main() {
     // Was the key feature selected by chi2?
     let selected: Vec<&String> =
         split.selected_features.iter().map(|&i| &data.dataset.feature_names[i]).collect();
-    for stem in ["per_core_user", "llc_misses", "mem_bw", "cpu_freq", "power", "wb_counter", "Active"] {
+    for stem in
+        ["per_core_user", "llc_misses", "mem_bw", "cpu_freq", "power", "wb_counter", "Active"]
+    {
         let n = selected.iter().filter(|s| s.contains(stem)).count();
         println!("chi2 kept {n} features containing {stem:?}");
     }
@@ -156,10 +163,9 @@ fn main() {
         use alba_features::chi_square_scores;
         let scores = chi_square_scores(&data.dataset.x, &data.dataset.y, 6);
         let order = scores.top_k(data.dataset.x.cols());
-        for stem in ["per_core_user", "per_core_sys", "cpu_freq", "power", "llc_misses", "pgfault"] {
-            let rank = order
-                .iter()
-                .position(|&c| data.dataset.feature_names[c].contains(stem));
+        for stem in ["per_core_user", "per_core_sys", "cpu_freq", "power", "llc_misses", "pgfault"]
+        {
+            let rank = order.iter().position(|&c| data.dataset.feature_names[c].contains(stem));
             println!("best rank of {stem:?}: {rank:?}");
         }
     }

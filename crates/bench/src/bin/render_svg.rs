@@ -17,15 +17,11 @@ fn main() {
     }
     for arg in &args {
         let path = Path::new(arg);
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {arg}: {e}"));
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {arg}: {e}"));
         let curves: Vec<MethodCurves> = serde_json::from_str(&text)
             .unwrap_or_else(|e| panic!("{arg} is not a curves artifact: {e}"));
-        let stem = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .expect("file has a stem")
-            .to_string();
+        let stem = path.file_stem().and_then(|s| s.to_str()).expect("file has a stem").to_string();
         let dir = path.parent().unwrap_or_else(|| Path::new("."));
         for (name, svg) in albadross::figure_panels(&stem, &curves) {
             let out = dir.join(format!("{name}.svg"));

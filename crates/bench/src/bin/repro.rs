@@ -22,8 +22,8 @@
 //! `--out` (default `results/`).
 
 use albadross::experiments::{
-    self, run_curves, run_robustness, run_table4, run_unseen_apps, run_unseen_inputs, CurvesConfig, DrilldownResult, RobustnessConfig, Table4Config,
-    UnseenAppsConfig, UnseenInputsConfig,
+    self, run_curves, run_robustness, run_table4, run_unseen_apps, run_unseen_inputs, CurvesConfig,
+    DrilldownResult, RobustnessConfig, Table4Config, UnseenAppsConfig, UnseenInputsConfig,
 };
 use albadross::prelude::*;
 use std::path::{Path, PathBuf};
@@ -100,13 +100,9 @@ fn main() {
     let args = parse_args();
     let scale = RunScale::parse(&args.scale_name, args.seed)
         .unwrap_or_else(|| panic!("unknown scale {:?}", args.scale_name));
-    let wants = |id: &str| {
-        args.exps.iter().any(|e| e == id) || args.exps.iter().any(|e| e == "all")
-    };
-    println!(
-        "# ALBADross reproduction harness — scale={} seed={}\n",
-        args.scale_name, args.seed
-    );
+    let wants =
+        |id: &str| args.exps.iter().any(|e| e == id) || args.exps.iter().any(|e| e == "all");
+    println!("# ALBADross reproduction harness — scale={} seed={}\n", args.scale_name, args.seed);
     let t_total = Instant::now();
 
     if wants("tables-setup") {

@@ -64,13 +64,12 @@ pub fn run_strategy_model_matrix(scale: &RunScale) -> StrategyModelMatrix {
     let data = SystemData::generate(System::Volta, FeatureMethod::Mvts, scale.campaign, scale.seed);
     let split = prepare_split(&data.dataset, &scale.split, scale.seed ^ 0xAB1);
     let sp = seed_and_pool(&split.train, None, scale.seed ^ 0xAB2);
-    let families =
-        vec![ModelFamily::Rf, ModelFamily::Lgbm, ModelFamily::Lr, ModelFamily::Mlp];
-    let strategies = vec![Strategy::Uncertainty, Strategy::Margin, Strategy::Entropy, Strategy::Random];
+    let families = vec![ModelFamily::Rf, ModelFamily::Lgbm, ModelFamily::Lr, ModelFamily::Mlp];
+    let strategies =
+        vec![Strategy::Uncertainty, Strategy::Margin, Strategy::Entropy, Strategy::Random];
 
-    let jobs: Vec<(usize, usize)> = (0..strategies.len())
-        .flat_map(|s| (0..families.len()).map(move |f| (s, f)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..strategies.len()).flat_map(|s| (0..families.len()).map(move |f| (s, f))).collect();
     let scores: Vec<((usize, usize), f64)> = jobs
         .par_iter()
         .map(|&(si, fi)| {
@@ -174,18 +173,12 @@ pub fn run_feature_ablation(scale: &RunScale) -> FeatureAblation {
                 },
                 1,
             );
-            let to_080 = MethodCurves::mean_queries_to_target(
-                std::slice::from_ref(&session),
-                0.80,
-            );
+            let to_080 = MethodCurves::mean_queries_to_target(std::slice::from_ref(&session), 0.80);
             FeatureAblationRow {
                 system: system.name().to_string(),
                 method: method.name().to_string(),
                 starting_f1: session.initial_scores.f1,
-                final_f1: session
-                    .records
-                    .last()
-                    .map_or(session.initial_scores.f1, |r| r.scores.f1),
+                final_f1: session.records.last().map_or(session.initial_scores.f1, |r| r.scores.f1),
                 to_080,
             }
         })
@@ -205,12 +198,8 @@ pub struct TopKSweep {
 impl TopKSweep {
     /// Text rendering.
     pub fn render(&self) -> String {
-        let rows: Vec<Vec<String>> = self
-            .ks
-            .iter()
-            .zip(&self.f1)
-            .map(|(k, f)| vec![k.to_string(), fmt_score(*f)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.ks.iter().zip(&self.f1).map(|(k, f)| vec![k.to_string(), fmt_score(*f)]).collect();
         format!(
             "== Ablation: chi-square top-k sweep (Volta, tuned RF) ==\n{}",
             render_table(&["top-k features", "test F1"], &rows)
@@ -256,9 +245,7 @@ impl IntensitySensitivity {
             .buckets
             .iter()
             .zip(self.recall.iter().zip(&self.support))
-            .map(|((lo, hi), (r, n))| {
-                vec![format!("{lo}-{hi}%"), fmt_score(*r), n.to_string()]
-            })
+            .map(|((lo, hi), (r, n))| vec![format!("{lo}-{hi}%"), fmt_score(*r), n.to_string()])
             .collect();
         format!(
             "== Ablation: diagnosis recall vs injected intensity (Volta) ==\n{}",
@@ -281,13 +268,12 @@ pub fn run_intensity_sensitivity(scale: &RunScale) -> IntensitySensitivity {
     for &(lo, hi) in &buckets {
         let mut ok = 0usize;
         let mut total = 0usize;
-        for i in 0..split.test.len() {
-            let m = &split.test.meta[i];
-            if split.test.y[i] == 0 || m.intensity_pct < lo || m.intensity_pct > hi {
+        for (p, (m, &y)) in pred.iter().zip(split.test.meta.iter().zip(&split.test.y)) {
+            if y == 0 || m.intensity_pct < lo || m.intensity_pct > hi {
                 continue;
             }
             total += 1;
-            if pred[i] == split.test.y[i] {
+            if *p == y {
                 ok += 1;
             }
         }
@@ -356,8 +342,7 @@ pub fn run_batch_mode(scale: &RunScale, batch_sizes: &[usize]) -> BatchModeAblat
                 },
                 b,
             );
-            let to_080 =
-                MethodCurves::mean_queries_to_target(std::slice::from_ref(&session), 0.80);
+            let to_080 = MethodCurves::mean_queries_to_target(std::slice::from_ref(&session), 0.80);
             let final_f1 =
                 session.records.last().map_or(session.initial_scores.f1, |r| r.scores.f1);
             let retrains = session.records.len().div_ceil(b);
@@ -452,11 +437,7 @@ mod tests {
         // High-intensity injections must be diagnosed at least as well as
         // the lowest bucket (the monotone trend the sublinear effect model
         // produces).
-        assert!(
-            res.recall[2] + 0.15 >= res.recall[0],
-            "recall by bucket: {:?}",
-            res.recall
-        );
+        assert!(res.recall[2] + 0.15 >= res.recall[0], "recall by bucket: {:?}", res.recall);
     }
 
     #[test]

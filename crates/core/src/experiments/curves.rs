@@ -70,11 +70,7 @@ impl CurvesResult {
     pub fn best_strategy(&self) -> &MethodCurves {
         self.curves
             .iter()
-            .filter(|c| {
-                Strategy::ALL
-                    .iter()
-                    .any(|s| s.is_informative() && s.name() == c.name)
-            })
+            .filter(|c| Strategy::ALL.iter().any(|s| s.is_informative() && s.name() == c.name))
             .max_by(|a, b| a.f1.last().partial_cmp(&b.f1.last()).expect("finite"))
             .expect("informative strategies present")
     }
@@ -87,21 +83,13 @@ impl CurvesResult {
             self.method.name()
         );
         for c in &self.curves {
-            out.push_str(&format!(
-                "{:<12} F1   {}\n",
-                c.name,
-                render_curve_line(&c.f1.mean, 6)
-            ));
+            out.push_str(&format!("{:<12} F1   {}\n", c.name, render_curve_line(&c.f1.mean, 6)));
             out.push_str(&format!(
                 "{:<12} FAR  {}\n",
                 "",
                 render_curve_line(&c.false_alarm.mean, 6)
             ));
-            out.push_str(&format!(
-                "{:<12} MISS {}\n",
-                "",
-                render_curve_line(&c.miss_rate.mean, 6)
-            ));
+            out.push_str(&format!("{:<12} MISS {}\n", "", render_curve_line(&c.miss_rate.mean, 6)));
         }
         let rows: Vec<Vec<String>> = self
             .curves
@@ -134,10 +122,7 @@ pub(crate) struct SplitInstance {
 }
 
 /// Prepares `n_splits` stratified splits of a system dataset.
-pub(crate) fn prepare_splits(
-    data: &SystemData,
-    scale: &RunScale,
-) -> Vec<SplitInstance> {
+pub(crate) fn prepare_splits(data: &SystemData, scale: &RunScale) -> Vec<SplitInstance> {
     (0..scale.n_splits)
         .into_par_iter()
         .map(|rep| {
@@ -216,20 +201,14 @@ pub fn run_curves(cfg: &CurvesConfig) -> CurvesResult {
     for (name, session) in results {
         sessions.entry(name).or_default().push(session);
     }
-    let mut order: Vec<String> =
-        Strategy::ALL.iter().map(|s| s.name().to_string()).collect();
+    let mut order: Vec<String> = Strategy::ALL.iter().map(|s| s.name().to_string()).collect();
     if cfg.include_proctor {
         order.push("proctor".to_string());
     }
-    let curves: Vec<MethodCurves> = order
-        .iter()
-        .map(|name| MethodCurves::from_sessions(name, &sessions[name]))
-        .collect();
-    let mean_seed_count = splits
-        .iter()
-        .map(|s| s.seed_pool.seed_set.len() as f64)
-        .sum::<f64>()
-        / splits.len() as f64;
+    let curves: Vec<MethodCurves> =
+        order.iter().map(|name| MethodCurves::from_sessions(name, &sessions[name])).collect();
+    let mean_seed_count =
+        splits.iter().map(|s| s.seed_pool.seed_set.len() as f64).sum::<f64>() / splits.len() as f64;
 
     CurvesResult {
         system: cfg.system,
@@ -279,10 +258,7 @@ mod tests {
     fn informative_strategies_outperform_random_on_smoke_volta() {
         // Even the tiny smoke configuration should show active learning
         // improving F1 relative to the starting point.
-        let res = run_curves(&CurvesConfig {
-            include_proctor: false,
-            ..smoke_cfg(System::Volta)
-        });
+        let res = run_curves(&CurvesConfig { include_proctor: false, ..smoke_cfg(System::Volta) });
         let unc = res.method_curves("uncertainty").unwrap();
         assert!(
             unc.f1.last() >= unc.f1.mean[0] - 0.05,

@@ -43,19 +43,13 @@ impl DrilldownResult {
         labels.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite"));
         out.push_str(&render_table(
             &["label", "mean queried"],
-            &labels
-                .iter()
-                .map(|(k, v)| vec![(*k).clone(), format!("{v:.1}")])
-                .collect::<Vec<_>>(),
+            &labels.iter().map(|(k, v)| vec![(*k).clone(), format!("{v:.1}")]).collect::<Vec<_>>(),
         ));
         let mut apps: Vec<(&String, &f64)> = self.drilldown.app_counts.iter().collect();
         apps.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite"));
         out.push_str(&render_table(
             &["application", "mean queried"],
-            &apps
-                .iter()
-                .map(|(k, v)| vec![(*k).clone(), format!("{v:.1}")])
-                .collect::<Vec<_>>(),
+            &apps.iter().map(|(k, v)| vec![(*k).clone(), format!("{v:.1}")]).collect::<Vec<_>>(),
         ));
         out
     }

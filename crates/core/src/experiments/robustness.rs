@@ -34,12 +34,7 @@ pub struct RobustnessConfig {
 impl RobustnessConfig {
     /// Paper-style defaults.
     pub fn paper(scale: RunScale) -> Self {
-        Self {
-            training_app_counts: vec![2, 4, 6, 8],
-            n_test_apps: 3,
-            n_combos: 5,
-            scale,
-        }
+        Self { training_app_counts: vec![2, 4, 6, 8], n_test_apps: 3, n_combos: 5, scale }
     }
 }
 
@@ -88,10 +83,7 @@ impl RobustnessResult {
             fmt_score(self.cv_reference.anomaly_miss_rate),
         ]);
         let mut out = String::from("== Fig.7-style: robustness vs training applications ==\n");
-        out.push_str(&render_table(
-            &["training apps", "F1", "false alarm", "miss rate"],
-            &rows,
-        ));
+        out.push_str(&render_table(&["training apps", "F1", "false alarm", "miss rate"], &rows));
         out
     }
 }
@@ -100,10 +92,7 @@ impl RobustnessResult {
 pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessResult {
     let data = SystemData::generate_best(System::Volta, cfg.scale.campaign, cfg.scale.seed);
     let apps = data.dataset.applications();
-    assert!(
-        cfg.n_test_apps < apps.len(),
-        "need at least one training application"
-    );
+    assert!(cfg.n_test_apps < apps.len(), "need at least one training application");
     let spec = cfg.scale.model(true);
 
     // Combination schedule: shuffle apps per combo; the last n_test_apps
@@ -119,24 +108,18 @@ pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessResult {
             let mut rng = StdRng::seed_from_u64(combo_seed);
             let mut shuffled = apps.clone();
             shuffled.shuffle(&mut rng);
-            let (train_apps, test_apps) =
-                shuffled.split_at(shuffled.len() - cfg.n_test_apps);
+            let (train_apps, test_apps) = shuffled.split_at(shuffled.len() - cfg.n_test_apps);
             let k = k.min(train_apps.len());
             let train_apps = &train_apps[..k];
 
-            let train_idx =
-                data.dataset.indices_where(|m, _| train_apps.contains(&m.app));
+            let train_idx = data.dataset.indices_where(|m, _| train_apps.contains(&m.app));
             let test_idx = data.dataset.indices_where(|m, _| test_apps.contains(&m.app));
             let train_raw = data.dataset.select(&train_idx);
             let test_raw = data.dataset.select(&test_idx);
             let prepared = prepare_pre_split(&train_raw, &test_raw, &cfg.scale.split);
 
             let mut model = spec.with_seed(combo_seed ^ 0x9).build();
-            model.fit(
-                &prepared.train.x,
-                &prepared.train.y,
-                prepared.train.n_classes(),
-            );
+            model.fit(&prepared.train.x, &prepared.train.y, prepared.train.n_classes());
             let pred = model.predict(&prepared.test.x);
             (k, Scores::compute(&prepared.test.y, &pred, prepared.train.n_classes()))
         })

@@ -38,11 +38,7 @@ pub fn render_table3() -> String {
                 k.label().to_string(),
                 k.behavior().to_string(),
                 "2,5,10,20,50,100".to_string(),
-                eclipse_intensities(k)
-                    .iter()
-                    .map(|i| i.to_string())
-                    .collect::<Vec<_>>()
-                    .join(","),
+                eclipse_intensities(k).iter().map(|i| i.to_string()).collect::<Vec<_>>().join(","),
             ]
         })
         .collect();
@@ -67,7 +63,9 @@ mod tests {
     #[test]
     fn table1_lists_all_volta_apps() {
         let t = render_table1();
-        for app in ["BT", "CG", "FT", "LU", "MG", "SP", "MiniMD", "CoMD", "MiniGhost", "MiniAMR", "Kripke"] {
+        for app in
+            ["BT", "CG", "FT", "LU", "MG", "SP", "MiniMD", "CoMD", "MiniGhost", "MiniAMR", "Kripke"]
+        {
             assert!(t.contains(app), "missing {app}");
         }
     }

@@ -7,8 +7,8 @@
 //! dataset, and the maximum 5-fold-CV score on the full dataset.
 
 use crate::data::System;
-use crate::experiments::curves::{prepare_splits, run_curves, CurvesConfig, CurvesResult};
 use crate::data::SystemData;
+use crate::experiments::curves::{prepare_splits, run_curves, CurvesConfig, CurvesResult};
 use crate::report::{fmt_opt, fmt_score, render_table};
 use crate::scale::RunScale;
 use alba_active::MethodCurves;
@@ -128,14 +128,8 @@ pub fn cv_ceiling(data: &SystemData, scale: &RunScale, volta: bool) -> (f64, usi
     let scaler = MinMaxScaler::fit(&selected.x);
     scaler.transform_inplace(&mut selected.x);
     let spec = scale.model(volta);
-    let f1 = cross_val_f1(
-        &spec,
-        &selected.x,
-        &selected.y,
-        selected.n_classes(),
-        5,
-        scale.seed ^ 0xCE11,
-    );
+    let f1 =
+        cross_val_f1(&spec, &selected.x, &selected.y, selected.n_classes(), 5, scale.seed ^ 0xCE11);
     (f1, selected.len())
 }
 

@@ -71,11 +71,7 @@ impl UnseenAppsResult {
         for s in &self.scenarios {
             out.push_str(&format!("-- {} training applications --\n", s.n_training_apps));
             for c in &s.curves {
-                out.push_str(&format!(
-                    "{:<12} F1 {}\n",
-                    c.name,
-                    render_curve_line(&c.f1.mean, 6)
-                ));
+                out.push_str(&format!("{:<12} F1 {}\n", c.name, render_curve_line(&c.f1.mean, 6)));
             }
             let rows: Vec<Vec<String>> = s
                 .curves
@@ -116,8 +112,7 @@ pub fn run_unseen_apps(cfg: &UnseenAppsConfig) -> UnseenAppsResult {
             let combos: Vec<ComboInstance> = (0..cfg.n_combos)
                 .into_par_iter()
                 .map(|combo| {
-                    let combo_seed =
-                        cfg.scale.seed ^ ((k as u64) << 24) ^ ((combo as u64) << 8);
+                    let combo_seed = cfg.scale.seed ^ ((k as u64) << 24) ^ ((combo as u64) << 8);
                     let mut rng = StdRng::seed_from_u64(combo_seed);
                     let mut shuffled = apps.clone();
                     shuffled.shuffle(&mut rng);
@@ -127,9 +122,7 @@ pub fn run_unseen_apps(cfg: &UnseenAppsConfig) -> UnseenAppsResult {
                     let seed_pool =
                         seed_and_pool(&split.train, Some(&training_apps), combo_seed ^ 0x6);
                     // Test: only previously unseen applications.
-                    let test_idx = split
-                        .test
-                        .indices_where(|m, _| !training_apps.contains(&m.app));
+                    let test_idx = split.test.indices_where(|m, _| !training_apps.contains(&m.app));
                     let test = split.test.select(&test_idx);
                     ComboInstance { seed_pool, test, seed: combo_seed }
                 })

@@ -59,11 +59,7 @@ impl UnseenInputsResult {
                 "",
                 render_curve_line(&c.false_alarm.mean, 6)
             ));
-            out.push_str(&format!(
-                "{:<12} MISS {}\n",
-                "",
-                render_curve_line(&c.miss_rate.mean, 6)
-            ));
+            out.push_str(&format!("{:<12} MISS {}\n", "", render_curve_line(&c.miss_rate.mean, 6)));
         }
         let rows: Vec<Vec<String>> = self
             .curves

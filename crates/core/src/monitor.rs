@@ -8,9 +8,21 @@
 //! per-run diagnosis of the paper into a continuous per-node health signal
 //! with hysteresis (an alarm is raised only after `confirm` consecutive
 //! anomalous windows, suppressing one-off glitches).
+//!
+//! Monitors own their model and extractor through `Arc`, so they are
+//! `Send` (the fleet service shards them across worker threads) and the
+//! model can be hot-swapped atomically via [`NodeMonitor::set_model`]
+//! without touching buffered telemetry or the alarm streak. The batched
+//! serve path drives the lower-level [`NodeMonitor::push`] /
+//! [`NodeMonitor::window_row`] / [`NodeMonitor::apply_diagnosis`] hooks
+//! so feature extraction and inference can run once per *batch* of
+//! nodes; [`NodeMonitor::ingest`] composes the same hooks for
+//! single-node use.
+
+use std::sync::Arc;
 
 use alba_data::{Matrix, MetricDef, MultiSeries};
-use alba_features::{preprocess, FeatureExtractor, PreprocessConfig};
+use alba_features::{FeatureExtractor, FeatureView, PreprocessConfig};
 use alba_ml::{Diagnosis, DiagnosisModel};
 use serde::{Deserialize, Serialize};
 
@@ -53,14 +65,21 @@ pub struct WindowVerdict {
     pub diagnosis: Diagnosis,
 }
 
+/// Live-stream preprocessing: counters are cumulative exactly as in
+/// offline collection; no trimming — the window is already steady-state
+/// by construction.
+fn stream_preprocess() -> PreprocessConfig {
+    PreprocessConfig { trim_frac: 0.0, diff_counters: true, interpolate: true }
+}
+
 /// Sliding-window online diagnoser for one compute node.
-pub struct NodeMonitor<'m> {
-    model: &'m DiagnosisModel,
-    extractor: &'m dyn FeatureExtractor,
-    /// Projection of extracted features into the model's feature view
-    /// (the split's selected columns), applied before scaling.
-    selected_features: Vec<usize>,
-    scaler: alba_features::MinMaxScaler,
+#[derive(Clone)]
+pub struct NodeMonitor {
+    model: Arc<DiagnosisModel>,
+    extractor: Arc<dyn FeatureExtractor + Send + Sync>,
+    /// Projection + scaling of extracted features into the model's
+    /// feature view (the split's selected columns).
+    view: FeatureView,
     config: MonitorConfig,
     buffer: MultiSeries,
     since_last: usize,
@@ -73,14 +92,13 @@ pub struct NodeMonitor<'m> {
     alarms: Vec<Alarm>,
 }
 
-impl<'m> NodeMonitor<'m> {
+impl NodeMonitor {
     /// Creates a monitor for one node.
     pub fn new(
-        model: &'m DiagnosisModel,
-        extractor: &'m dyn FeatureExtractor,
+        model: Arc<DiagnosisModel>,
+        extractor: Arc<dyn FeatureExtractor + Send + Sync>,
         metrics: Vec<MetricDef>,
-        selected_features: Vec<usize>,
-        scaler: alba_features::MinMaxScaler,
+        view: FeatureView,
         config: MonitorConfig,
     ) -> Self {
         assert!(config.window >= 8, "windows shorter than 8 samples are meaningless");
@@ -89,8 +107,7 @@ impl<'m> NodeMonitor<'m> {
         Self {
             model,
             extractor,
-            selected_features,
-            scaler,
+            view,
             config,
             buffer: MultiSeries::new(metrics),
             since_last: 0,
@@ -104,6 +121,22 @@ impl<'m> NodeMonitor<'m> {
     /// Ingests one timestamp of readings; returns a fresh alarm if this
     /// sample completed a confirmed anomalous streak.
     pub fn ingest(&mut self, readings: &[f64]) -> Option<Alarm> {
+        if !self.push(readings) {
+            return None;
+        }
+        let mut x = Matrix::from_rows(&[self.window_row()]);
+        self.view.scale_inplace(&mut x);
+        let diagnosis = self.model.diagnose(&x).remove(0);
+        self.apply_diagnosis(diagnosis)
+    }
+
+    /// Buffers one timestamp of readings; returns `true` when a full
+    /// window is due for diagnosis (and resets the stride counter).
+    ///
+    /// Lower-level hook for batched callers: follow up with
+    /// [`NodeMonitor::window_row`] and, once the model has run,
+    /// [`NodeMonitor::apply_diagnosis`].
+    pub fn push(&mut self, readings: &[f64]) -> bool {
         self.buffer.push_sample(readings);
         self.ingested += 1;
         self.since_last += 1;
@@ -115,32 +148,23 @@ impl<'m> NodeMonitor<'m> {
             }
         }
         if self.buffer.len() < self.config.window || self.since_last < self.config.stride {
-            return None;
+            return false;
         }
         self.since_last = 0;
-        self.diagnose_window()
+        true
     }
 
-    fn diagnose_window(&mut self) -> Option<Alarm> {
-        // Preprocess a copy of the window: counters in the live stream are
-        // cumulative, exactly as in offline collection. No trimming — the
-        // window is already steady-state by construction.
-        let mut window = self.buffer.clone();
-        preprocess(
-            &mut window,
-            &PreprocessConfig { trim_frac: 0.0, diff_counters: true, interpolate: true },
-        );
-        let mut row = Vec::with_capacity(self.selected_features.len());
-        let mut full = Vec::new();
-        for m in 0..window.n_metrics() {
-            self.extractor.extract(window.metric(m), &mut full);
-        }
-        for &c in &self.selected_features {
-            row.push(full[c]);
-        }
-        let mut x = Matrix::from_rows(&[row]);
-        self.scaler.transform_inplace(&mut x);
-        let diagnosis = self.model.diagnose(&x).remove(0);
+    /// Extracts the *unscaled* model-input row for the current window.
+    /// Batched callers stack these rows into a matrix, scale it once via
+    /// [`NodeMonitor::view`], and run the model over the whole batch.
+    pub fn window_row(&self) -> Vec<f64> {
+        self.view.unscaled_row(self.extractor.as_ref(), &self.buffer, &stream_preprocess())
+    }
+
+    /// Records a window diagnosis and applies the hysteresis/confirm
+    /// logic; returns a fresh alarm if this window completed a confirmed
+    /// anomalous streak.
+    pub fn apply_diagnosis(&mut self, diagnosis: Diagnosis) -> Option<Alarm> {
         let verdict = WindowVerdict { at: self.ingested, diagnosis: diagnosis.clone() };
         self.verdicts.push(verdict);
 
@@ -164,6 +188,29 @@ impl<'m> NodeMonitor<'m> {
             return Some(alarm);
         }
         None
+    }
+
+    /// The deployed model.
+    pub fn model(&self) -> &Arc<DiagnosisModel> {
+        &self.model
+    }
+
+    /// Atomically swaps in a refreshed model. Buffered telemetry, the
+    /// verdict history and the alarm streak are untouched; the next
+    /// window is diagnosed by the new model.
+    pub fn set_model(&mut self, model: Arc<DiagnosisModel>) {
+        self.model = model;
+    }
+
+    /// The monitor's feature view (shared with batched callers so that
+    /// batch scaling matches the single-node path exactly).
+    pub fn view(&self) -> &FeatureView {
+        &self.view
+    }
+
+    /// The monitoring configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
     }
 
     /// All window verdicts so far.
@@ -194,30 +241,34 @@ mod tests {
         SignatureConfig,
     };
 
+    /// Monitors must be shardable across worker threads.
+    #[test]
+    fn monitor_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<NodeMonitor>();
+    }
+
     /// Trains a small deployable model and returns everything a monitor
     /// needs.
-    fn deployable() -> (DiagnosisModel, Vec<usize>, alba_features::MinMaxScaler) {
+    fn deployable() -> (Arc<DiagnosisModel>, FeatureView) {
         let data = SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 61);
         let split = prepare_split(
             &data.dataset,
             &SplitConfig { train_fraction: 0.6, top_k_features: 300 },
             61,
         );
-        let mut f =
-            RandomForest::new(ForestParams { n_estimators: 15, ..ForestParams::default() });
+        let mut f = RandomForest::new(ForestParams { n_estimators: 15, ..ForestParams::default() });
         f.fit(&split.train.x, &split.train.y, split.train.n_classes());
-        let model = DiagnosisModel::new(
-            FittedModel::Forest(f),
-            split.train.encoder.names().to_vec(),
-        );
-        (model, split.selected_features.clone(), split.scaler.clone())
+        let model =
+            DiagnosisModel::new(FittedModel::Forest(f), split.train.encoder.names().to_vec());
+        (Arc::new(model), split.feature_view())
     }
 
     fn run_stream(
         injection: Option<Injection>,
         cfg: MonitorConfig,
     ) -> (Vec<WindowVerdict>, Vec<Alarm>) {
-        let (model, selected, scaler) = deployable();
+        let (model, view) = deployable();
         let campaign = System::Volta.campaign(Scale::Smoke, 61);
         let catalog = campaign.catalog();
         let run = generate_run(
@@ -235,18 +286,12 @@ mod tests {
             &NoiseConfig::testbed(),
         );
         let series = &run[0].series;
-        let mut monitor = NodeMonitor::new(
-            &model,
-            &Mvts,
-            series.metrics.clone(),
-            selected,
-            scaler,
-            cfg,
-        );
+        let mut monitor =
+            NodeMonitor::new(model, Arc::new(Mvts), series.metrics.clone(), view, cfg);
         let mut row = vec![0.0; series.n_metrics()];
         for t in 0..series.len() {
-            for m in 0..series.n_metrics() {
-                row[m] = series.metric(m)[t];
+            for (m, r) in row.iter_mut().enumerate() {
+                *r = series.metric(m)[t];
             }
             monitor.ingest(&row);
         }
@@ -257,10 +302,7 @@ mod tests {
     fn healthy_stream_raises_no_alarm() {
         let (verdicts, alarms) = run_stream(None, MonitorConfig::default());
         assert!(!verdicts.is_empty(), "windows were diagnosed");
-        assert!(
-            alarms.is_empty(),
-            "healthy run must not alarm (got {alarms:?})"
-        );
+        assert!(alarms.is_empty(), "healthy run must not alarm (got {alarms:?})");
     }
 
     #[test]
@@ -277,10 +319,8 @@ mod tests {
 
     #[test]
     fn stride_controls_diagnosis_cadence() {
-        let (verdicts, _) = run_stream(
-            None,
-            MonitorConfig { window: 60, stride: 30, ..MonitorConfig::default() },
-        );
+        let (verdicts, _) =
+            run_stream(None, MonitorConfig { window: 60, stride: 30, ..MonitorConfig::default() });
         // ~232 total samples (incl. transients): first window at 60, then
         // every 30 samples.
         let expected = 1 + (230usize.saturating_sub(60)) / 30;
@@ -291,16 +331,67 @@ mod tests {
         );
     }
 
+    /// The batched hooks (`push` / `window_row` / `apply_diagnosis`) must
+    /// produce exactly the verdicts and alarms of the one-shot `ingest`.
+    #[test]
+    fn batched_hooks_match_ingest() {
+        let (model, view) = deployable();
+        let campaign = System::Volta.campaign(Scale::Smoke, 61);
+        let catalog = campaign.catalog();
+        let run = generate_run(
+            &RunConfig {
+                app: find_application("BT").unwrap(),
+                input_deck: 0,
+                node_count: 1,
+                duration_s: 200,
+                injection: Some(Injection::new(AnomalyKind::MemLeak, 100)),
+                run_id: 1,
+                seed: 99,
+            },
+            &catalog,
+            &SignatureConfig::default(),
+            &NoiseConfig::testbed(),
+        );
+        let series = &run[0].series;
+        let cfg = MonitorConfig { confirm: 2, ..MonitorConfig::default() };
+        let mut direct = NodeMonitor::new(
+            Arc::clone(&model),
+            Arc::new(Mvts),
+            series.metrics.clone(),
+            view.clone(),
+            cfg.clone(),
+        );
+        let mut hooked =
+            NodeMonitor::new(Arc::clone(&model), Arc::new(Mvts), series.metrics.clone(), view, cfg);
+        let mut row = vec![0.0; series.n_metrics()];
+        for t in 0..series.len() {
+            for (m, r) in row.iter_mut().enumerate() {
+                *r = series.metric(m)[t];
+            }
+            let a = direct.ingest(&row);
+            let b = if hooked.push(&row) {
+                let mut x = Matrix::from_rows(&[hooked.window_row()]);
+                hooked.view().scale_inplace(&mut x);
+                let d = hooked.model().diagnose(&x).remove(0);
+                hooked.apply_diagnosis(d)
+            } else {
+                None
+            };
+            assert_eq!(a, b, "divergence at sample {t}");
+        }
+        assert_eq!(direct.verdicts().len(), hooked.verdicts().len());
+        assert_eq!(direct.alarms(), hooked.alarms());
+    }
+
     #[test]
     #[should_panic(expected = "stride must be positive")]
     fn zero_stride_rejected() {
-        let (model, selected, scaler) = deployable();
+        let (model, view) = deployable();
         let _ = NodeMonitor::new(
-            &model,
-            &Mvts,
+            model,
+            Arc::new(Mvts),
             vec![],
-            selected,
-            scaler,
+            view,
             MonitorConfig { stride: 0, ..MonitorConfig::default() },
         );
     }

@@ -25,11 +25,7 @@ fn y_pos(v: f64, lo: f64, hi: f64) -> f64 {
 }
 
 fn polyline(points: &[(f64, f64)]) -> String {
-    points
-        .iter()
-        .map(|(x, y)| format!("{x:.1},{y:.1}"))
-        .collect::<Vec<_>>()
-        .join(" ")
+    points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect::<Vec<_>>().join(" ")
 }
 
 /// Renders one panel (e.g. "F1-score vs queries") for a set of methods.
@@ -117,11 +113,8 @@ pub fn render_curves_svg(
                 polyline(&pts)
             ));
         }
-        let pts: Vec<(f64, f64)> = mean
-            .iter()
-            .enumerate()
-            .map(|(i, &m)| (x_pos(i, n), y_pos(m, 0.0, 1.0)))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            mean.iter().enumerate().map(|(i, &m)| (x_pos(i, n), y_pos(m, 0.0, 1.0))).collect();
         svg.push_str(&format!(
             r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
             polyline(&pts)
@@ -175,9 +168,7 @@ mod tests {
         let mk = |name: &str, up: bool| MethodCurves {
             name: name.into(),
             f1: CurveBand {
-                mean: (0..20)
-                    .map(|i| if up { 0.5 + 0.02 * i as f64 } else { 0.5 })
-                    .collect(),
+                mean: (0..20).map(|i| if up { 0.5 + 0.02 * i as f64 } else { 0.5 }).collect(),
                 ci95: vec![0.03; 20],
             },
             false_alarm: CurveBand { mean: vec![0.5; 20], ci95: vec![0.0; 20] },

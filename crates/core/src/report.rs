@@ -79,10 +79,7 @@ mod tests {
     fn table_is_aligned() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "2.50".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2.50".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -55,6 +55,14 @@ impl PreparedSplit {
         self.scaler.transform_inplace(&mut out.x);
         out
     }
+
+    /// The split's feature view (selected columns + fitted scaler),
+    /// packaged for online deployments (`NodeMonitor`, the fleet
+    /// service) so they project and scale fresh windows exactly as the
+    /// training pipeline did.
+    pub fn feature_view(&self) -> alba_features::FeatureView {
+        alba_features::FeatureView::new(self.selected_features.clone(), self.scaler.clone())
+    }
 }
 
 /// Performs steps 1–4 above. Deterministic given `seed`.
@@ -107,11 +115,7 @@ pub struct SeedPool {
 /// `seed_apps` optionally restricts seeding to a subset of applications
 /// (robustness experiments); `None` seeds every application present.
 pub fn seed_and_pool(train: &Dataset, seed_apps: Option<&[String]>, seed: u64) -> SeedPool {
-    seed_and_pool_filtered(
-        train,
-        |m| seed_apps.is_none_or(|apps| apps.contains(&m.app)),
-        seed,
-    )
+    seed_and_pool_filtered(train, |m| seed_apps.is_none_or(|apps| apps.contains(&m.app)), seed)
 }
 
 /// Like [`seed_and_pool`] but with an arbitrary provenance filter on seed
@@ -125,12 +129,8 @@ pub fn seed_and_pool_filtered(
 ) -> SeedPool {
     let healthy = train.encoder.encode("healthy").expect("healthy class present");
     // Candidate rows: anomalous samples passing the filter.
-    let candidates: Vec<usize> =
-        train.indices_where(|m, y| y != healthy && seed_filter(m));
-    assert!(
-        !candidates.is_empty(),
-        "no anomalous samples available to seed the labeled set"
-    );
+    let candidates: Vec<usize> = train.indices_where(|m, y| y != healthy && seed_filter(m));
+    assert!(!candidates.is_empty(), "no anomalous samples available to seed the labeled set");
     let apps: Vec<&str> = candidates.iter().map(|&i| train.meta[i].app.as_str()).collect();
     let ys: Vec<usize> = candidates.iter().map(|&i| train.y[i]).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -193,13 +193,8 @@ mod tests {
         // No healthy samples in the seed set.
         assert!(sp.seed_set.y.iter().all(|&y| y != 0));
         // Each (app, class) pair at most once.
-        let mut pairs: Vec<(String, usize)> = sp
-            .seed_set
-            .meta
-            .iter()
-            .zip(&sp.seed_set.y)
-            .map(|(m, &y)| (m.app.clone(), y))
-            .collect();
+        let mut pairs: Vec<(String, usize)> =
+            sp.seed_set.meta.iter().zip(&sp.seed_set.y).map(|(m, &y)| (m.app.clone(), y)).collect();
         let n = pairs.len();
         pairs.sort();
         pairs.dedup();
@@ -227,9 +222,8 @@ mod tests {
         let split = prepare_split(&sd.dataset, &SplitConfig::default(), 21);
         // Projecting the raw dataset rows that formed the test split must
         // reproduce the test split exactly.
-        let raw_test_idx: Vec<usize> = sd.dataset.indices_where(|m, _| {
-            split.test.meta.iter().any(|t| t == m)
-        });
+        let raw_test_idx: Vec<usize> =
+            sd.dataset.indices_where(|m, _| split.test.meta.iter().any(|t| t == m));
         let raw_test = sd.dataset.select(&raw_test_idx);
         let projected = split.project(&raw_test);
         assert_eq!(projected.x.cols(), split.test.x.cols());
@@ -248,7 +242,11 @@ mod tests {
         // At Default scale every app sees every anomaly kind, so the seed
         // set is exactly 11 apps x 5 anomalies = 55 (as in the paper).
         let sd = SystemData::generate(System::Volta, FeatureMethod::Mvts, Scale::Smoke, 5);
-        let split = prepare_split(&sd.dataset, &SplitConfig { train_fraction: 0.6, top_k_features: 200 }, 1);
+        let split = prepare_split(
+            &sd.dataset,
+            &SplitConfig { train_fraction: 0.6, top_k_features: 200 },
+            1,
+        );
         let sp = seed_and_pool(&split.train, None, 1);
         // Smoke scale may miss a few pairs on the training side; the seed
         // count must never exceed 55 and should cover most pairs.

@@ -25,11 +25,7 @@ impl LabelEncoder {
     pub fn from_names<S: AsRef<str>>(names: &[S]) -> Self {
         let mut enc = Self::new();
         for n in names {
-            assert!(
-                enc.encode(n.as_ref()).is_none(),
-                "duplicate class name {:?}",
-                n.as_ref()
-            );
+            assert!(enc.encode(n.as_ref()).is_none(), "duplicate class name {:?}", n.as_ref());
             enc.names.push(n.as_ref().to_string());
         }
         enc

@@ -18,6 +18,5 @@ pub use labels::LabelEncoder;
 pub use matrix::{dot, Matrix};
 pub use series::{MetricDef, MetricKind, MultiSeries};
 pub use split::{
-    bootstrap_indices, one_per_app_class_pair, shuffle_indices, stratified_k_fold,
-    stratified_split,
+    bootstrap_indices, one_per_app_class_pair, shuffle_indices, stratified_k_fold, stratified_split,
 };

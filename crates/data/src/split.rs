@@ -112,11 +112,7 @@ pub fn bootstrap_indices<R: Rng>(len: usize, n: usize, rng: &mut R) -> Vec<usize
 /// application and anomaly pair", Sec. III).
 ///
 /// `apps` and `y` are parallel arrays; the chosen sample per pair is random.
-pub fn one_per_app_class_pair<R: Rng>(
-    apps: &[&str],
-    y: &[usize],
-    rng: &mut R,
-) -> Vec<usize> {
+pub fn one_per_app_class_pair<R: Rng>(apps: &[&str], y: &[usize], rng: &mut R) -> Vec<usize> {
     assert_eq!(apps.len(), y.len());
     let mut pairs: Vec<(&str, usize, Vec<usize>)> = Vec::new();
     for i in 0..y.len() {
@@ -125,10 +121,7 @@ pub fn one_per_app_class_pair<R: Rng>(
             None => pairs.push((apps[i], y[i], vec![i])),
         }
     }
-    let mut out: Vec<usize> = pairs
-        .iter()
-        .map(|(_, _, v)| v[rng.gen_range(0..v.len())])
-        .collect();
+    let mut out: Vec<usize> = pairs.iter().map(|(_, _, v)| v[rng.gen_range(0..v.len())]).collect();
     out.sort_unstable();
     out
 }
@@ -151,8 +144,7 @@ mod tests {
         y.extend(vec![2usize; 10]);
         let (train, test) = stratified_split(&y, 0.7, &mut rng());
         assert_eq!(train.len() + test.len(), 100);
-        let count =
-            |idx: &[usize], c: usize| idx.iter().filter(|&&i| y[i] == c).count();
+        let count = |idx: &[usize], c: usize| idx.iter().filter(|&&i| y[i] == c).count();
         assert_eq!(count(&train, 0), 42);
         assert_eq!(count(&train, 1), 21);
         assert_eq!(count(&train, 2), 7);

@@ -127,12 +127,7 @@ mod tests {
     #[test]
     fn extraction_shape_and_labels() {
         let samples = tiny_campaign();
-        let ds = extract_features(
-            &samples,
-            &Mvts,
-            &PreprocessConfig::default(),
-            &class_names(),
-        );
+        let ds = extract_features(&samples, &Mvts, &PreprocessConfig::default(), &class_names());
         assert_eq!(ds.len(), samples.len());
         let n_metrics = samples[0].series.n_metrics();
         assert_eq!(ds.x.cols(), n_metrics * 48);

@@ -89,9 +89,8 @@ pub fn welch_psd(x: &[f64], segment: usize) -> Vec<f64> {
         return vec![0.0; out_len];
     }
     let hop = seg / 2;
-    let window: Vec<f64> = (0..seg)
-        .map(|i| 0.5 - 0.5 * (TAU * i as f64 / (seg - 1) as f64).cos())
-        .collect();
+    let window: Vec<f64> =
+        (0..seg).map(|i| 0.5 - 0.5 * (TAU * i as f64 / (seg - 1) as f64).cos()).collect();
     let win_power: f64 = window.iter().map(|w| w * w).sum();
     let mut psd = vec![0.0f64; out_len];
     let mut n_segments = 0usize;
@@ -206,9 +205,8 @@ mod tests {
 
     #[test]
     fn welch_energy_scales_with_amplitude() {
-        let tone = |a: f64| -> Vec<f64> {
-            (0..256).map(|i| a * (TAU * 0.1 * i as f64).sin()).collect()
-        };
+        let tone =
+            |a: f64| -> Vec<f64> { (0..256).map(|i| a * (TAU * 0.1 * i as f64).sin()).collect() };
         let p1: f64 = welch_psd(&tone(1.0), 64).iter().sum();
         let p2: f64 = welch_psd(&tone(2.0), 64).iter().sum();
         assert!((p2 / p1 - 4.0).abs() < 0.1, "power is quadratic in amplitude");

@@ -16,6 +16,7 @@ pub mod scale;
 pub mod select;
 pub mod stats;
 pub mod tsfresh;
+pub mod view;
 
 pub use extract::{drop_degenerate_features, extract_features, FeatureExtractor};
 pub use fft::{fft_in_place, real_fft_magnitudes, welch_psd};
@@ -24,3 +25,4 @@ pub use preprocess::{diff_counter, interpolate_gaps, preprocess, PreprocessConfi
 pub use scale::MinMaxScaler;
 pub use select::{chi_square_scores, select_top_k, ChiSquareScores};
 pub use tsfresh::{tsfresh_feature_suffixes, TsFresh};
+pub use view::FeatureView;

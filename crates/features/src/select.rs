@@ -26,10 +26,7 @@ impl ChiSquareScores {
     pub fn top_k(&self, k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.scores.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.scores[b]
-                .partial_cmp(&self.scores[a])
-                .expect("scores are finite")
-                .then(a.cmp(&b))
+            self.scores[b].partial_cmp(&self.scores[a]).expect("scores are finite").then(a.cmp(&b))
         });
         idx.truncate(k);
         idx

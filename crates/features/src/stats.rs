@@ -147,8 +147,7 @@ pub fn autocorrelation(x: &[f64], lag: usize) -> f64 {
         return 0.0;
     }
     let n = x.len();
-    let cov: f64 =
-        (0..n - lag).map(|i| (x[i] - m) * (x[i + lag] - m)).sum::<f64>() / n as f64;
+    let cov: f64 = (0..n - lag).map(|i| (x[i] - m) * (x[i + lag] - m)).sum::<f64>() / n as f64;
     cov / var
 }
 
@@ -486,9 +485,8 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_periodic_signal() {
-        let x: Vec<f64> = (0..200)
-            .map(|i| (std::f64::consts::TAU * i as f64 / 10.0).sin())
-            .collect();
+        let x: Vec<f64> =
+            (0..200).map(|i| (std::f64::consts::TAU * i as f64 / 10.0).sin()).collect();
         assert!(autocorrelation(&x, 10) > 0.85, "full-period lag is correlated");
         assert!(autocorrelation(&x, 5) < -0.85, "half-period lag anticorrelated");
     }

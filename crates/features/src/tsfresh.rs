@@ -31,8 +31,21 @@ pub fn tsfresh_feature_suffixes() -> Vec<String> {
     let mut n: Vec<String> = Vec::with_capacity(180);
     // 1. Basics (16).
     for s in [
-        "mean", "std", "var", "skewness", "kurtosis", "median", "min", "max", "rms", "sum",
-        "abs_energy", "range", "iqr", "variation_coefficient", "cid_ce",
+        "mean",
+        "std",
+        "var",
+        "skewness",
+        "kurtosis",
+        "median",
+        "min",
+        "max",
+        "rms",
+        "sum",
+        "abs_energy",
+        "range",
+        "iqr",
+        "variation_coefficient",
+        "cid_ce",
         "mean_second_derivative",
     ] {
         n.push(s.into());
@@ -123,8 +136,7 @@ pub fn tsfresh_feature_suffixes() -> Vec<String> {
         n.push(format!("welch_psd_{k}"));
     }
     // 18. Spectral aggregates (4).
-    for s in ["spectral_centroid", "spectral_variance", "spectral_skewness", "spectral_kurtosis"]
-    {
+    for s in ["spectral_centroid", "spectral_variance", "spectral_skewness", "spectral_kurtosis"] {
         n.push(s.into());
     }
     n
@@ -390,12 +402,9 @@ impl FeatureExtractor for TsFresh {
         }
         let centroid: f64 =
             psd.iter().enumerate().map(|(k, &p)| k as f64 * p).sum::<f64>() / total_psd;
-        let spec_var: f64 = psd
-            .iter()
-            .enumerate()
-            .map(|(k, &p)| (k as f64 - centroid).powi(2) * p)
-            .sum::<f64>()
-            / total_psd;
+        let spec_var: f64 =
+            psd.iter().enumerate().map(|(k, &p)| (k as f64 - centroid).powi(2) * p).sum::<f64>()
+                / total_psd;
         let spec_std = spec_var.sqrt().max(1e-12);
         let spec_skew: f64 = psd
             .iter()

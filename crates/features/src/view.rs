@@ -1,0 +1,228 @@
+//! The deployed model's *feature view*: which columns of the full
+//! extracted feature vector the model consumes, and how they are scaled.
+//!
+//! Offline, `prepare_split` selects the top-k chi-square features and
+//! fits a Min-Max scaler on the training split; everything downstream of
+//! the extractor — the offline evaluation, the online [`NodeMonitor`]
+//! and the fleet service's batched extraction — must project and scale
+//! windows identically or the model sees garbage. `FeatureView` is that
+//! shared implementation.
+//!
+//! [`NodeMonitor`]: ../albadross/monitor/struct.NodeMonitor.html
+
+use crate::extract::FeatureExtractor;
+use crate::preprocess::{preprocess, PreprocessConfig};
+use crate::scale::MinMaxScaler;
+use alba_data::{Matrix, MultiSeries};
+use serde::{Deserialize, Serialize};
+
+/// Projection of full extractor output into a model's input space,
+/// plus the scaler fitted on that projected space.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeatureView {
+    /// Indices into the full (all-metrics) feature vector, in model
+    /// column order.
+    selected: Vec<usize>,
+    /// Scaler fitted on the projected training features.
+    scaler: MinMaxScaler,
+}
+
+impl FeatureView {
+    /// Builds a view from selected column indices and the scaler fitted
+    /// on exactly those columns.
+    ///
+    /// # Panics
+    /// Panics when the scaler width differs from the selection size.
+    pub fn new(selected: Vec<usize>, scaler: MinMaxScaler) -> Self {
+        assert_eq!(
+            selected.len(),
+            scaler.n_features(),
+            "scaler fitted on {} features but {} selected",
+            scaler.n_features(),
+            selected.len()
+        );
+        Self { selected, scaler }
+    }
+
+    /// Number of features the model consumes.
+    pub fn n_features(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// The selected column indices into the full feature vector.
+    pub fn selected(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// The fitted scaler.
+    pub fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+
+    /// Projects a full feature vector onto the selected columns
+    /// (no scaling).
+    ///
+    /// # Panics
+    /// Panics when `full` is shorter than the largest selected index.
+    pub fn project(&self, full: &[f64]) -> Vec<f64> {
+        self.selected.iter().map(|&c| full[c]).collect()
+    }
+
+    /// Extracts one *unscaled* model-input row from a telemetry window:
+    /// preprocesses a copy of the window, runs the extractor over every
+    /// metric, and projects the concatenated output.
+    ///
+    /// Batched callers collect these rows into a matrix and call
+    /// [`FeatureView::scale_inplace`] once; single-window callers can use
+    /// [`FeatureView::scaled_row`] directly.
+    pub fn unscaled_row(
+        &self,
+        extractor: &dyn FeatureExtractor,
+        window: &MultiSeries,
+        pre: &PreprocessConfig,
+    ) -> Vec<f64> {
+        let mut window = window.clone();
+        preprocess(&mut window, pre);
+        let mut full = Vec::with_capacity(window.n_metrics() * extractor.n_features_per_metric());
+        for m in 0..window.n_metrics() {
+            extractor.extract(window.metric(m), &mut full);
+        }
+        self.project(&full)
+    }
+
+    /// Extracts one scaled model-input row from a telemetry window.
+    pub fn scaled_row(
+        &self,
+        extractor: &dyn FeatureExtractor,
+        window: &MultiSeries,
+        pre: &PreprocessConfig,
+    ) -> Vec<f64> {
+        let mut x = Matrix::from_rows(&[self.unscaled_row(extractor, window, pre)]);
+        self.scaler.transform_inplace(&mut x);
+        x.row(0).to_vec()
+    }
+
+    /// Scales a matrix of projected rows in place (batched path).
+    pub fn scale_inplace(&self, x: &mut Matrix) {
+        self.scaler.transform_inplace(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvts::Mvts;
+    use alba_data::{MetricDef, MetricKind};
+
+    fn window() -> MultiSeries {
+        let metrics = vec![
+            MetricDef {
+                name: "cpu_user".to_string(),
+                subsystem: "cpu".to_string(),
+                kind: MetricKind::Gauge,
+            },
+            MetricDef {
+                name: "mem_used".to_string(),
+                subsystem: "memory".to_string(),
+                kind: MetricKind::Gauge,
+            },
+        ];
+        let mut s = MultiSeries::new(metrics);
+        for t in 0..32 {
+            let t = t as f64;
+            s.push_sample(&[t.sin() * 10.0 + 50.0, t * 2.0 + 100.0]);
+        }
+        s
+    }
+
+    fn pre() -> PreprocessConfig {
+        PreprocessConfig { trim_frac: 0.0, diff_counters: true, interpolate: true }
+    }
+
+    #[test]
+    fn project_picks_selected_columns_in_order() {
+        let scaler =
+            MinMaxScaler::fit(&Matrix::from_rows(&[vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]]));
+        let view = FeatureView::new(vec![4, 0, 2], scaler);
+        assert_eq!(view.project(&[10.0, 11.0, 12.0, 13.0, 14.0]), vec![14.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "selected")]
+    fn mismatched_scaler_width_rejected() {
+        let scaler = MinMaxScaler::fit(&Matrix::from_rows(&[vec![0.0], vec![1.0]]));
+        let _ = FeatureView::new(vec![0, 1], scaler);
+    }
+
+    #[test]
+    fn scaled_row_equals_manual_pipeline() {
+        let w = window();
+        let n_full = 2 * Mvts.n_features_per_metric();
+        let selected: Vec<usize> = (0..n_full).step_by(7).collect();
+        // Fit the scaler on the window's own (projected) features so the
+        // transform is non-trivial.
+        let train_rows: Vec<Vec<f64>> = (0..3)
+            .map(|shift| {
+                let mut shifted = w.clone();
+                for series in &mut shifted.values {
+                    for v in series {
+                        *v += shift as f64;
+                    }
+                }
+                let mut full = Vec::new();
+                let mut pp = shifted.clone();
+                preprocess(&mut pp, &pre());
+                for m in 0..pp.n_metrics() {
+                    Mvts.extract(pp.metric(m), &mut full);
+                }
+                selected.iter().map(|&c| full[c]).collect()
+            })
+            .collect();
+        let scaler = MinMaxScaler::fit(&Matrix::from_rows(&train_rows));
+        let view = FeatureView::new(selected.clone(), scaler.clone());
+
+        let got = view.scaled_row(&Mvts, &w, &pre());
+
+        let mut full = Vec::new();
+        let mut pp = w.clone();
+        preprocess(&mut pp, &pre());
+        for m in 0..pp.n_metrics() {
+            Mvts.extract(pp.metric(m), &mut full);
+        }
+        let manual: Vec<f64> = selected.iter().map(|&c| full[c]).collect();
+        let mut manual = Matrix::from_rows(&[manual]);
+        scaler.transform_inplace(&mut manual);
+        assert_eq!(got.as_slice(), manual.row(0));
+    }
+
+    #[test]
+    fn batched_scaling_matches_single_row_scaling() {
+        let w = window();
+        let n_full = 2 * Mvts.n_features_per_metric();
+        let selected: Vec<usize> = (0..n_full.min(20)).collect();
+        let scaler = MinMaxScaler::fit(&Matrix::from_rows(&[
+            vec![-5.0; 20.min(n_full)],
+            vec![5.0; 20.min(n_full)],
+        ]));
+        let view = FeatureView::new(selected, scaler);
+
+        let rows: Vec<Vec<f64>> = (0..4).map(|_| view.unscaled_row(&Mvts, &w, &pre())).collect();
+        let mut batch = Matrix::from_rows(&rows);
+        view.scale_inplace(&mut batch);
+
+        let single = view.scaled_row(&Mvts, &w, &pre());
+        for r in 0..4 {
+            assert_eq!(batch.row(r), single.as_slice());
+        }
+    }
+
+    #[test]
+    fn view_survives_json_round_trip() {
+        let scaler = MinMaxScaler::fit(&Matrix::from_rows(&[vec![0.0, -1.0], vec![2.0, 3.0]]));
+        let view = FeatureView::new(vec![3, 1], scaler);
+        let json = serde_json::to_string(&view).unwrap();
+        let back: FeatureView = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.selected(), view.selected());
+        assert_eq!(back.project(&[9.0, 8.0, 7.0, 6.0]), view.project(&[9.0, 8.0, 7.0, 6.0]));
+    }
+}

@@ -260,10 +260,8 @@ impl GradientBoosting {
             let Some((pos, _gain, feature, threshold)) = best else { break };
             let leaf = leaves.swap_remove(pos);
             let thr_bin = binning.bin(feature, threshold);
-            let (li, ri): (Vec<usize>, Vec<usize>) = leaf
-                .indices
-                .into_iter()
-                .partition(|&i| (binned[feature][i] as usize) <= thr_bin);
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                leaf.indices.into_iter().partition(|&i| (binned[feature][i] as usize) <= thr_bin);
             let mk = |indices: Vec<usize>, slot: u32, depth: usize| {
                 let sum_g = indices.iter().map(|&i| grad[i]).sum();
                 let sum_h = indices.iter().map(|&i| hess[i]).sum();
@@ -331,8 +329,8 @@ impl Classifier for GradientBoosting {
         let mut f_scores = vec![self.base_score.clone(); n];
         let mut grad = vec![0.0f64; n];
         let mut hess = vec![0.0f64; n];
-        let k_features =
-            ((n_features as f64 * self.params.colsample_bytree).round() as usize).clamp(1, n_features);
+        let k_features = ((n_features as f64 * self.params.colsample_bytree).round() as usize)
+            .clamp(1, n_features);
         let mut all_features: Vec<usize> = (0..n_features).collect();
 
         for _round in 0..self.params.n_estimators {
@@ -481,14 +479,8 @@ mod tests {
     #[test]
     fn more_rounds_increase_confidence() {
         let (x, y) = blobs();
-        let mut short = GradientBoosting::new(GbmParams {
-            n_estimators: 2,
-            ..quick_params()
-        });
-        let mut long = GradientBoosting::new(GbmParams {
-            n_estimators: 40,
-            ..quick_params()
-        });
+        let mut short = GradientBoosting::new(GbmParams { n_estimators: 2, ..quick_params() });
+        let mut long = GradientBoosting::new(GbmParams { n_estimators: 40, ..quick_params() });
         short.fit(&x, &y, 3);
         long.fit(&x, &y, 3);
         let ps = short.predict_proba(&x);
@@ -503,10 +495,7 @@ mod tests {
     #[test]
     fn colsample_still_learns() {
         let (x, y) = blobs();
-        let mut g = GradientBoosting::new(GbmParams {
-            colsample_bytree: 0.5,
-            ..quick_params()
-        });
+        let mut g = GradientBoosting::new(GbmParams { colsample_bytree: 0.5, ..quick_params() });
         g.fit(&x, &y, 3);
         let correct =
             g.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;

@@ -116,12 +116,8 @@ impl Classifier for LogisticRegression {
                 *g /= n as f64;
             }
             // Momentum update.
-            for ((w, v), &g) in self
-                .w
-                .as_mut_slice()
-                .iter_mut()
-                .zip(vel_w.as_mut_slice())
-                .zip(gw.as_slice())
+            for ((w, v), &g) in
+                self.w.as_mut_slice().iter_mut().zip(vel_w.as_mut_slice()).zip(gw.as_slice())
             {
                 *v = momentum * *v - lr * g;
                 *w += *v;
@@ -242,12 +238,7 @@ mod tests {
         });
         l1.fit(&x, &y, 2);
         l2.fit(&x, &y, 2);
-        assert!(
-            l1.sparsity() > l2.sparsity(),
-            "l1 {} vs l2 {}",
-            l1.sparsity(),
-            l2.sparsity()
-        );
+        assert!(l1.sparsity() > l2.sparsity(), "l1 {} vs l2 {}", l1.sparsity(), l2.sparsity());
         // Both still predict the informative structure.
         assert_eq!(l1.predict(&x), y);
     }
@@ -255,14 +246,9 @@ mod tests {
     #[test]
     fn stronger_regularisation_shrinks_weights() {
         let (x, y) = blobs();
-        let mut strong = LogisticRegression::new(LogRegParams {
-            c: 0.001,
-            ..LogRegParams::default()
-        });
-        let mut weak = LogisticRegression::new(LogRegParams {
-            c: 10.0,
-            ..LogRegParams::default()
-        });
+        let mut strong =
+            LogisticRegression::new(LogRegParams { c: 0.001, ..LogRegParams::default() });
+        let mut weak = LogisticRegression::new(LogRegParams { c: 10.0, ..LogRegParams::default() });
         strong.fit(&x, &y, 3);
         weak.fit(&x, &y, 3);
         let norm = |m: &LogisticRegression| -> f64 {

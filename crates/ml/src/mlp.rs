@@ -147,8 +147,8 @@ mod tests {
         let (x, y) = blobs();
         let mut m = MlpClassifier::new(quick());
         m.fit(&x, &y, 3);
-        let acc = m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
-            / y.len() as f64;
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -171,8 +171,8 @@ mod tests {
             ..MlpParams::default()
         });
         m.fit(&x, &y, 2);
-        let acc = m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
-            / y.len() as f64;
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "XOR accuracy {acc}");
     }
 

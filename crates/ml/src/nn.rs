@@ -15,6 +15,10 @@ use serde::{Deserialize, Serialize};
 pub enum Activation {
     /// max(0, x)
     Relu,
+    /// x for x > 0, else 0.01 x — keeps gradient flowing through
+    /// inactive units, so narrow bottleneck layers cannot die wholesale
+    /// on unlucky seeds.
+    LeakyRelu,
     /// identity
     Linear,
     /// logistic sigmoid
@@ -25,6 +29,13 @@ impl Activation {
     fn apply(self, v: f64) -> f64 {
         match self {
             Activation::Relu => v.max(0.0),
+            Activation::LeakyRelu => {
+                if v > 0.0 {
+                    v
+                } else {
+                    0.01 * v
+                }
+            }
             Activation::Linear => v,
             Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
         }
@@ -40,6 +51,13 @@ impl Activation {
                     0.0
                 }
             }
+            Activation::LeakyRelu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
             Activation::Linear => 1.0,
             Activation::Sigmoid => a * (1.0 - a),
         }
@@ -51,21 +69,18 @@ pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
     let (n, m) = (a.rows(), b.cols());
     let mut out = Matrix::zeros(n, m);
-    out.as_mut_slice()
-        .par_chunks_mut(m)
-        .enumerate()
-        .for_each(|(i, o_row)| {
-            let a_row = a.row(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(k);
-                for (j, &b_kj) in b_row.iter().enumerate() {
-                    o_row[j] += a_ik * b_kj;
-                }
+    out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(|(i, o_row)| {
+        let a_row = a.row(i);
+        for (k, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
             }
-        });
+            let b_row = b.row(k);
+            for (j, &b_kj) in b_row.iter().enumerate() {
+                o_row[j] += a_ik * b_kj;
+            }
+        }
+    });
     out
 }
 
@@ -289,20 +304,17 @@ impl Optimizer {
                 let bc1 = 1.0 - beta1.powi(*t as i32);
                 let bc2 = 1.0 - beta2.powi(*t as i32);
                 for (li, (layer, grad)) in net.layers.iter_mut().zip(grads).enumerate() {
-                    let apply = |param: &mut [f64],
-                                 g: &[f64],
-                                 m: &mut [f64],
-                                 v: &mut [f64],
-                                 reg: f64| {
-                        for i in 0..param.len() {
-                            let gi = g[i] + reg * param[i];
-                            m[i] = *beta1 * m[i] + (1.0 - *beta1) * gi;
-                            v[i] = *beta2 * v[i] + (1.0 - *beta2) * gi * gi;
-                            let mhat = m[i] / bc1;
-                            let vhat = v[i] / bc2;
-                            param[i] -= *lr * mhat / (vhat.sqrt() + *eps);
-                        }
-                    };
+                    let apply =
+                        |param: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64], reg: f64| {
+                            for i in 0..param.len() {
+                                let gi = g[i] + reg * param[i];
+                                m[i] = *beta1 * m[i] + (1.0 - *beta1) * gi;
+                                v[i] = *beta2 * v[i] + (1.0 - *beta2) * gi * gi;
+                                let mhat = m[i] / bc1;
+                                let vhat = v[i] / bc2;
+                                param[i] -= *lr * mhat / (vhat.sqrt() + *eps);
+                            }
+                        };
                     let (mw, rest) = m[li * 2..].split_at_mut(1);
                     let mb = &mut rest[0];
                     let (vw, rest) = v[li * 2..].split_at_mut(1);
@@ -323,8 +335,7 @@ impl Optimizer {
                         for i in 0..param.len() {
                             let gi = g[i] + reg * param[i];
                             eg2[i] = *rho * eg2[i] + (1.0 - *rho) * gi * gi;
-                            let update =
-                                -((ex2[i] + *eps).sqrt() / (eg2[i] + *eps).sqrt()) * gi;
+                            let update = -((ex2[i] + *eps).sqrt() / (eg2[i] + *eps).sqrt()) * gi;
                             ex2[i] = *rho * ex2[i] + (1.0 - *rho) * update * update;
                             param[i] += update;
                         }
@@ -394,13 +405,13 @@ mod tests {
         let acts = net.forward_all(&x);
         let out = acts.last().unwrap();
         let mut delta = Matrix::zeros(3, 1);
-        for i in 0..3 {
-            delta.set(i, 0, 2.0 * (out.get(i, 0) - target[i]));
+        for (i, &t) in target.iter().enumerate() {
+            delta.set(i, 0, 2.0 * (out.get(i, 0) - t));
         }
         let grads = net.backward(&acts, delta);
         // Numerical check of a few weights in each layer.
         let eps = 1e-6;
-        for li in 0..2 {
+        for (li, grad) in grads.iter().enumerate() {
             for wi in [0usize, 1] {
                 let orig = net.layers[li].w.as_slice()[wi];
                 net.layers[li].w.as_mut_slice()[wi] = orig + eps;
@@ -409,7 +420,7 @@ mod tests {
                 let lm = loss(&net);
                 net.layers[li].w.as_mut_slice()[wi] = orig;
                 let numeric = (lp - lm) / (2.0 * eps);
-                let analytic = grads[li].w.as_slice()[wi];
+                let analytic = grad.w.as_slice()[wi];
                 assert!(
                     (numeric - analytic).abs() < 1e-5,
                     "layer {li} w{wi}: numeric {numeric} vs analytic {analytic}"
@@ -433,8 +444,8 @@ mod tests {
             let acts = net.forward_all(&x);
             let out = acts.last().unwrap();
             let mut delta = Matrix::zeros(20, 1);
-            for i in 0..20 {
-                delta.set(i, 0, 2.0 * (out.get(i, 0) - t[i]));
+            for (i, &ti) in t.iter().enumerate() {
+                delta.set(i, 0, 2.0 * (out.get(i, 0) - ti));
             }
             let grads = net.backward(&acts, delta);
             opt.step(&mut net, &grads, 0.0);

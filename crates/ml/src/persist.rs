@@ -70,10 +70,19 @@ impl DiagnosisModel {
         Self { model, class_names }
     }
 
+    /// Full class-probability matrix for every row of `x` (one column per
+    /// entry of [`DiagnosisModel::class_names`]). Online consumers — the
+    /// fleet service's uncertainty gate, the active-learning strategies —
+    /// need the whole distribution, not just the argmax that
+    /// [`DiagnosisModel::diagnose`] reports.
+    pub fn probabilities(&self, x: &Matrix) -> Matrix {
+        self.model.as_classifier().predict_proba(x)
+    }
+
     /// Diagnoses every row of `x`: the predicted anomaly label and its
     /// confidence (Sec. III-E's deployment interface).
     pub fn diagnose(&self, x: &Matrix) -> Vec<Diagnosis> {
-        let proba = self.model.as_classifier().predict_proba(x);
+        let proba = self.probabilities(x);
         (0..proba.rows())
             .map(|r| {
                 let row = proba.row(r);
@@ -137,10 +146,8 @@ mod tests {
         let (x, y) = blobs();
         let mut f = RandomForest::new(ForestParams { n_estimators: 8, ..ForestParams::default() });
         f.fit(&x, &y, 2);
-        let model = DiagnosisModel::new(
-            FittedModel::Forest(f),
-            vec!["healthy".into(), "memleak".into()],
-        );
+        let model =
+            DiagnosisModel::new(FittedModel::Forest(f), vec!["healthy".into(), "memleak".into()]);
         let before = model.diagnose(&x);
         let restored = DiagnosisModel::from_json(&model.to_json()).unwrap();
         let after = restored.diagnose(&x);
@@ -148,14 +155,73 @@ mod tests {
     }
 
     #[test]
+    fn gbm_roundtrips_through_json() {
+        use crate::gbm::{GbmParams, GradientBoosting};
+        let (x, y) = blobs();
+        let mut m = GradientBoosting::new(GbmParams { n_estimators: 10, ..GbmParams::default() });
+        m.fit(&x, &y, 2);
+        let model =
+            DiagnosisModel::new(FittedModel::Gbm(m), vec!["healthy".into(), "memleak".into()]);
+        let before = model.diagnose(&x);
+        let restored = DiagnosisModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(before, restored.diagnose(&x), "serialisation must preserve behaviour");
+    }
+
+    #[test]
+    fn logreg_roundtrips_through_json() {
+        let (x, y) = blobs();
+        let mut m = LogisticRegression::new(LogRegParams::default());
+        m.fit(&x, &y, 2);
+        let model =
+            DiagnosisModel::new(FittedModel::LogReg(m), vec!["healthy".into(), "memleak".into()]);
+        let before = model.diagnose(&x);
+        let restored = DiagnosisModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(before, restored.diagnose(&x), "serialisation must preserve behaviour");
+    }
+
+    #[test]
+    fn mlp_roundtrips_through_json() {
+        use crate::mlp::{MlpClassifier, MlpParams};
+        let (x, y) = blobs();
+        let mut m = MlpClassifier::new(MlpParams {
+            hidden_layer_sizes: vec![8],
+            max_iter: 60,
+            ..MlpParams::default()
+        });
+        m.fit(&x, &y, 2);
+        let model =
+            DiagnosisModel::new(FittedModel::Mlp(m), vec!["healthy".into(), "memleak".into()]);
+        let before = model.diagnose(&x);
+        let restored = DiagnosisModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(before, restored.diagnose(&x), "serialisation must preserve behaviour");
+    }
+
+    #[test]
+    fn probabilities_agree_with_diagnose() {
+        let (x, y) = blobs();
+        let mut f = RandomForest::new(ForestParams { n_estimators: 8, ..ForestParams::default() });
+        f.fit(&x, &y, 2);
+        let model =
+            DiagnosisModel::new(FittedModel::Forest(f), vec!["healthy".into(), "memleak".into()]);
+        let proba = model.probabilities(&x);
+        let diag = model.diagnose(&x);
+        assert_eq!(proba.rows(), x.rows());
+        assert_eq!(proba.cols(), 2);
+        for (r, d) in diag.iter().enumerate() {
+            let row = proba.row(r);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(d.confidence, max, "row {r}: confidence is the max probability");
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9, "row {r} sums to 1");
+        }
+    }
+
+    #[test]
     fn diagnosis_returns_label_and_confidence() {
         let (x, y) = blobs();
         let mut m = LogisticRegression::new(LogRegParams::default());
         m.fit(&x, &y, 2);
-        let model = DiagnosisModel::new(
-            FittedModel::LogReg(m),
-            vec!["healthy".into(), "memleak".into()],
-        );
+        let model =
+            DiagnosisModel::new(FittedModel::LogReg(m), vec!["healthy".into(), "memleak".into()]);
         let d = model.diagnose(&x);
         assert_eq!(d.len(), x.rows());
         assert_eq!(d[0].label, "healthy");

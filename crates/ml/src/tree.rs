@@ -27,9 +27,7 @@ impl Criterion {
             return 0.0;
         }
         match self {
-            Criterion::Gini => {
-                1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
-            }
+            Criterion::Gini => 1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>(),
             Criterion::Entropy => -counts
                 .iter()
                 .filter(|&&c| c > 0.0)
@@ -321,19 +319,10 @@ mod tests {
     #[test]
     fn probabilities_reflect_leaf_purity() {
         // One feature, classes overlap in the middle region.
-        let x = Matrix::from_rows(&[
-            vec![0.0],
-            vec![0.1],
-            vec![0.2],
-            vec![0.8],
-            vec![0.9],
-            vec![1.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![0.8], vec![0.9], vec![1.0]]);
         let y = vec![0, 0, 1, 1, 1, 1];
-        let mut t = DecisionTree::new(TreeParams {
-            max_depth: Some(1),
-            ..TreeParams::default()
-        });
+        let mut t = DecisionTree::new(TreeParams { max_depth: Some(1), ..TreeParams::default() });
         t.fit(&x, &y, 2);
         let proba = t.predict_proba(&x);
         for r in 0..x.rows() {
@@ -347,10 +336,7 @@ mod tests {
     #[test]
     fn max_depth_limits_tree() {
         let (x, y) = blobs();
-        let mut t = DecisionTree::new(TreeParams {
-            max_depth: Some(0),
-            ..TreeParams::default()
-        });
+        let mut t = DecisionTree::new(TreeParams { max_depth: Some(0), ..TreeParams::default() });
         t.fit(&x, &y, 2);
         assert_eq!(t.n_nodes(), 1, "depth 0 is a single leaf");
         let proba = t.predict_proba(&x);
@@ -372,10 +358,7 @@ mod tests {
     fn min_samples_leaf_is_respected() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
         let y = vec![0, 0, 0, 1];
-        let mut t = DecisionTree::new(TreeParams {
-            min_samples_leaf: 2,
-            ..TreeParams::default()
-        });
+        let mut t = DecisionTree::new(TreeParams { min_samples_leaf: 2, ..TreeParams::default() });
         t.fit(&x, &y, 2);
         // The only legal splits leave >=2 per side; the pure separation
         // (3 vs 1) is forbidden, so the class-1 sample cannot be isolated.
@@ -410,11 +393,8 @@ mod tests {
     #[test]
     fn feature_subsetting_is_deterministic_per_seed() {
         let (x, y) = blobs();
-        let params = TreeParams {
-            max_features: MaxFeatures::Count(1),
-            seed: 3,
-            ..TreeParams::default()
-        };
+        let params =
+            TreeParams { max_features: MaxFeatures::Count(1), seed: 3, ..TreeParams::default() };
         let mut a = DecisionTree::new(params);
         let mut b = DecisionTree::new(params);
         a.fit(&x, &y, 2);
@@ -424,17 +404,11 @@ mod tests {
 
     #[test]
     fn xor_needs_depth_two() {
-        let x = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         let y = vec![0, 1, 1, 0];
-        let mut shallow = DecisionTree::new(TreeParams {
-            max_depth: Some(1),
-            ..TreeParams::default()
-        });
+        let mut shallow =
+            DecisionTree::new(TreeParams { max_depth: Some(1), ..TreeParams::default() });
         shallow.fit(&x, &y, 2);
         assert_ne!(shallow.predict(&x), y, "a stump cannot learn XOR");
         let mut deep = DecisionTree::new(TreeParams::default());

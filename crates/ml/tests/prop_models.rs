@@ -32,7 +32,11 @@ fn dataset() -> impl Strategy<Value = (Matrix, Vec<usize>, usize)> {
     })
 }
 
-fn check_probabilities(model: &dyn Classifier, x: &Matrix, n_classes: usize) -> Result<(), TestCaseError> {
+fn check_probabilities(
+    model: &dyn Classifier,
+    x: &Matrix,
+    n_classes: usize,
+) -> Result<(), TestCaseError> {
     let p = model.predict_proba(x);
     prop_assert_eq!(p.shape(), (x.rows(), n_classes));
     for r in 0..p.rows() {

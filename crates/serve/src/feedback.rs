@@ -1,0 +1,240 @@
+//! The active-learning feedback loop: uncertainty-gated label requests,
+//! a bounded request queue, oracle labelling and model retraining.
+//!
+//! The paper's framework keeps an analyst in the loop — ALBADross asks
+//! for labels only where the deployed model is unsure (Sec. III-C). The
+//! service reproduces that online: windows whose least-confidence
+//! uncertainty clears a threshold become [`LabelRequest`]s in a bounded
+//! queue (an analyst has finite attention; overflow is counted, not
+//! buffered). Serviced requests are labelled by the replay oracle
+//! (ground truth), folded into the training set, and a fresh forest is
+//! fitted and hot-swapped into every shard.
+
+use crate::shard::WindowOutcome;
+use alba_data::{Dataset, Matrix};
+use alba_ml::Diagnosis;
+use alba_ml::{Classifier, DiagnosisModel, FittedModel, ForestParams, RandomForest};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One pending "please label this window" request.
+#[derive(Clone, Debug)]
+pub struct LabelRequest {
+    /// Fleet node the window came from.
+    pub node: usize,
+    /// Tick of the window's last sample.
+    pub at: usize,
+    /// What the model thought (kept for drilldown/auditing).
+    pub predicted: Diagnosis,
+    /// The uncertainty that triggered the request.
+    pub uncertainty: f64,
+    /// Scaled model-input row — becomes a training sample once labelled.
+    pub row: Vec<f64>,
+}
+
+impl LabelRequest {
+    /// Builds a request from a gated window outcome.
+    pub fn from_window(w: &WindowOutcome) -> Self {
+        Self {
+            node: w.node,
+            at: w.at,
+            predicted: w.diagnosis.clone(),
+            uncertainty: w.uncertainty,
+            row: w.row.clone(),
+        }
+    }
+}
+
+/// Feedback-loop counters, serialisable into the service stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackStats {
+    /// Requests enqueued.
+    pub requested: u64,
+    /// Requests shed on a full queue.
+    pub dropped: u64,
+    /// Requests labelled by the oracle and folded into training.
+    pub serviced: u64,
+    /// Retrain rounds completed.
+    pub retrains: u64,
+}
+
+/// Bounded FIFO of pending label requests.
+#[derive(Clone, Debug)]
+pub struct LabelQueue {
+    buf: VecDeque<LabelRequest>,
+    capacity: usize,
+    stats: FeedbackStats,
+}
+
+impl LabelQueue {
+    /// An empty queue holding at most `capacity` requests.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "label queue capacity must be positive");
+        Self { buf: VecDeque::new(), capacity, stats: FeedbackStats::default() }
+    }
+
+    /// Enqueues a request; returns `false` (and counts a drop) when full.
+    pub fn offer(&mut self, req: LabelRequest) -> bool {
+        if self.buf.len() >= self.capacity {
+            self.stats.dropped += 1;
+            return false;
+        }
+        self.stats.requested += 1;
+        self.buf.push_back(req);
+        true
+    }
+
+    /// Dequeues up to `n` requests, oldest first, counting them serviced.
+    pub fn take(&mut self, n: usize) -> Vec<LabelRequest> {
+        let n = n.min(self.buf.len());
+        let out: Vec<LabelRequest> = self.buf.drain(..n).collect();
+        self.stats.serviced += out.len() as u64;
+        out
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The queue's counters (retrains are tallied by the caller).
+    pub fn stats(&self) -> FeedbackStats {
+        self.stats
+    }
+
+    /// Counts one completed retrain round.
+    pub fn record_retrain(&mut self) {
+        self.stats.retrains += 1;
+    }
+}
+
+/// Accumulates the labelled training set and refits the deployed model.
+#[derive(Clone, Debug)]
+pub struct Retrainer {
+    rows: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    class_names: Vec<String>,
+    params: ForestParams,
+    rounds: u64,
+}
+
+impl Retrainer {
+    /// Seeds the retrainer with the offline training split (already
+    /// projected and scaled — the same space the shards emit rows in).
+    pub fn new(train: &Dataset, params: ForestParams) -> Self {
+        Self {
+            rows: train.x.rows_iter().map(<[f64]>::to_vec).collect(),
+            y: train.y.clone(),
+            class_names: train.encoder.names().to_vec(),
+            params,
+            rounds: 0,
+        }
+    }
+
+    /// Class names, index-aligned with the fitted model's outputs.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Current training-set size.
+    pub fn n_samples(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Fits a forest on the current training set.
+    pub fn fit(&self) -> Arc<DiagnosisModel> {
+        let mut f = RandomForest::new(ForestParams {
+            // Vary the bootstrap per round so a refit is a genuinely new
+            // model, while staying deterministic in the base seed.
+            seed: self.params.seed.wrapping_add(self.rounds),
+            ..self.params
+        });
+        let x = Matrix::from_rows(&self.rows);
+        f.fit(&x, &self.y, self.class_names.len());
+        Arc::new(DiagnosisModel::new(FittedModel::Forest(f), self.class_names.clone()))
+    }
+
+    /// Folds oracle-labelled rows into the training set and refits.
+    /// Rows with labels outside the known classes are skipped.
+    pub fn fold_in(&mut self, labelled: Vec<(Vec<f64>, String)>) -> Arc<DiagnosisModel> {
+        for (row, label) in labelled {
+            if let Some(y) = self.class_names.iter().position(|n| *n == label) {
+                self.rows.push(row);
+                self.y.push(y);
+            }
+        }
+        self.rounds += 1;
+        self.fit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(at: usize) -> LabelRequest {
+        LabelRequest {
+            node: 0,
+            at,
+            predicted: Diagnosis { label: "healthy".into(), confidence: 0.4 },
+            uncertainty: 0.6,
+            row: vec![0.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn queue_bounds_and_counts() {
+        let mut q = LabelQueue::new(2);
+        assert!(q.offer(req(0)));
+        assert!(q.offer(req(1)));
+        assert!(!q.offer(req(2)), "queue is bounded");
+        let taken = q.take(5);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].at, 0, "oldest first");
+        let st = q.stats();
+        assert_eq!((st.requested, st.dropped, st.serviced), (2, 1, 2));
+    }
+
+    fn toy_train() -> Dataset {
+        let rows = vec![vec![0.1, 0.0], vec![0.2, 0.1], vec![0.9, 1.0], vec![0.8, 0.9]];
+        let y = vec![0, 0, 1, 1];
+        let meta = (0..4)
+            .map(|i| alba_data::SampleMeta {
+                app: "BT".into(),
+                input_deck: 0,
+                run_id: i,
+                node: 0,
+                node_count: 1,
+                intensity_pct: 0,
+            })
+            .collect();
+        let encoder = alba_data::LabelEncoder::from_names(&["healthy", "memleak"]);
+        Dataset::new(Matrix::from_rows(&rows), y, encoder, meta, vec!["f0".into(), "f1".into()])
+    }
+
+    #[test]
+    fn fold_in_grows_training_set_and_refits() {
+        let params = ForestParams { n_estimators: 7, ..ForestParams::default() };
+        let mut rt = Retrainer::new(&toy_train(), params);
+        assert_eq!(rt.n_samples(), 4);
+        let before = rt.fit();
+        let model = rt.fold_in(vec![
+            (vec![0.15, 0.05], "healthy".into()),
+            (vec![0.85, 0.95], "memleak".into()),
+            (vec![0.5, 0.5], "not-a-class".into()),
+        ]);
+        assert_eq!(rt.n_samples(), 6, "unknown labels are skipped");
+        let x = Matrix::from_rows(&[vec![0.1, 0.0], vec![0.9, 1.0]]);
+        let d = model.diagnose(&x);
+        assert_eq!(d[0].label, "healthy");
+        assert_eq!(d[1].label, "memleak");
+        // The refreshed model is a distinct artifact.
+        assert!(!Arc::ptr_eq(&before, &model));
+    }
+}

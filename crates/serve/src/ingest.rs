@@ -1,0 +1,169 @@
+//! Bounded per-node ingest queues with backpressure accounting.
+//!
+//! The aggregator side of a production deployment pushes samples at 1 Hz
+//! regardless of how fast diagnosis keeps up, so each node gets a
+//! *bounded* FIFO between the replay source and its monitor. When a
+//! queue is full the **newest** sample is dropped (a live feed cannot be
+//! paused) and the loss is counted — the service stats expose per-fleet
+//! drop totals and peak queue depth so saturation is observable instead
+//! of silent.
+
+use crate::replay::TelemetrySample;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One node's bounded sample FIFO.
+#[derive(Clone, Debug)]
+pub struct SampleQueue {
+    buf: VecDeque<TelemetrySample>,
+    capacity: usize,
+    pushed: u64,
+    dropped: u64,
+    peak_depth: usize,
+}
+
+impl SampleQueue {
+    /// An empty queue holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be positive");
+        Self { buf: VecDeque::new(), capacity, pushed: 0, dropped: 0, peak_depth: 0 }
+    }
+
+    /// Enqueues one sample; returns `false` (and counts a drop) when the
+    /// queue is full.
+    pub fn push(&mut self, sample: TelemetrySample) -> bool {
+        if self.buf.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.buf.push_back(sample);
+        self.pushed += 1;
+        self.peak_depth = self.peak_depth.max(self.buf.len());
+        true
+    }
+
+    /// Removes and returns every queued sample, oldest first.
+    pub fn drain(&mut self) -> Vec<TelemetrySample> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Samples dropped because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Aggregate ingest counters, serialisable into the service stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Samples accepted across all queues.
+    pub pushed: u64,
+    /// Samples dropped on full queues (backpressure losses).
+    pub dropped: u64,
+    /// Deepest any single queue ever got.
+    pub peak_depth: usize,
+}
+
+/// The fleet's ingest layer: one bounded queue per node.
+#[derive(Clone, Debug)]
+pub struct IngestLayer {
+    queues: Vec<SampleQueue>,
+}
+
+impl IngestLayer {
+    /// One queue of `capacity` samples per fleet node.
+    pub fn new(n_nodes: usize, capacity: usize) -> Self {
+        Self { queues: (0..n_nodes).map(|_| SampleQueue::new(capacity)).collect() }
+    }
+
+    /// Routes one sample to its node's queue; returns `false` on drop.
+    pub fn offer(&mut self, sample: TelemetrySample) -> bool {
+        self.queues[sample.node].push(sample)
+    }
+
+    /// Drains one node's queue (oldest first).
+    pub fn drain_node(&mut self, node: usize) -> Vec<TelemetrySample> {
+        self.queues[node].drain()
+    }
+
+    /// Current depth of one node's queue.
+    pub fn depth(&self, node: usize) -> usize {
+        self.queues[node].len()
+    }
+
+    /// True when every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(SampleQueue::is_empty)
+    }
+
+    /// Aggregated counters over all queues.
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            pushed: self.queues.iter().map(|q| q.pushed).sum(),
+            dropped: self.queues.iter().map(|q| q.dropped).sum(),
+            peak_depth: self.queues.iter().map(|q| q.peak_depth).max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: usize, at: usize) -> TelemetrySample {
+        TelemetrySample { node, at, values: vec![at as f64] }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = SampleQueue::new(8);
+        for t in 0..5 {
+            assert!(q.push(sample(0, t)));
+        }
+        let drained = q.drain();
+        assert_eq!(drained.iter().map(|s| s.at).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_newest_and_counts() {
+        let mut q = SampleQueue::new(3);
+        for t in 0..5 {
+            q.push(sample(0, t));
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 2);
+        // The oldest samples survive; the late arrivals were shed.
+        assert_eq!(q.drain().iter().map(|s| s.at).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn layer_routes_by_node_and_aggregates_stats() {
+        let mut layer = IngestLayer::new(3, 2);
+        assert!(layer.offer(sample(0, 0)));
+        assert!(layer.offer(sample(2, 0)));
+        assert!(layer.offer(sample(2, 1)));
+        assert!(!layer.offer(sample(2, 2)), "third sample overflows capacity 2");
+        assert_eq!(layer.depth(0), 1);
+        assert_eq!(layer.depth(1), 0);
+        assert_eq!(layer.depth(2), 2);
+        let st = layer.stats();
+        assert_eq!(st.pushed, 3);
+        assert_eq!(st.dropped, 1);
+        assert_eq!(st.peak_depth, 2);
+        assert_eq!(layer.drain_node(2).len(), 2);
+        assert!(!layer.is_empty());
+        layer.drain_node(0);
+        assert!(layer.is_empty());
+    }
+}

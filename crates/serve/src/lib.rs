@@ -1,0 +1,46 @@
+//! # alba-serve
+//!
+//! Fleet-scale online diagnosis for the ALBADross reproduction — the
+//! deployment scenario the paper leaves as future work (Sec. VI),
+//! built on the workspace's offline pipeline:
+//!
+//! * [`replay`] — a deterministic streaming telemetry source replaying a
+//!   held-out campaign as a fleet of 1 Hz node feeds,
+//! * [`ingest`] — bounded per-node queues with backpressure (drop)
+//!   accounting,
+//! * [`shard`] — worker shards running *batched* feature extraction and
+//!   inference over their nodes' due windows, reusing the
+//!   [`NodeMonitor`](albadross::NodeMonitor) hysteresis logic,
+//! * [`feedback`] — the online active-learning loop: uncertainty-gated
+//!   label requests, oracle labelling, forest refits and atomic model
+//!   hot-swaps,
+//! * [`stats`] — JSON-serialisable service statistics,
+//! * [`service`] — the [`FleetService`] tick loop tying it together.
+//!
+//! ```no_run
+//! use alba_serve::{FleetService, ServeConfig};
+//! use albadross::System;
+//! use alba_telemetry::Scale;
+//!
+//! // Monitor the 52-node Volta testbed end to end.
+//! let cfg = ServeConfig::new(System::Volta, Scale::Smoke, 52, 42);
+//! let mut svc = FleetService::new(cfg);
+//! let stats = svc.run_to_completion();
+//! println!("{}", stats.to_json_pretty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod feedback;
+pub mod ingest;
+pub mod replay;
+pub mod service;
+pub mod shard;
+pub mod stats;
+
+pub use feedback::{FeedbackStats, LabelQueue, LabelRequest, Retrainer};
+pub use ingest::{IngestLayer, IngestStats, SampleQueue};
+pub use replay::{FleetConfig, NodeStream, ReplaySource, TelemetrySample};
+pub use service::{FleetService, ServeConfig};
+pub use shard::{NodeAlarm, Shard, ShardReport, ShardStats, WindowOutcome};
+pub use stats::{ServiceStats, ShardSnapshot};

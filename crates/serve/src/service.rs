@@ -1,0 +1,374 @@
+//! The fleet service: replay → bounded ingest → sharded batched
+//! diagnosis → alarm bus → active-learning feedback → hot-swap.
+//!
+//! [`FleetService::tick`] advances the simulated clock by one second:
+//! the replay source emits one sample per active node, the ingest layer
+//! buffers them per node (shedding on overflow), every shard drains its
+//! nodes' queues and diagnoses the due windows as one batch (shards run
+//! on rayon workers), alarms and window outcomes are merged in shard
+//! order, uncertain windows become label requests, and once enough
+//! requests are pending the oracle labels them, the forest is refitted
+//! and hot-swapped into every monitor *between* ticks — no in-flight
+//! window is lost or diagnosed by a half-swapped model.
+//!
+//! Every stochastic choice — replay streams, shard assignment, forest
+//! bootstraps — derives from `ServeConfig::fleet.seed`, so two services
+//! with the same config produce identical alarms, verdicts and swap
+//! ticks (asserted by the integration suite).
+
+use crate::feedback::{LabelQueue, LabelRequest, Retrainer};
+use crate::ingest::IngestLayer;
+use crate::replay::{FleetConfig, ReplaySource, TelemetrySample};
+use crate::shard::{NodeAlarm, Shard, ShardReport};
+use crate::stats::{ServiceStats, ShardSnapshot};
+use alba_features::{FeatureExtractor, Mvts, TsFresh};
+use alba_ml::{DiagnosisModel, ForestParams};
+use albadross::{
+    prepare_split, FeatureMethod, MonitorConfig, NodeMonitor, SplitConfig, SystemData,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Replay streams must be *held-out* runs, not the training campaign:
+/// the replay seed is salted so the fleet never streams a run the model
+/// was fitted on.
+const REPLAY_SALT: u64 = 0x5E_EDF1_EED0_5A17;
+/// Salt for the node→shard shuffle.
+const SHARD_SALT: u64 = 0x5AAD_0F5A_A2D5;
+
+/// Full service configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Fleet shape (system, scale, node count, master seed).
+    pub fleet: FleetConfig,
+    /// Per-node windowing/hysteresis configuration.
+    pub monitor: MonitorConfig,
+    /// Offline split used to train the initial model.
+    pub split: SplitConfig,
+    /// Feature extractor (must match between training and serving).
+    pub method: FeatureMethod,
+    /// Worker shards the fleet is partitioned across.
+    pub n_shards: usize,
+    /// Per-node ingest queue capacity (samples).
+    pub queue_capacity: usize,
+    /// Batched inference (one model call per shard per tick) versus the
+    /// node-at-a-time baseline (one call per window).
+    pub batched: bool,
+    /// Least-confidence uncertainty above which a window becomes a label
+    /// request.
+    pub uncertainty_threshold: f64,
+    /// Bounded label-request queue capacity.
+    pub label_queue_capacity: usize,
+    /// Requests serviced (and folded in) per retrain round.
+    pub retrain_batch: usize,
+    /// Maximum retrain/hot-swap rounds.
+    pub max_retrains: usize,
+    /// Forest hyper-parameters for the initial fit and every refit.
+    pub forest: ForestParams,
+}
+
+impl ServeConfig {
+    /// A reasonable configuration for `n_nodes` nodes of `system`.
+    pub fn new(
+        system: albadross::System,
+        scale: alba_telemetry::Scale,
+        n_nodes: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            fleet: FleetConfig::new(system, scale, n_nodes, seed),
+            monitor: MonitorConfig::default(),
+            split: SplitConfig { train_fraction: 0.6, top_k_features: 300 },
+            method: FeatureMethod::Mvts,
+            n_shards: 4,
+            queue_capacity: 128,
+            batched: true,
+            uncertainty_threshold: 0.45,
+            label_queue_capacity: 64,
+            retrain_batch: 12,
+            max_retrains: 2,
+            forest: ForestParams { n_estimators: 15, seed, ..ForestParams::default() },
+        }
+    }
+}
+
+/// The running service.
+#[derive(Clone)]
+pub struct FleetService {
+    cfg: ServeConfig,
+    replay: ReplaySource,
+    ingest: IngestLayer,
+    shards: Vec<Shard>,
+    /// node → shard index.
+    shard_of: Vec<usize>,
+    model: Arc<DiagnosisModel>,
+    label_queue: LabelQueue,
+    retrainer: Retrainer,
+    /// Ground-truth label per node (the labelling oracle).
+    oracle: Vec<String>,
+    alarm_log: Vec<NodeAlarm>,
+    alarms_by_label: BTreeMap<String, u64>,
+    swap_ticks: Vec<usize>,
+    tick: usize,
+    samples_emitted: u64,
+    wall_ns: u64,
+}
+
+impl FleetService {
+    /// Trains the initial model on the system's offline campaign, builds
+    /// the (held-out) replay fleet and partitions it into shards.
+    pub fn new(cfg: ServeConfig) -> Self {
+        assert!(cfg.n_shards >= 1, "need at least one shard");
+        assert!(cfg.retrain_batch >= 1, "retrain batch must be positive");
+
+        // Offline phase: campaign → features → split → initial forest.
+        let sd =
+            SystemData::generate(cfg.fleet.system, cfg.method, cfg.fleet.scale, cfg.fleet.seed);
+        let split = prepare_split(&sd.dataset, &cfg.split, cfg.fleet.seed);
+        let retrainer = Retrainer::new(&split.train, cfg.forest);
+        let model = retrainer.fit();
+        let view = split.feature_view();
+
+        // Online phase: a fresh (salted-seed) campaign streams the fleet.
+        let replay_cfg = FleetConfig { seed: cfg.fleet.seed ^ REPLAY_SALT, ..cfg.fleet };
+        let replay = ReplaySource::build(&replay_cfg);
+        let oracle = replay.truth_labels();
+        let ingest = IngestLayer::new(replay.n_nodes(), cfg.queue_capacity);
+
+        // Seeded node→shard assignment: shuffle, then round-robin.
+        let mut nodes: Vec<usize> = (0..replay.n_nodes()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.fleet.seed ^ SHARD_SALT);
+        nodes.shuffle(&mut rng);
+        let n_shards = cfg.n_shards.min(nodes.len());
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        let mut shard_of = vec![0usize; nodes.len()];
+        for (i, &n) in nodes.iter().enumerate() {
+            per_shard[i % n_shards].push(n);
+            shard_of[n] = i % n_shards;
+        }
+        let extractor: Arc<dyn FeatureExtractor + Send + Sync> = match cfg.method {
+            FeatureMethod::Mvts => Arc::new(Mvts),
+            FeatureMethod::TsFresh => Arc::new(TsFresh),
+        };
+        let shards = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(id, ns)| {
+                Shard::new(
+                    id,
+                    ns,
+                    Arc::clone(&model),
+                    Arc::clone(&extractor),
+                    replay.metrics(),
+                    view.clone(),
+                    &cfg.monitor,
+                    cfg.batched,
+                )
+            })
+            .collect();
+
+        let label_queue = LabelQueue::new(cfg.label_queue_capacity);
+        Self {
+            cfg,
+            replay,
+            ingest,
+            shards,
+            shard_of,
+            model,
+            label_queue,
+            retrainer,
+            oracle,
+            alarm_log: Vec::new(),
+            alarms_by_label: BTreeMap::new(),
+            swap_ticks: Vec::new(),
+            tick: 0,
+            samples_emitted: 0,
+            wall_ns: 0,
+        }
+    }
+
+    /// Advances the service by one second of fleet time. Returns `false`
+    /// once the replay is exhausted and every queue has drained.
+    pub fn tick(&mut self) -> bool {
+        let start = Instant::now();
+        let now = self.tick;
+
+        // 1. Replay emits; the ingest layer buffers (or sheds).
+        let emitted = self.replay.tick();
+        self.samples_emitted += emitted.len() as u64;
+        for s in emitted {
+            self.ingest.offer(s);
+        }
+
+        // 2. Each shard drains its nodes' queues into one tick batch.
+        let batches: Vec<Vec<TelemetrySample>> = self
+            .shards
+            .iter()
+            .map(|sh| {
+                let mut batch = Vec::new();
+                for &n in sh.nodes() {
+                    batch.extend(self.ingest.drain_node(n));
+                }
+                batch
+            })
+            .collect();
+
+        // 3. Shards process in parallel; reports come back in shard
+        //    order, so the merge below is deterministic.
+        let reports: Vec<ShardReport> = self
+            .shards
+            .par_chunks_mut(1)
+            .map(|chunk| {
+                let sh = &mut chunk[0];
+                sh.process(&batches[sh.id()], now)
+            })
+            .collect();
+
+        // 4. Alarm bus + uncertainty gate.
+        let gating_open = self.swap_ticks.len() < self.cfg.max_retrains;
+        for report in reports {
+            for na in report.alarms {
+                *self.alarms_by_label.entry(na.alarm.label.clone()).or_insert(0) += 1;
+                self.alarm_log.push(na);
+            }
+            if gating_open {
+                for w in &report.windows {
+                    if w.uncertainty >= self.cfg.uncertainty_threshold {
+                        self.label_queue.offer(LabelRequest::from_window(w));
+                    }
+                }
+            }
+        }
+
+        // 5. Feedback: enough pending requests → label, retrain, swap.
+        while self.label_queue.len() >= self.cfg.retrain_batch
+            && self.swap_ticks.len() < self.cfg.max_retrains
+        {
+            self.retrain_round();
+        }
+
+        self.tick += 1;
+        self.wall_ns += start.elapsed().as_nanos() as u64;
+        !(self.replay.is_exhausted() && self.ingest.is_empty())
+    }
+
+    /// Services one batch of label requests through the oracle, refits
+    /// and hot-swaps the model into every shard.
+    fn retrain_round(&mut self) {
+        let reqs = self.label_queue.take(self.cfg.retrain_batch);
+        if reqs.is_empty() {
+            return;
+        }
+        let labelled = reqs
+            .into_iter()
+            .map(|r| {
+                let truth = self.oracle[r.node].clone();
+                (r.row, truth)
+            })
+            .collect();
+        let model = self.retrainer.fold_in(labelled);
+        for sh in &mut self.shards {
+            sh.set_model(Arc::clone(&model));
+        }
+        self.model = model;
+        self.label_queue.record_retrain();
+        self.swap_ticks.push(self.tick);
+    }
+
+    /// Runs at most `max_ticks` ticks; returns how many actually ran.
+    pub fn run(&mut self, max_ticks: usize) -> usize {
+        let mut ran = 0;
+        while ran < max_ticks {
+            let more = self.tick();
+            ran += 1;
+            if !more {
+                break;
+            }
+        }
+        ran
+    }
+
+    /// Runs until the replay is exhausted and all queues are drained,
+    /// then services any leftover label requests (a final retrain round,
+    /// if the budget allows).
+    pub fn run_to_completion(&mut self) -> ServiceStats {
+        while self.tick() {}
+        if !self.label_queue.is_empty() && self.swap_ticks.len() < self.cfg.max_retrains {
+            self.retrain_round();
+        }
+        self.stats()
+    }
+
+    /// Snapshot of the service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let shards: Vec<ShardSnapshot> = self
+            .shards
+            .iter()
+            .map(|sh| ShardSnapshot::from_counters(sh.id(), sh.nodes().len(), *sh.stats()))
+            .collect();
+        let windows: u64 = shards.iter().map(|s| s.counters.windows).sum();
+        let alarms: u64 = shards.iter().map(|s| s.counters.alarms).sum();
+        let wall_s = self.wall_ns as f64 / 1e9;
+        let mut feedback = self.label_queue.stats();
+        feedback.retrains = self.swap_ticks.len() as u64;
+        ServiceStats {
+            ticks: self.tick,
+            samples_emitted: self.samples_emitted,
+            ingest: self.ingest.stats(),
+            shards,
+            windows,
+            alarms,
+            alarms_by_label: self.alarms_by_label.clone(),
+            feedback,
+            swap_ticks: self.swap_ticks.clone(),
+            wall_ms: self.wall_ns / 1_000_000,
+            windows_per_s: if wall_s > 0.0 { windows as f64 / wall_s } else { 0.0 },
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Fleet size.
+    pub fn n_nodes(&self) -> usize {
+        self.replay.n_nodes()
+    }
+
+    /// Every confirmed alarm so far, in confirmation order.
+    pub fn alarms(&self) -> &[NodeAlarm] {
+        &self.alarm_log
+    }
+
+    /// Ticks at which a refreshed model was hot-swapped in.
+    pub fn swap_ticks(&self) -> &[usize] {
+        &self.swap_ticks
+    }
+
+    /// The currently deployed model.
+    pub fn model(&self) -> &Arc<DiagnosisModel> {
+        &self.model
+    }
+
+    /// Ground-truth label of one fleet node's stream.
+    pub fn truth(&self, node: usize) -> &str {
+        self.replay.truth(node)
+    }
+
+    /// The monitor serving one fleet node (for inspection).
+    pub fn monitor(&self, node: usize) -> &NodeMonitor {
+        self.shards[self.shard_of[node]].monitor(node)
+    }
+
+    /// Pending label requests.
+    pub fn pending_label_requests(&self) -> usize {
+        self.label_queue.len()
+    }
+}

@@ -1,0 +1,229 @@
+//! Worker shards: each shard owns a disjoint set of node monitors and
+//! diagnoses their due windows as one *batch*.
+//!
+//! The per-node [`NodeMonitor`] hooks (`push` / `window_row` /
+//! `apply_diagnosis`) let a shard buffer samples node-by-node but run
+//! feature scaling and model inference once per batch of windows — the
+//! amortisation the `serve_throughput` benchmark measures against the
+//! node-at-a-time baseline (`batched = false`). Shards are `Send`, so
+//! the service fans them out across rayon workers every tick; each
+//! shard's report is assembled in deterministic node order regardless of
+//! which thread ran it.
+
+use crate::replay::TelemetrySample;
+use alba_active::uncertainty_score;
+use alba_data::{Matrix, MetricDef};
+use alba_features::{FeatureExtractor, FeatureView};
+use alba_ml::{Diagnosis, DiagnosisModel};
+use albadross::{Alarm, MonitorConfig, NodeMonitor};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An alarm attributed to a fleet node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeAlarm {
+    /// Fleet node index.
+    pub node: usize,
+    /// The confirmed alarm.
+    pub alarm: Alarm,
+}
+
+/// One diagnosed window, with everything the feedback loop needs.
+#[derive(Clone, Debug)]
+pub struct WindowOutcome {
+    /// Fleet node index.
+    pub node: usize,
+    /// Tick of the sample that completed the window.
+    pub at: usize,
+    /// The model's verdict.
+    pub diagnosis: Diagnosis,
+    /// Least-confidence uncertainty (`1 - max_k p_k`) of the verdict.
+    pub uncertainty: f64,
+    /// The scaled model-input row (reused for retraining).
+    pub row: Vec<f64>,
+}
+
+/// What one shard produced during one service tick.
+#[derive(Clone, Debug, Default)]
+pub struct ShardReport {
+    /// Alarms confirmed this tick.
+    pub alarms: Vec<NodeAlarm>,
+    /// Every window diagnosed this tick.
+    pub windows: Vec<WindowOutcome>,
+}
+
+/// Per-shard throughput counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Samples ingested into this shard's monitors.
+    pub samples: u64,
+    /// Windows diagnosed.
+    pub windows: u64,
+    /// Model invocations (1 per non-empty batch when batched; 1 per
+    /// window otherwise).
+    pub batches: u64,
+    /// Largest single inference batch.
+    pub max_batch: usize,
+    /// Alarms confirmed.
+    pub alarms: u64,
+    /// Busy time spent inside [`Shard::process`], in nanoseconds.
+    pub busy_ns: u64,
+    /// Sum over windows of (service tick - sample tick): queueing delay
+    /// between emission and diagnosis.
+    pub latency_ticks: u64,
+}
+
+/// A worker shard owning the monitors of a disjoint node subset.
+#[derive(Clone)]
+pub struct Shard {
+    id: usize,
+    nodes: Vec<usize>,
+    local: HashMap<usize, usize>,
+    monitors: Vec<NodeMonitor>,
+    model: Arc<DiagnosisModel>,
+    view: FeatureView,
+    batched: bool,
+    stats: ShardStats,
+}
+
+impl Shard {
+    /// Builds the shard and one monitor per assigned node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: usize,
+        nodes: Vec<usize>,
+        model: Arc<DiagnosisModel>,
+        extractor: Arc<dyn FeatureExtractor + Send + Sync>,
+        metrics: &[MetricDef],
+        view: FeatureView,
+        monitor: &MonitorConfig,
+        batched: bool,
+    ) -> Self {
+        let monitors = nodes
+            .iter()
+            .map(|_| {
+                NodeMonitor::new(
+                    Arc::clone(&model),
+                    Arc::clone(&extractor),
+                    metrics.to_vec(),
+                    view.clone(),
+                    monitor.clone(),
+                )
+            })
+            .collect();
+        let local = nodes.iter().enumerate().map(|(l, &n)| (n, l)).collect();
+        Self { id, nodes, local, monitors, model, view, batched, stats: ShardStats::default() }
+    }
+
+    /// Shard index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Fleet nodes assigned to this shard.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// This shard's counters.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// One node's monitor (by fleet node index).
+    pub fn monitor(&self, node: usize) -> &NodeMonitor {
+        &self.monitors[self.local[&node]]
+    }
+
+    /// Hot-swaps the diagnosis model on the shard and every monitor.
+    pub fn set_model(&mut self, model: Arc<DiagnosisModel>) {
+        for m in &mut self.monitors {
+            m.set_model(Arc::clone(&model));
+        }
+        self.model = model;
+    }
+
+    /// Ingests this tick's samples for the shard's nodes and diagnoses
+    /// every due window — in one batched model call when `batched`.
+    ///
+    /// `now` is the service tick, used for latency accounting only.
+    pub fn process(&mut self, samples: &[TelemetrySample], now: usize) -> ShardReport {
+        let start = Instant::now();
+        let mut report = ShardReport::default();
+
+        // Buffer samples; collect the windows that came due.
+        let mut due: Vec<(usize, usize)> = Vec::new(); // (local monitor, sample tick)
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for s in samples {
+            let l = *self.local.get(&s.node).expect("sample routed to wrong shard");
+            self.stats.samples += 1;
+            if self.monitors[l].push(&s.values) {
+                rows.push(self.monitors[l].window_row());
+                due.push((l, s.at));
+            }
+        }
+        if due.is_empty() {
+            self.stats.busy_ns += start.elapsed().as_nanos() as u64;
+            return report;
+        }
+
+        // Scale + infer: one call over the whole batch, or window-at-a-time.
+        let proba: Vec<Vec<f64>> = if self.batched {
+            let mut x = Matrix::from_rows(&rows);
+            self.view.scale_inplace(&mut x);
+            for (r, row) in rows.iter_mut().enumerate() {
+                row.copy_from_slice(x.row(r));
+            }
+            self.stats.batches += 1;
+            self.stats.max_batch = self.stats.max_batch.max(rows.len());
+            let p = self.model.probabilities(&x);
+            (0..p.rows()).map(|r| p.row(r).to_vec()).collect()
+        } else {
+            self.stats.batches += rows.len() as u64;
+            self.stats.max_batch = self.stats.max_batch.max(1);
+            rows.iter_mut()
+                .map(|row| {
+                    let mut x = Matrix::from_rows(std::slice::from_ref(row));
+                    self.view.scale_inplace(&mut x);
+                    row.copy_from_slice(x.row(0));
+                    self.model.probabilities(&x).row(0).to_vec()
+                })
+                .collect()
+        };
+
+        // Verdicts + hysteresis, in sample order.
+        let names = &self.model.class_names;
+        for (((l, at), row), p) in due.into_iter().zip(rows).zip(&proba) {
+            let best = (1..p.len()).fold(0, |b, i| if p[i] > p[b] { i } else { b });
+            let diagnosis = Diagnosis { label: names[best].clone(), confidence: p[best] };
+            self.stats.windows += 1;
+            self.stats.latency_ticks += (now.saturating_sub(at)) as u64;
+            if let Some(alarm) = self.monitors[l].apply_diagnosis(diagnosis.clone()) {
+                self.stats.alarms += 1;
+                report.alarms.push(NodeAlarm { node: self.nodes[l], alarm });
+            }
+            report.windows.push(WindowOutcome {
+                node: self.nodes[l],
+                at,
+                uncertainty: uncertainty_score(p),
+                diagnosis,
+                row,
+            });
+        }
+        self.stats.busy_ns += start.elapsed().as_nanos() as u64;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Shard>();
+    }
+}

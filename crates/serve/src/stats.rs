@@ -1,0 +1,113 @@
+//! Aggregated service statistics, serialisable to JSON for dashboards.
+
+use crate::feedback::FeedbackStats;
+use crate::ingest::IngestStats;
+use crate::shard::ShardStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One shard's counters plus derived rates, as exported.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub id: usize,
+    /// Nodes assigned to the shard.
+    pub nodes: usize,
+    /// Raw counters.
+    pub counters: ShardStats,
+    /// Busy time in milliseconds (rounded).
+    pub busy_ms: u64,
+    /// Windows diagnosed per busy second.
+    pub windows_per_busy_s: f64,
+    /// Mean queueing delay between sample emission and diagnosis, in
+    /// ticks.
+    pub mean_latency_ticks: f64,
+}
+
+impl ShardSnapshot {
+    /// Derives the exported snapshot from raw counters.
+    pub fn from_counters(id: usize, nodes: usize, c: ShardStats) -> Self {
+        let busy_s = c.busy_ns as f64 / 1e9;
+        Self {
+            id,
+            nodes,
+            counters: c,
+            busy_ms: c.busy_ns / 1_000_000,
+            windows_per_busy_s: if busy_s > 0.0 { c.windows as f64 / busy_s } else { 0.0 },
+            mean_latency_ticks: if c.windows > 0 {
+                c.latency_ticks as f64 / c.windows as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Whole-service statistics after (or during) a run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Service ticks executed.
+    pub ticks: usize,
+    /// Samples emitted by the replay source.
+    pub samples_emitted: u64,
+    /// Ingest-layer counters (accepted / dropped / peak depth).
+    pub ingest: IngestStats,
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Windows diagnosed fleet-wide.
+    pub windows: u64,
+    /// Alarms confirmed fleet-wide.
+    pub alarms: u64,
+    /// Confirmed alarms per diagnosed label.
+    pub alarms_by_label: BTreeMap<String, u64>,
+    /// Feedback-loop counters.
+    pub feedback: FeedbackStats,
+    /// Model hot-swaps performed (ticks at which they happened).
+    pub swap_ticks: Vec<usize>,
+    /// Wall-clock run time in milliseconds.
+    pub wall_ms: u64,
+    /// Windows diagnosed per wall-clock second.
+    pub windows_per_s: f64,
+}
+
+impl ServiceStats {
+    /// Compact JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("stats serialise")
+    }
+
+    /// Pretty-printed JSON export.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stats serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let mut s = ServiceStats {
+            ticks: 10,
+            samples_emitted: 520,
+            windows: 42,
+            alarms: 3,
+            wall_ms: 17,
+            windows_per_s: 2470.6,
+            swap_ticks: vec![7],
+            ..ServiceStats::default()
+        };
+        s.alarms_by_label.insert("memleak".into(), 2);
+        s.alarms_by_label.insert("dcopy".into(), 1);
+        s.shards.push(ShardSnapshot::from_counters(
+            0,
+            13,
+            ShardStats { windows: 42, busy_ns: 2_000_000, latency_ticks: 84, ..Default::default() },
+        ));
+        let back: ServiceStats = serde_json::from_str(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.shards[0].busy_ms, 2);
+        assert_eq!(back.shards[0].mean_latency_ticks, 2.0);
+    }
+}

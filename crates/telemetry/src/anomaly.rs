@@ -202,7 +202,8 @@ impl Injection {
                 // which is what keeps `dial` the hardest anomaly to diagnose
                 // on Volta, exactly as the paper observes.
                 groups[g(MetricGroup::Frequency)] *= 1.0 - 0.42 * i;
-                groups[g(MetricGroup::Power)] = (groups[g(MetricGroup::Power)] - 60.0 * i).max(80.0);
+                groups[g(MetricGroup::Power)] =
+                    (groups[g(MetricGroup::Power)] - 60.0 * i).max(80.0);
                 let slow = 1.0 - 0.35 * i;
                 for tg in [
                     MetricGroup::NetTx,
@@ -242,12 +243,8 @@ mod tests {
     use crate::signature::{build_signature, SignatureConfig};
 
     fn healthy_groups(t: f64) -> [f64; MetricGroup::ALL.len()] {
-        let sig = build_signature(
-            &find_application("BT").unwrap(),
-            0,
-            4,
-            &SignatureConfig::default(),
-        );
+        let sig =
+            build_signature(&find_application("BT").unwrap(), 0, 4, &SignatureConfig::default());
         sig.eval(t)
     }
 
@@ -338,7 +335,9 @@ mod tests {
         let base = healthy_groups(100.0);
         let mut dialed = base;
         Injection::new(AnomalyKind::Dial, 100).apply(&mut dialed, 100.0, 600.0);
-        assert!(dialed[MetricGroup::Frequency.index()] < 0.7 * base[MetricGroup::Frequency.index()]);
+        assert!(
+            dialed[MetricGroup::Frequency.index()] < 0.7 * base[MetricGroup::Frequency.index()]
+        );
         assert!(dialed[MetricGroup::NetTx.index()] < 0.75 * base[MetricGroup::NetTx.index()]);
     }
 

@@ -41,12 +41,7 @@ pub struct Application {
 
 impl Application {
     fn new(name: &str, suite: &str, description: &str, class: AppClass) -> Self {
-        Self {
-            name: name.into(),
-            suite: suite.into(),
-            description: description.into(),
-            class,
-        }
+        Self { name: name.into(), suite: suite.into(), description: description.into(), class }
     }
 }
 
@@ -78,18 +73,25 @@ pub fn eclipse_catalog() -> Vec<Application> {
         Application::new("LAMMPS", "Real", "Molecular dynamics", AppClass::MolecularDynamics),
         Application::new("HACC", "Real", "Cosmological simulation", AppClass::Cosmology),
         Application::new("sw4", "Real", "Seismic modeling", AppClass::Solver),
-        Application::new("ExaMiniMD", "ECP Proxy", "Molecular dynamics", AppClass::MolecularDynamics),
+        Application::new(
+            "ExaMiniMD",
+            "ECP Proxy",
+            "Molecular dynamics",
+            AppClass::MolecularDynamics,
+        ),
         Application::new("SWFFT", "ECP Proxy", "3D Fast Fourier Transform", AppClass::SpectralFft),
-        Application::new("sw4lite", "ECP Proxy", "Numerical kernel optimizations", AppClass::Solver),
+        Application::new(
+            "sw4lite",
+            "ECP Proxy",
+            "Numerical kernel optimizations",
+            AppClass::Solver,
+        ),
     ]
 }
 
 /// Looks up an application by name in either catalog.
 pub fn find_application(name: &str) -> Option<Application> {
-    volta_catalog()
-        .into_iter()
-        .chain(eclipse_catalog())
-        .find(|a| a.name.eq_ignore_ascii_case(name))
+    volta_catalog().into_iter().chain(eclipse_catalog()).find(|a| a.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

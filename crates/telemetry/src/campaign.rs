@@ -292,8 +292,9 @@ mod tests {
         for app in &c.apps {
             for kind in AnomalyKind::ALL {
                 assert!(
-                    configs.iter().any(|r| r.app.name == app.name
-                        && r.injection.map(|i| i.kind) == Some(kind)),
+                    configs.iter().any(
+                        |r| r.app.name == app.name && r.injection.map(|i| i.kind) == Some(kind)
+                    ),
                     "{} never received {kind:?}",
                     app.name
                 );
@@ -308,10 +309,7 @@ mod tests {
         assert!(!samples.is_empty());
         let anom = samples.iter().filter(|s| s.label != HEALTHY_LABEL).count();
         let ratio = anom as f64 / samples.len() as f64;
-        assert!(
-            (0.08..=0.13).contains(&ratio),
-            "anomaly ratio {ratio} should approximate 0.10"
-        );
+        assert!((0.08..=0.13).contains(&ratio), "anomaly ratio {ratio} should approximate 0.10");
         // Determinism.
         let again = c.generate();
         assert_eq!(samples.len(), again.len());

@@ -287,8 +287,7 @@ mod tests {
     fn series_eq(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
         a.len() == b.len()
             && a.iter().zip(b).all(|(x, y)| {
-                x.len() == y.len()
-                    && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
             })
     }
 
@@ -391,12 +390,8 @@ mod tests {
         noise.missing_prob = 0.05;
         let out = generate_run(&run_cfg(None, 5), &catalog(), &SignatureConfig::default(), &noise);
         let total: usize = out[0].series.values.iter().map(Vec::len).sum();
-        let nans: usize = out[0]
-            .series
-            .values
-            .iter()
-            .map(|s| s.iter().filter(|v| v.is_nan()).count())
-            .sum();
+        let nans: usize =
+            out[0].series.values.iter().map(|s| s.iter().filter(|v| v.is_nan()).count()).sum();
         let rate = nans as f64 / total as f64;
         assert!((0.02..0.09).contains(&rate), "nan rate {rate}");
     }
@@ -405,8 +400,12 @@ mod tests {
     fn memleak_run_shows_memory_ramp_on_injected_node() {
         let cat = catalog();
         let inj = Injection::new(AnomalyKind::MemLeak, 100);
-        let out =
-            generate_run(&run_cfg(Some(inj), 9), &cat, &SignatureConfig::default(), &NoiseConfig::testbed());
+        let out = generate_run(
+            &run_cfg(Some(inj), 9),
+            &cat,
+            &SignatureConfig::default(),
+            &NoiseConfig::testbed(),
+        );
         // Find a MemUsed gauge.
         let mi = cat
             .metrics

@@ -284,8 +284,7 @@ mod tests {
     #[test]
     fn counter_groups_mix_in_gauges() {
         let cat = MetricCatalog::build(&SystemSpec::volta(), 5);
-        let net_tx: Vec<_> =
-            cat.metrics.iter().filter(|m| m.group == MetricGroup::NetTx).collect();
+        let net_tx: Vec<_> = cat.metrics.iter().filter(|m| m.group == MetricGroup::NetTx).collect();
         assert!(net_tx.iter().any(|m| m.def.kind == MetricKind::Counter));
         assert!(net_tx.iter().any(|m| m.def.kind == MetricKind::Gauge));
     }

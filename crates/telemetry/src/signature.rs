@@ -96,9 +96,8 @@ fn unit(seed: u64, salt: u64) -> f64 {
 }
 
 fn str_seed(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-    })
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3))
 }
 
 /// Base per-class group levels; columns follow [`MetricGroup::ALL`] order:
@@ -107,33 +106,42 @@ fn str_seed(s: &str) -> u64 {
 /// Frequency, WriteBack.
 fn class_levels(class: AppClass) -> [f64; 17] {
     match class {
-        AppClass::Solver => {
-            [0.82, 0.05, 0.13, 22.0, 70.0, 11.0, 14.0, 46.0, 3.0, 38.0, 38.0, 4.0, 7.0, 1.0, 290.0, 2.4, 13.0]
-        }
-        AppClass::SparseIterative => {
-            [0.55, 0.04, 0.41, 62.0, 88.0, 17.0, 10.0, 52.0, 2.0, 30.0, 30.0, 2.0, 3.0, 0.6, 255.0, 2.4, 19.0]
-        }
-        AppClass::SpectralFft => {
-            [0.60, 0.09, 0.31, 34.0, 64.0, 19.0, 18.0, 42.0, 4.0, 95.0, 95.0, 3.0, 5.0, 0.8, 270.0, 2.4, 21.0]
-        }
-        AppClass::Multigrid => {
-            [0.66, 0.06, 0.28, 44.0, 76.0, 15.0, 12.0, 50.0, 5.0, 52.0, 52.0, 2.0, 4.0, 0.7, 265.0, 2.4, 16.0]
-        }
-        AppClass::MolecularDynamics => {
-            [0.92, 0.03, 0.05, 16.0, 82.0, 8.0, 7.0, 55.0, 1.5, 17.0, 17.0, 1.0, 2.0, 0.4, 305.0, 2.4, 9.0]
-        }
-        AppClass::Stencil => {
-            [0.71, 0.06, 0.23, 30.0, 68.0, 13.0, 11.0, 51.0, 2.5, 58.0, 58.0, 2.0, 4.0, 0.6, 275.0, 2.4, 14.0]
-        }
-        AppClass::Amr => {
-            [0.63, 0.08, 0.29, 36.0, 63.0, 12.0, 16.0, 44.0, 7.0, 44.0, 44.0, 5.0, 9.0, 2.2, 260.0, 2.4, 15.0]
-        }
-        AppClass::Transport => {
-            [0.69, 0.07, 0.24, 33.0, 69.0, 14.0, 12.0, 49.0, 3.5, 49.0, 49.0, 3.0, 5.0, 1.0, 272.0, 2.4, 15.5]
-        }
-        AppClass::Cosmology => {
-            [0.74, 0.07, 0.19, 28.0, 72.0, 16.0, 20.0, 40.0, 4.5, 70.0, 70.0, 6.0, 8.0, 1.2, 285.0, 2.4, 17.0]
-        }
+        AppClass::Solver => [
+            0.82, 0.05, 0.13, 22.0, 70.0, 11.0, 14.0, 46.0, 3.0, 38.0, 38.0, 4.0, 7.0, 1.0, 290.0,
+            2.4, 13.0,
+        ],
+        AppClass::SparseIterative => [
+            0.55, 0.04, 0.41, 62.0, 88.0, 17.0, 10.0, 52.0, 2.0, 30.0, 30.0, 2.0, 3.0, 0.6, 255.0,
+            2.4, 19.0,
+        ],
+        AppClass::SpectralFft => [
+            0.60, 0.09, 0.31, 34.0, 64.0, 19.0, 18.0, 42.0, 4.0, 95.0, 95.0, 3.0, 5.0, 0.8, 270.0,
+            2.4, 21.0,
+        ],
+        AppClass::Multigrid => [
+            0.66, 0.06, 0.28, 44.0, 76.0, 15.0, 12.0, 50.0, 5.0, 52.0, 52.0, 2.0, 4.0, 0.7, 265.0,
+            2.4, 16.0,
+        ],
+        AppClass::MolecularDynamics => [
+            0.92, 0.03, 0.05, 16.0, 82.0, 8.0, 7.0, 55.0, 1.5, 17.0, 17.0, 1.0, 2.0, 0.4, 305.0,
+            2.4, 9.0,
+        ],
+        AppClass::Stencil => [
+            0.71, 0.06, 0.23, 30.0, 68.0, 13.0, 11.0, 51.0, 2.5, 58.0, 58.0, 2.0, 4.0, 0.6, 275.0,
+            2.4, 14.0,
+        ],
+        AppClass::Amr => [
+            0.63, 0.08, 0.29, 36.0, 63.0, 12.0, 16.0, 44.0, 7.0, 44.0, 44.0, 5.0, 9.0, 2.2, 260.0,
+            2.4, 15.0,
+        ],
+        AppClass::Transport => [
+            0.69, 0.07, 0.24, 33.0, 69.0, 14.0, 12.0, 49.0, 3.5, 49.0, 49.0, 3.0, 5.0, 1.0, 272.0,
+            2.4, 15.5,
+        ],
+        AppClass::Cosmology => [
+            0.74, 0.07, 0.19, 28.0, 72.0, 16.0, 20.0, 40.0, 4.5, 70.0, 70.0, 6.0, 8.0, 1.2, 285.0,
+            2.4, 17.0,
+        ],
     }
 }
 
@@ -215,21 +223,17 @@ pub fn build_signature(
                 level = (64.0 - used).max(2.0);
             }
             // CPU fractions must stay in [0, 1].
-            if matches!(g, MetricGroup::CpuUser | MetricGroup::CpuSystem | MetricGroup::CpuIdle)
-            {
+            if matches!(g, MetricGroup::CpuUser | MetricGroup::CpuSystem | MetricGroup::CpuIdle) {
                 level = level.clamp(0.005, 0.99);
             }
             // Healthy frequency carries a ±6 % turbo spread per (app, deck)
             // — enough to mask small `dial` reductions (the paper finds dial
             // the most confusing anomaly).
             if g == MetricGroup::Frequency {
-                level = levels[gi]
-                    * (1.0 + 0.06 * (2.0 * unit(deck_seed, 77 + salt) - 1.0));
+                level = levels[gi] * (1.0 + 0.06 * (2.0 * unit(deck_seed, 77 + salt) - 1.0));
             }
-            let periodic_groups = !matches!(
-                g,
-                MetricGroup::MemUsed | MetricGroup::MemFree | MetricGroup::Frequency
-            );
+            let periodic_groups =
+                !matches!(g, MetricGroup::MemUsed | MetricGroup::MemFree | MetricGroup::Frequency);
             let (a, a2) = if periodic_groups {
                 // Stable per-(app, group) modulation of the class rhythm.
                 (
@@ -258,12 +262,7 @@ mod tests {
     use crate::apps::{find_application, volta_catalog};
 
     fn sig(app: &str, deck: usize, nodes: usize) -> Signature {
-        build_signature(
-            &find_application(app).unwrap(),
-            deck,
-            nodes,
-            &SignatureConfig::default(),
-        )
+        build_signature(&find_application(app).unwrap(), deck, nodes, &SignatureConfig::default())
     }
 
     #[test]
@@ -294,18 +293,14 @@ mod tests {
     fn fft_codes_are_network_heavy() {
         let ft = sig("FT", 0, 4);
         let md = sig("MiniMD", 0, 4);
-        assert!(
-            ft.pattern(MetricGroup::NetTx).level > 2.0 * md.pattern(MetricGroup::NetTx).level
-        );
+        assert!(ft.pattern(MetricGroup::NetTx).level > 2.0 * md.pattern(MetricGroup::NetTx).level);
     }
 
     #[test]
     fn network_level_grows_with_allocation() {
         let small = sig("SWFFT", 0, 4);
         let large = sig("SWFFT", 0, 16);
-        assert!(
-            large.pattern(MetricGroup::NetTx).level > small.pattern(MetricGroup::NetTx).level
-        );
+        assert!(large.pattern(MetricGroup::NetTx).level > small.pattern(MetricGroup::NetTx).level);
     }
 
     #[test]

@@ -51,10 +51,7 @@ fn main() {
     forest.fit(&labeled.x, &labeled.y, labeled.n_classes());
 
     // --- Store the model (the paper's pickle step). ----------------------
-    let model = DiagnosisModel::new(
-        FittedModel::Forest(forest),
-        labeled.encoder.names().to_vec(),
-    );
+    let model = DiagnosisModel::new(FittedModel::Forest(forest), labeled.encoder.names().to_vec());
     let path = std::env::temp_dir().join("albadross_model.json");
     model.save(&path).expect("write model");
     println!("  stored model at {} ({} bytes)", path.display(), model.to_json().len());
@@ -80,8 +77,7 @@ fn main() {
     );
     // Same preprocessing + extraction + feature view + scaling as training:
     // the prepared split carries the fitted selector and scaler.
-    let fresh_ds =
-        extract_features(&fresh, &Mvts, &PreprocessConfig::default(), &class_names());
+    let fresh_ds = extract_features(&fresh, &Mvts, &PreprocessConfig::default(), &class_names());
     let projected = split.project(&fresh_ds);
     let x = projected.x;
 

@@ -21,11 +21,8 @@ fn main() {
         data.dataset.applications()
     );
 
-    let split = prepare_split(
-        &data.dataset,
-        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
-        5,
-    );
+    let split =
+        prepare_split(&data.dataset, &SplitConfig { train_fraction: 0.5, top_k_features: 300 }, 5);
     let sp = seed_and_pool(&split.train, None, 5);
     println!(
         "  seed: {} labeled samples (one per application/anomaly pair; Eclipse has 6 apps x 5 anomalies)",

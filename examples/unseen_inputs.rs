@@ -16,11 +16,8 @@ fn main() {
     println!("generating a reduced Volta campaign; holding out input deck {held_out_deck}...");
     let data = SystemData::generate_best(System::Volta, Scale::Smoke, 8);
 
-    let split = prepare_split(
-        &data.dataset,
-        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
-        9,
-    );
+    let split =
+        prepare_split(&data.dataset, &SplitConfig { train_fraction: 0.5, top_k_features: 300 }, 9);
     // Seed labels only from the decks the operators have already seen.
     let sp = seed_and_pool_filtered(&split.train, |m| m.input_deck != held_out_deck, 9);
     // Test only on the never-before-labeled deck.

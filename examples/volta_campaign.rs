@@ -47,11 +47,7 @@ fn main() {
         MetricGroup::MemBandwidth,
         MetricGroup::NetTx,
     ] {
-        println!(
-            "  {g:?}: {:.2} vs {:.2}",
-            kripke.pattern(g).level,
-            cg.pattern(g).level
-        );
+        println!("  {g:?}: {:.2} vs {:.2}", kripke.pattern(g).level, cg.pattern(g).level);
     }
 
     // Run Kripke on 4 nodes for 5 minutes with a cache-contention stressor

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, build, tests.
+#
+# Usage: scripts/ci.sh
+# Runs everything the tree must pass before a merge; exits non-zero on
+# the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI green."

@@ -46,11 +46,8 @@ fn train_test_split_has_no_run_level_leakage_in_seed() {
 #[test]
 fn session_improves_f1_over_seed_only_model() {
     let data = volta_smoke();
-    let split = prepare_split(
-        &data.dataset,
-        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
-        7,
-    );
+    let split =
+        prepare_split(&data.dataset, &SplitConfig { train_fraction: 0.5, top_k_features: 300 }, 7);
     let sp = seed_and_pool(&split.train, None, 7);
     let spec = ModelSpec::tuned(ModelFamily::Rf, true);
     let session = run_session(
@@ -103,12 +100,7 @@ fn early_queries_hunt_for_healthy_labels() {
         &sp.seed_set,
         &sp.pool,
         &split.test,
-        &SessionConfig {
-            strategy: Strategy::Uncertainty,
-            budget: 10,
-            target_f1: None,
-            seed: 13,
-        },
+        &SessionConfig { strategy: Strategy::Uncertainty, budget: 10, target_f1: None, seed: 13 },
     );
     let healthy = split.train.encoder.encode("healthy").unwrap();
     let healthy_queries = session.records.iter().filter(|r| r.true_label == healthy).count();
@@ -140,11 +132,8 @@ fn cached_generation_matches_uncached() {
 #[test]
 fn proctor_session_is_comparable_and_low_false_alarm_at_end() {
     let data = volta_smoke();
-    let split = prepare_split(
-        &data.dataset,
-        &SplitConfig { train_fraction: 0.5, top_k_features: 300 },
-        17,
-    );
+    let split =
+        prepare_split(&data.dataset, &SplitConfig { train_fraction: 0.5, top_k_features: 300 }, 17);
     let sp = seed_and_pool(&split.train, None, 17);
     let scale = RunScale::smoke(17);
     let mut cfg = scale.proctor(17);

@@ -4,8 +4,8 @@
 
 use albadross_repro::active::{entropy_score, margin_score, uncertainty_score};
 use albadross_repro::data::Matrix;
-use albadross_repro::features::{chi_square_scores, interpolate_gaps, MinMaxScaler};
 use albadross_repro::features::stats;
+use albadross_repro::features::{chi_square_scores, interpolate_gaps, MinMaxScaler};
 use albadross_repro::ml::{softmax_row, ConfusionMatrix};
 use proptest::prelude::*;
 

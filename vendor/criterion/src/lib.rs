@@ -1,0 +1,249 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the benchmarking surface this workspace uses
+//! (`Criterion::default().sample_size(..)`, `bench_function`,
+//! `Bencher::iter` / `iter_batched`, both `criterion_group!` forms and
+//! `criterion_main!`). Timing is a simple best-of-samples wall-clock
+//! measurement printed to stdout — no statistics engine, plots, or
+//! saved baselines.
+//!
+//! Honours `--bench` (ignored filter flags are tolerated) so
+//! `cargo bench` invocations pass through; any positional CLI argument
+//! is treated as a substring filter on benchmark names, matching
+//! criterion's behaviour.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim runs one routine
+/// call per setup regardless; the variant only documents intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Setup re-run for every single iteration.
+    PerIteration,
+}
+
+/// Drives timing loops inside a benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Best observed per-iteration time, recorded for the caller.
+    pub(crate) best: Duration,
+    pub(crate) iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly, keeping the best sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let mut best = Duration::MAX;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total_iters += 1;
+            if dt < best {
+                best = dt;
+            }
+        }
+        self.best = best;
+        self.iterations = total_iters;
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut best = Duration::MAX;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            total_iters += 1;
+            if dt < best {
+                best = dt;
+            }
+        }
+        self.best = best;
+        self.iterations = total_iters;
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Criterion's CLI passes through `cargo bench` extra args; accept
+        // and ignore harness flags, treat the first free arg as a filter.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" || arg == "--test" || arg.starts_with('-') {
+                continue;
+            }
+            filter.get_or_insert(arg);
+        }
+        Criterion { sample_size: 10, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its best observed time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { sample_size: self.sample_size, best: Duration::ZERO, iterations: 0 };
+        f(&mut b);
+        println!(
+            "bench: {:<48} best {:>12} over {} samples",
+            id,
+            fmt_duration(b.best),
+            b.iterations
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Groups benchmark functions under a name; both the positional and the
+/// `name = ..; config = ..; targets = ..` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { sample_size: 3, filter: None };
+        let mut calls = 0u32;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        // one warm-up + sample_size timed calls
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion { sample_size: 4, filter: None };
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |mut v| {
+                    v.push(4);
+                    assert_eq!(v.len(), 4);
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { sample_size: 2, filter: Some("match_me".to_string()) };
+        let mut ran = false;
+        c.bench_function("other/name", |b| {
+            ran = true;
+            b.iter(|| 1u8)
+        });
+        assert!(!ran);
+        c.bench_function("group/match_me", |b| b.iter(|| 1u8));
+    }
+
+    mod macro_smoke {
+        use super::super::Criterion;
+
+        fn target_a(c: &mut Criterion) {
+            c.bench_function("macro/a", |b| b.iter(|| 2u8 + 2));
+        }
+
+        fn target_b(c: &mut Criterion) {
+            c.bench_function("macro/b", |b| b.iter(|| 2u8 * 2));
+        }
+
+        criterion_group!(positional, target_a, target_b);
+        criterion_group! {
+            name = structured;
+            config = Criterion::default().sample_size(2);
+            targets = target_a, target_b
+        }
+
+        #[test]
+        fn both_group_forms_expand_and_run() {
+            positional();
+            structured();
+        }
+    }
+}

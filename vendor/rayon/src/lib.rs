@@ -1,0 +1,258 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of rayon it uses: `par_iter` / `into_par_iter` /
+//! `par_chunks_mut` pipelines ending in `map`, `flat_map_iter`,
+//! `enumerate`, `filter`, `for_each`, `reduce_with`, `sum` and `collect`.
+//!
+//! Unlike a sequential shim, adapters evaluate **eagerly in parallel**
+//! using [`std::thread::scope`]: each `map`/`for_each` splits its items
+//! into one contiguous chunk per available core and joins before
+//! returning, preserving input order. There is no work stealing — the
+//! workspace's parallel loops are uniform enough that static chunking
+//! keeps all cores busy — but the speedup on multi-core hosts is real,
+//! which the `serve_throughput` benchmark relies on.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads (cores, capped to the item count by callers).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item in parallel, preserving order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // One contiguous chunk per thread; chunk i covers [bounds[i], bounds[i+1]).
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let c: Vec<T> = iter.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// An eagerly evaluated parallel iterator: adapters run their closure in
+/// parallel immediately and return the materialised results.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: parallel_map(self.items, &f) }
+    }
+
+    /// Parallel flat-map where `f` yields a sequential iterator per item.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = parallel_map(self.items, &|t| f(t).into_iter().collect::<Vec<_>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Parallel filter.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let kept = parallel_map(self.items, &|t| if f(&t) { Some(t) } else { None });
+        ParIter { items: kept.into_iter().flatten().collect() }
+    }
+
+    /// Parallel for-each (side effects only).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &|t| f(t));
+    }
+
+    /// Reduces the (already materialised) results; `None` when empty.
+    pub fn reduce_with<F: Fn(T, T) -> T>(self, f: F) -> Option<T> {
+        self.items.into_iter().reduce(f)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter()` over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_chunks_mut()` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into mutable chunks of `size`, processable in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter { items: self.chunks_mut(size).collect() }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Drop-in analogue of `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> =
+            (0..10usize).into_par_iter().flat_map_iter(|x| vec![x, x + 100]).collect();
+        assert_eq!(out.len(), 20);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[1], 100);
+        assert_eq!(out[18], 9);
+    }
+
+    #[test]
+    fn reduce_with_folds_everything() {
+        let total = (1..=100usize).collect::<Vec<_>>().into_par_iter().reduce_with(|a, b| a + b);
+        assert_eq!(total, Some(5050));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        let mut data = vec![0usize; 64];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[63], 7);
+        assert_eq!(data[8], 1);
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // single-core host: nothing to assert
+        }
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..64usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(ids.into_inner().unwrap().len() > 1, "expected multi-threaded execution");
+    }
+}

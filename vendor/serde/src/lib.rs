@@ -1,0 +1,455 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serde: [`Serialize`] / [`Deserialize`] convert through an
+//! in-memory [`Value`] tree, and the companion `serde_derive` proc-macro
+//! crate generates impls for `#[derive(Serialize, Deserialize)]`. The JSON
+//! text layer lives in the vendored `serde_json`.
+//!
+//! Differences from upstream worth knowing:
+//! * the data model is a concrete [`Value`] tree, not a generic
+//!   serializer/deserializer pair — all the workspace needs is JSON;
+//! * non-finite floats round-trip exactly (encoded as the strings
+//!   `"NaN"`, `"inf"`, `"-inf"`) instead of degrading to `null`;
+//! * enum encoding matches serde's external tagging: unit variants as
+//!   `"Name"`, tuple/newtype variants as `{"Name": ...}`, struct variants
+//!   as `{"Name": {...}}`.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+// Re-export the derive macros under the trait names, exactly as upstream
+// serde does with its `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory JSON-like value tree: the serialisation data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null` (also `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (see [`Number`] for the exactness guarantees).
+    Num(Number),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key/value map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// A number that keeps unsigned/signed/float values exact: `u64` seeds and
+/// `i64` counters never round-trip through `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Finite float.
+    F(f64),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a required struct field in an object's entries.
+pub fn field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error(format!("missing field `{name}`")))
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Num(Number::U(n)) => *n,
+                    Value::Num(Number::I(i)) if *i >= 0 => *i as u64,
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(Error(format!(
+                        "expected unsigned integer, found {}", other.kind()
+                    ))),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Num(Number::U(v as u64))
+                } else {
+                    Value::Num(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::Num(Number::U(n)) => i64::try_from(*n)
+                        .map_err(|_| Error(format!("integer {n} out of i64 range")))?,
+                    Value::Num(Number::I(i)) => *i,
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(Error(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                };
+                <$t>::try_from(n).map_err(|_| Error(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() {
+                    Value::Num(Number::F(v))
+                } else if v.is_nan() {
+                    Value::Str("NaN".to_string())
+                } else if v > 0.0 {
+                    Value::Str("inf".to_string())
+                } else {
+                    Value::Str("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(Number::F(f)) => Ok(*f as $t),
+                    Value::Num(Number::U(n)) => Ok(*n as $t),
+                    Value::Num(Number::I(i)) => Ok(*i as $t),
+                    Value::Str(s) if s == "NaN" => Ok(<$t>::NAN),
+                    Value::Str(s) if s == "inf" => Ok(<$t>::INFINITY),
+                    Value::Str(s) if s == "-inf" => Ok(<$t>::NEG_INFINITY),
+                    other => Err(Error(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error(format!("expected single-char string, found {}", other.kind()))),
+        }
+    }
+}
+
+// ---- container impls ----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                const ARITY: usize = 0 $( + { let _ = $idx; 1 } )+;
+                match v {
+                    Value::Array(items) if items.len() == ARITY => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error(format!(
+                        "expected {}-tuple array, found {}", ARITY, other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+            }
+            other => Err(Error(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Sort keys so serialisation is deterministic.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+            }
+            other => Err(Error(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-42i64).serialize()), Ok(-42));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()), Ok("hi".into()));
+    }
+
+    #[test]
+    fn nonfinite_floats_round_trip_exactly() {
+        assert!(f64::deserialize(&f64::NAN.serialize()).unwrap().is_nan());
+        assert_eq!(f64::deserialize(&f64::INFINITY.serialize()), Ok(f64::INFINITY));
+        assert_eq!(f64::deserialize(&f64::NEG_INFINITY.serialize()), Ok(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::deserialize(&v.serialize()), Ok(v));
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::deserialize(&o.serialize()), Ok(None));
+        let t = (1usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::deserialize(&t.serialize()), Ok(t));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.0f64);
+        assert_eq!(BTreeMap::<String, f64>::deserialize(&m.serialize()), Ok(m));
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let obj = vec![("present".to_string(), Value::Null)];
+        assert!(field(&obj, "absent").is_err());
+        assert!(field(&obj, "present").is_ok());
+    }
+
+    #[test]
+    fn large_u64_stays_exact() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::deserialize(&big.serialize()), Ok(big));
+    }
+}

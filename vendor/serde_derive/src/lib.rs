@@ -1,0 +1,397 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! The build environment has no network access, so `syn`/`quote` are
+//! unavailable; the item is parsed directly from the raw
+//! [`proc_macro::TokenStream`]. Supported shapes — which cover every
+//! derived type in this workspace — are:
+//!
+//! * braced structs with named fields,
+//! * enums whose variants are unit, tuple (any arity) or struct-like.
+//!
+//! Generics are intentionally rejected with a compile error: no derived
+//! type in the workspace is generic, and supporting bounds without `syn`
+//! would buy complexity for nothing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = parse_item(input);
+    let code = match (&item, which) {
+        (Item::Struct { name, fields }, Which::Serialize) => gen_struct_ser(name, fields),
+        (Item::Struct { name, fields }, Which::Deserialize) => gen_struct_de(name, fields),
+        (Item::Enum { name, variants }, Which::Serialize) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, Which::Deserialize) => gen_enum_de(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored serde")
+        }
+        other => panic!(
+            "serde_derive: expected braced body for `{name}` \
+             (tuple/unit items unsupported), found {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parses `ident: Type, ...` inside a brace group, returning field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde_derive: expected field name, found {tree:?}")
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("serde_derive: expected variant name, found {tree:?}")
+        };
+        let name = variant.to_string();
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_types(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to the next variant (past discriminants and the comma).
+        for tree in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tree {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// Counts comma-separated types at angle-bracket depth 0.
+fn count_top_level_types(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut depth = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_any = true;
+    }
+    if saw_any {
+        count += 1;
+    }
+    count
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "__fields.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self) -> ::serde::Value {{\n\
+             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+               ::std::vec::Vec::with_capacity({n});\n\
+             {pushes}\
+             ::serde::Value::Object(__fields)\n\
+           }}\n\
+         }}",
+        n = fields.len(),
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::deserialize(::serde::field(__obj, {f:?})?)?,\n")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+               format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n\
+             ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n")
+                }
+                Shape::Tuple(1) => format!(
+                    "{name}::{vname}(ref __f0) => ::serde::Value::Object(vec![(\
+                       {vname:?}.to_string(), ::serde::Serialize::serialize(__f0))]),\n"
+                ),
+                Shape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("ref __f{i}")).collect();
+                    let elems: Vec<String> =
+                        (0..*n).map(|i| format!("::serde::Serialize::serialize(__f{i})")).collect();
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\
+                           {vname:?}.to_string(), ::serde::Value::Array(vec![{elems}]))]),\n",
+                        binds = binds.join(", "),
+                        elems = elems.join(", "),
+                    )
+                }
+                Shape::Struct(fields) => {
+                    let binds: Vec<String> = fields.iter().map(|f| format!("ref {f}")).collect();
+                    let pushes: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::serialize({f}))"))
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                           {vname:?}.to_string(), \
+                           ::serde::Value::Object(vec![{pushes}]))]),\n",
+                        binds = binds.join(", "),
+                        pushes = pushes.join(", "),
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self) -> ::serde::Value {{\n\
+             match *self {{\n{arms}}}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n", vn = v.name))
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                       ::serde::Deserialize::deserialize(__inner)?)),\n"
+                )),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{\n\
+                           let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                           if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                               \"wrong tuple arity for {name}::{vname}\"));\n\
+                           }}\n\
+                           ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                         }}\n",
+                        elems = elems.join(", "),
+                    ))
+                }
+                Shape::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize(\
+                                   ::serde::field(__vobj, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{\n\
+                           let __vobj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                           ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                         }}\n",
+                        inits = inits.join(", "),
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             match __v {{\n\
+               ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                   format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+               }},\n\
+               ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                   {data_arms}\
+                   __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+               }}\n\
+               __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected variant encoding for {name}, found {{}}\", __other.kind()))),\n\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}
