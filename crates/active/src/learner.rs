@@ -129,6 +129,13 @@ pub fn run_batched_session(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut model = spec.with_seed(config.seed ^ 0xA1).build();
 
+    // Per-round timings land in the global obs registry (no-ops when none
+    // is installed), labelled by strategy so Fig. 3-style sweeps can be
+    // broken down by query policy.
+    let obs = alba_obs::global();
+    let strategy_label: &[(&str, &str)] = &[("strategy", config.strategy.name())];
+    let labels_c = obs.counter("al_labels_total", strategy_label);
+
     // Mutable labeled state.
     let mut labeled_x = seed_set.x.clone();
     let mut labeled_y = seed_set.y.clone();
@@ -143,14 +150,21 @@ pub fn run_batched_session(
         Scores::compute(&test.y, &pred, n_classes)
     };
 
-    model.fit(&labeled_x, &labeled_y, n_classes);
-    let initial_scores = evaluate(model.as_ref());
+    {
+        let _span = obs.span("al_retrain_ns", strategy_label);
+        model.fit(&labeled_x, &labeled_y, n_classes);
+    }
+    let initial_scores = {
+        let _span = obs.span("al_eval_ns", strategy_label);
+        evaluate(model.as_ref())
+    };
     let mut records = Vec::with_capacity(config.budget);
     let mut reached = config.target_f1.is_some_and(|t| initial_scores.f1 >= t);
     let mut labels_used = 0usize;
 
     while labels_used < config.budget && !reached && !remaining.is_empty() {
         // Strategy scores the remaining pool under the current model.
+        let query_span = obs.span("al_query_ns", strategy_label);
         let pool_x = pool.x.select_rows(&remaining);
         let proba = model.predict_proba(&pool_x);
         let ctx = SelectionContext {
@@ -163,6 +177,7 @@ pub fn run_batched_session(
         let take = batch_size.min(config.budget - labels_used);
         // Positions come back sorted descending, so swap_remove is safe.
         let positions = crate::strategy::select_batch(config.strategy, &ctx, &mut rng, take);
+        query_span.finish();
         let mut batch_indices = Vec::with_capacity(positions.len());
         for pos in positions {
             let pool_index = remaining.swap_remove(pos);
@@ -171,8 +186,14 @@ pub fn run_batched_session(
             batch_indices.push(pool_index);
         }
         // One re-train per batch; the oracle labeled the whole batch.
-        model.fit(&labeled_x, &labeled_y, n_classes);
-        let scores = evaluate(model.as_ref());
+        {
+            let _span = obs.span("al_retrain_ns", strategy_label);
+            model.fit(&labeled_x, &labeled_y, n_classes);
+        }
+        let scores = {
+            let _span = obs.span("al_eval_ns", strategy_label);
+            evaluate(model.as_ref())
+        };
         if config.target_f1.is_some_and(|t| scores.f1 >= t) {
             reached = true;
         }
@@ -184,6 +205,7 @@ pub fn run_batched_session(
                 scores,
             });
             labels_used += 1;
+            labels_c.inc();
         }
     }
 

@@ -20,6 +20,12 @@
 //!
 //! Text renderings go to stdout; machine-readable JSON is written to
 //! `--out` (default `results/`).
+//!
+//! The whole run is observed through [`alba_obs`]: a wall-clock registry
+//! is installed globally, each experiment runs under an
+//! `experiment_ns{exp=...}` span, the pipeline stages record their own
+//! histograms (`exp_stage_ns`, `al_*_ns`, `model_*_ns`), and the
+//! collected timings are written to `stage_timings_<scale>.json`.
 
 use albadross::experiments::{
     self, run_curves, run_robustness, run_table4, run_unseen_apps, run_unseen_inputs, CurvesConfig,
@@ -96,6 +102,40 @@ fn save_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
     println!("[saved {}]", path.display());
 }
 
+/// One row of the stage-timings report: a histogram collected during the
+/// run, flattened to the quantiles operators care about.
+#[derive(serde::Serialize)]
+struct TimingEntry {
+    metric: String,
+    labels: Vec<(String, String)>,
+    count: u64,
+    total_ms: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+/// Flattens every histogram in the registry into [`TimingEntry`] rows
+/// (sorted by metric name, then labels — the registry iterates a BTreeMap,
+/// so the order is already deterministic).
+fn stage_timings(obs: &alba_obs::Obs) -> Vec<TimingEntry> {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    obs.histogram_snapshots()
+        .into_iter()
+        .map(|(metric, labels, snap)| TimingEntry {
+            metric,
+            labels,
+            count: snap.count,
+            total_ms: ms(snap.sum),
+            mean_ms: snap.mean() / 1e6,
+            p50_ms: ms(snap.quantile(0.5)),
+            p99_ms: ms(snap.quantile(0.99)),
+            max_ms: ms(snap.max),
+        })
+        .collect()
+}
+
 fn main() {
     let args = parse_args();
     let scale = RunScale::parse(&args.scale_name, args.seed)
@@ -105,6 +145,12 @@ fn main() {
     println!("# ALBADross reproduction harness — scale={} seed={}\n", args.scale_name, args.seed);
     let t_total = Instant::now();
 
+    // Observe the whole run: stage spans deep in the pipeline record into
+    // this registry, and the harness wraps each experiment in its own span.
+    let obs = alba_obs::Obs::wall();
+    alba_obs::set_global(obs.clone());
+    let experiment = |exp: &str| obs.span("experiment_ns", &[("exp", exp)]);
+
     if wants("tables-setup") {
         println!("{}", experiments::render_setup_tables());
     }
@@ -112,6 +158,7 @@ fn main() {
     // Keep the Fig.3 curves around: Fig. 4 and Table V reuse them.
     let mut fig3_curves = None;
     if wants("fig3") || wants("fig4") || wants("table5") {
+        let _span = experiment("fig3");
         let t = Instant::now();
         let res = run_curves(&CurvesConfig {
             system: System::Volta,
@@ -135,6 +182,7 @@ fn main() {
 
     let mut fig5_curves = None;
     if wants("fig5") || wants("table5") {
+        let _span = experiment("fig5");
         let t = Instant::now();
         let res = run_curves(&CurvesConfig {
             system: System::Eclipse,
@@ -149,6 +197,7 @@ fn main() {
     }
 
     if wants("table5") {
+        let _span = experiment("table5");
         let t = Instant::now();
         let rows = vec![
             experiments::table5_row(fig3_curves.as_ref().expect("fig3 ran"), &scale),
@@ -164,6 +213,7 @@ fn main() {
     }
 
     if wants("fig6") {
+        let _span = experiment("fig6");
         let t = Instant::now();
         let res = run_unseen_apps(&UnseenAppsConfig::paper(scale.clone()));
         println!("{}\n[fig6 in {:?}]\n", res.render(), t.elapsed());
@@ -171,6 +221,7 @@ fn main() {
     }
 
     if wants("fig7") {
+        let _span = experiment("fig7");
         let t = Instant::now();
         let res = run_robustness(&RobustnessConfig::paper(scale.clone()));
         println!("{}\n[fig7 in {:?}]\n", res.render(), t.elapsed());
@@ -178,6 +229,7 @@ fn main() {
     }
 
     if wants("fig8") {
+        let _span = experiment("fig8");
         let t = Instant::now();
         let res = run_unseen_inputs(&UnseenInputsConfig::paper(scale.clone()));
         println!("{}\n[fig8 in {:?}]\n", res.render(), t.elapsed());
@@ -185,6 +237,7 @@ fn main() {
     }
 
     if wants("ablations") {
+        let _span = experiment("ablations");
         let t = Instant::now();
         let res = experiments::run_ablations(&scale);
         println!("{}\n[ablations in {:?}]\n", res.render(), t.elapsed());
@@ -192,6 +245,7 @@ fn main() {
     }
 
     if wants("table4") {
+        let _span = experiment("table4");
         for system in [System::Volta, System::Eclipse] {
             let t = Instant::now();
             let res = run_table4(&Table4Config::paper(system, scale.clone()));
@@ -203,6 +257,16 @@ fn main() {
             );
         }
     }
+
+    // Dump the stage timings the pipeline recorded along the way.
+    let timings = stage_timings(&obs);
+    save_json(&args.out, &format!("stage_timings_{}", args.scale_name), &timings);
+    println!("\n== stage timings (total / count) ==");
+    for t in timings.iter().filter(|t| t.metric == "experiment_ns" || t.metric == "exp_stage_ns") {
+        let labels: Vec<String> = t.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("{:<16} {:<24} {:>10.1} ms / {}", t.metric, labels.join(","), t.total_ms, t.count);
+    }
+    alba_obs::clear_global();
 
     println!("# done in {:?}", t_total.elapsed());
 }

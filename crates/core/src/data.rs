@@ -115,9 +115,14 @@ impl SystemData {
         scale: Scale,
         seed: u64,
     ) -> Self {
+        let obs = alba_obs::global();
         let campaign = system.campaign(scale, seed);
-        let samples = campaign.generate();
+        let samples = {
+            let _span = obs.span("exp_stage_ns", &[("stage", "generate_campaign")]);
+            campaign.generate()
+        };
         let extractor = method.extractor();
+        let _span = obs.span("exp_stage_ns", &[("stage", "extract_features")]);
         let dataset = extract_features(
             &samples,
             extractor.as_ref(),

@@ -139,9 +139,13 @@ pub(crate) fn prepare_splits(data: &SystemData, scale: &RunScale) -> Vec<SplitIn
 
 /// Runs the full curves experiment.
 pub fn run_curves(cfg: &CurvesConfig) -> CurvesResult {
+    let obs = alba_obs::global();
     let method = cfg.method.unwrap_or_else(|| cfg.system.best_feature_method());
     let data = SystemData::generate(cfg.system, method, cfg.scale.campaign, cfg.scale.seed);
-    let splits = prepare_splits(&data, &cfg.scale);
+    let splits = {
+        let _span = obs.span("exp_stage_ns", &[("stage", "prepare_splits")]);
+        prepare_splits(&data, &cfg.scale)
+    };
     let spec = cfg.scale.model(cfg.system == System::Volta);
 
     // Job list: (method name, split index, repeat index).
@@ -163,6 +167,7 @@ pub fn run_curves(cfg: &CurvesConfig) -> CurvesResult {
         }
     }
 
+    let sessions_span = obs.span("exp_stage_ns", &[("stage", "al_sessions")]);
     let results: Vec<(String, SessionResult)> = jobs
         .par_iter()
         .map(|&(job, rep, r)| {
@@ -196,6 +201,7 @@ pub fn run_curves(cfg: &CurvesConfig) -> CurvesResult {
             }
         })
         .collect();
+    sessions_span.finish();
 
     let mut sessions: BTreeMap<String, Vec<SessionResult>> = BTreeMap::new();
     for (name, session) in results {

@@ -67,6 +67,7 @@ impl PreparedSplit {
 
 /// Performs steps 1–4 above. Deterministic given `seed`.
 pub fn prepare_split(full: &Dataset, cfg: &SplitConfig, seed: u64) -> PreparedSplit {
+    let _span = alba_obs::global().span("exp_stage_ns", &[("stage", "prepare_split")]);
     let mut rng = StdRng::seed_from_u64(seed);
     let (train_idx, test_idx) = stratified_split(&full.y, cfg.train_fraction, &mut rng);
     let train_raw = full.select(&train_idx);

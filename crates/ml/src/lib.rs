@@ -23,6 +23,7 @@ pub mod model;
 pub mod nn;
 pub mod persist;
 pub mod spec;
+pub mod timed;
 pub mod tree;
 
 pub use autoencoder::{Autoencoder, AutoencoderParams};
@@ -36,4 +37,5 @@ pub use model::{normalize_row, softmax_row, Classifier};
 pub use nn::{par_matmul, Activation, Dense, FeedForward, Optimizer};
 pub use persist::{Diagnosis, DiagnosisModel, FittedModel};
 pub use spec::{table4_grid, ModelFamily, ModelSpec};
+pub use timed::Timed;
 pub use tree::{Criterion, DecisionTree, MaxFeatures, TreeParams};

@@ -36,6 +36,16 @@ impl FittedModel {
             FittedModel::Mlp(m) => m,
         }
     }
+
+    /// Short family name, used as the `model` label on obs metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FittedModel::Forest(_) => "RF",
+            FittedModel::Gbm(_) => "LGBM",
+            FittedModel::LogReg(_) => "LR",
+            FittedModel::Mlp(_) => "MLP",
+        }
+    }
 }
 
 /// One diagnosis: label plus the model's confidence in it.
@@ -76,6 +86,7 @@ impl DiagnosisModel {
     /// need the whole distribution, not just the argmax that
     /// [`DiagnosisModel::diagnose`] reports.
     pub fn probabilities(&self, x: &Matrix) -> Matrix {
+        let _span = alba_obs::global().span("model_predict_ns", &[("model", self.model.kind())]);
         self.model.as_classifier().predict_proba(x)
     }
 

@@ -10,6 +10,7 @@ use crate::gbm::{GbmParams, GradientBoosting};
 use crate::linear::{LogRegParams, LogisticRegression, Penalty};
 use crate::mlp::{MlpClassifier, MlpParams};
 use crate::model::Classifier;
+use crate::timed::Timed;
 use crate::tree::Criterion;
 use serde::{Deserialize, Serialize};
 
@@ -53,12 +54,18 @@ pub enum ModelSpec {
 
 impl ModelSpec {
     /// Instantiates an unfitted classifier.
+    ///
+    /// The classifier is wrapped in [`Timed`](crate::Timed), so fit and
+    /// predict times land in the global obs registry (when one is
+    /// installed) under `model_fit_ns{model=...}` /
+    /// `model_predict_ns{model=...}` with the Table IV family name.
     pub fn build(&self) -> Box<dyn Classifier> {
+        let label = self.family().name();
         match self {
-            ModelSpec::LogReg(p) => Box::new(LogisticRegression::new(*p)),
-            ModelSpec::Forest(p) => Box::new(RandomForest::new(*p)),
-            ModelSpec::Gbm(p) => Box::new(GradientBoosting::new(*p)),
-            ModelSpec::Mlp(p) => Box::new(MlpClassifier::new(p.clone())),
+            ModelSpec::LogReg(p) => Box::new(Timed::new(LogisticRegression::new(*p), label)),
+            ModelSpec::Forest(p) => Box::new(Timed::new(RandomForest::new(*p), label)),
+            ModelSpec::Gbm(p) => Box::new(Timed::new(GradientBoosting::new(*p), label)),
+            ModelSpec::Mlp(p) => Box::new(Timed::new(MlpClassifier::new(p.clone()), label)),
         }
     }
 

@@ -1,0 +1,235 @@
+//! Structured events serialised as JSON Lines into a pluggable sink.
+//!
+//! An event is a `kind` plus typed fields; the registry renders it as
+//! one self-contained JSON object per line (`{"ts":..,"kind":..,...}`)
+//! so logs can be tailed, grepped and parsed without a schema. JSON is
+//! rendered by hand — this crate carries no dependencies — with the
+//! escaping rules the serialisation needs and nothing more.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A typed event-field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values render as `null`).
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl Value {
+    /// Renders the value as a JSON literal into `out`.
+    pub fn render_into(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => write!(out, "{v}").unwrap(),
+            Value::I64(v) => write!(out, "{v}").unwrap(),
+            Value::F64(v) if v.is_finite() => write!(out, "{v}").unwrap(),
+            Value::F64(_) => out.push_str("null"),
+            Value::Str(s) => {
+                out.push('"');
+                json_escape(s, out);
+                out.push('"');
+            }
+            Value::Bool(v) => write!(out, "{v}").unwrap(),
+        }
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping applied.
+pub fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one event as a JSON line (no trailing newline).
+pub(crate) fn render_event(ts: u64, kind: &str, fields: &[(&str, Value)]) -> String {
+    let mut line = String::with_capacity(64);
+    line.push_str("{\"ts\":");
+    write!(line, "{ts}").unwrap();
+    line.push_str(",\"kind\":\"");
+    json_escape(kind, &mut line);
+    line.push('"');
+    for (k, v) in fields {
+        line.push_str(",\"");
+        json_escape(k, &mut line);
+        line.push_str("\":");
+        v.render_into(&mut line);
+    }
+    line.push('}');
+    line
+}
+
+/// Receives rendered JSONL event lines.
+pub trait EventSink: Send + Sync {
+    /// Consumes one rendered line (no trailing newline).
+    fn emit(&self, line: &str);
+}
+
+/// An in-memory sink capturing every line — for tests and determinism
+/// assertions.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every line emitted so far, in order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Lines emitted so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, line: &str) {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).push(line.to_string());
+    }
+}
+
+/// A sink appending one line per event to a file (unbuffered writes —
+/// event rates in this workspace are low and crash-safety matters more
+/// than syscall counts).
+#[derive(Debug)]
+pub struct FileSink {
+    file: Mutex<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self { file: Mutex::new(File::create(path)?) })
+    }
+}
+
+impl EventSink for FileSink {
+    fn emit(&self, line: &str) {
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        // A failed log write must never take down the pipeline it
+        // observes; the error is intentionally dropped.
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_typed_fields() {
+        let line = render_event(
+            7,
+            "alarm",
+            &[
+                ("node", Value::from(3usize)),
+                ("score", Value::from(0.5f64)),
+                ("label", Value::from("memleak")),
+                ("confirmed", Value::from(true)),
+                ("delta", Value::from(-2i64)),
+            ],
+        );
+        assert_eq!(
+            line,
+            r#"{"ts":7,"kind":"alarm","node":3,"score":0.5,"label":"memleak","confirmed":true,"delta":-2}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite() {
+        let line = render_event(
+            0,
+            "x",
+            &[("s", Value::from("a\"b\\c\nd\u{1}")), ("nan", Value::from(f64::NAN))],
+        );
+        assert_eq!(line, r#"{"ts":0,"kind":"x","s":"a\"b\\c\nd\u0001","nan":null}"#);
+    }
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit("a");
+        sink.emit("b");
+        assert_eq!(sink.lines(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl() {
+        let path = std::env::temp_dir().join("alba_obs_file_sink_test.jsonl");
+        let sink = FileSink::create(&path).unwrap();
+        sink.emit(r#"{"ts":0,"kind":"a"}"#);
+        sink.emit(r#"{"ts":1,"kind":"b"}"#);
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,47 @@
+//! An optional process-wide [`Obs`] handle.
+//!
+//! Deep call sites — model fits inside the ML substrate, feature
+//! extraction inside experiment drivers — cannot reasonably thread an
+//! [`Obs`] through every signature. They record through [`global`],
+//! which is a cheap clone of whatever handle the application installed
+//! with [`set_global`] (a disabled no-op handle until then). Harnesses
+//! that want per-run isolation install a fresh registry at startup and
+//! [`clear_global`] when done.
+
+use crate::registry::Obs;
+use std::sync::RwLock;
+
+static GLOBAL: RwLock<Option<Obs>> = RwLock::new(None);
+
+/// Installs `obs` as the process-wide handle (replacing any previous).
+pub fn set_global(obs: Obs) {
+    *GLOBAL.write().unwrap_or_else(|e| e.into_inner()) = Some(obs);
+}
+
+/// Removes the process-wide handle; [`global`] returns a disabled
+/// handle again.
+pub fn clear_global() {
+    *GLOBAL.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// The process-wide handle ([`Obs::disabled`] when none is installed).
+pub fn global() -> Obs {
+    GLOBAL.read().unwrap_or_else(|e| e.into_inner()).clone().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_defaults_to_disabled_and_round_trips() {
+        // Single test touching the global: no cross-test interference.
+        assert!(!global().is_enabled());
+        let obs = Obs::wall();
+        set_global(obs.clone());
+        global().counter("via_global", &[]).inc();
+        assert_eq!(obs.counter("via_global", &[]).get(), 1);
+        clear_global();
+        assert!(!global().is_enabled());
+    }
+}

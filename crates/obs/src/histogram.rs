@@ -1,0 +1,276 @@
+//! Log-linear-bucketed histograms for latency distributions.
+//!
+//! Values (typically nanoseconds or ticks) land in buckets that are
+//! exact below 8 and otherwise split each power-of-two octave into 8
+//! linear sub-buckets, bounding the relative quantile error at 12.5 %
+//! while keeping the whole `u64` range in 496 fixed buckets. Recording
+//! is a bounds check plus an increment; histograms from different
+//! shards [`merge`](Histogram::merge) by bucket-wise addition, so
+//! fleet-wide percentiles are exact aggregations of per-shard state —
+//! no sample is kept, no allocation happens after construction.
+
+/// Linear sub-buckets per octave = `1 << SUB_BITS`.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count: `SUBS` exact small buckets + 61 octaves × `SUBS`.
+const N_BUCKETS: usize = SUBS + 61 * SUBS;
+
+/// Bucket index for a value (monotonic in the value).
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    SUBS + (octave - 1) * SUBS + sub
+}
+
+/// Inclusive lower bound of a bucket.
+fn lower_bound(bucket: usize) -> u64 {
+    if bucket < SUBS {
+        return bucket as u64;
+    }
+    let octave = (bucket - SUBS) / SUBS + 1;
+    let sub = ((bucket - SUBS) % SUBS) as u64;
+    let msb = octave as u32 + SUB_BITS - 1;
+    (1u64 << msb) + sub * (1u64 << (msb - SUB_BITS))
+}
+
+/// A mergeable latency histogram (see the module docs for bucketing).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; N_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Folds another histogram into this one (bucket-wise addition), the
+    /// cross-shard aggregation path.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// An immutable summary of the current state (only occupied buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max(),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (lower_bound(i), c))
+                .collect(),
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`); see
+    /// [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// Frozen histogram state: occupied `(bucket lower bound, count)` pairs
+/// plus the scalar summary, ready for serialisation or exposition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Occupied buckets as `(inclusive lower bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the lower bound of the
+    /// first bucket whose cumulative count reaches `q * count`, clamped
+    /// to the observed min/max. Exact for values below 8; within 12.5 %
+    /// above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(lo, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return lo.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Appends this histogram in Prometheus text-exposition format:
+    /// cumulative `_bucket{le=...}` lines (one per occupied bucket plus
+    /// `+Inf`), then `_sum`, `_count` and `_max`. `labels` must already
+    /// be rendered (e.g. `shard="0"`) or empty.
+    pub fn expose_into(&self, name: &str, labels: &str, out: &mut String) {
+        use std::fmt::Write;
+        let sep = if labels.is_empty() { "" } else { "," };
+        writeln!(out, "# TYPE {name} histogram").unwrap();
+        let mut cum = 0u64;
+        for &(lo, c) in &self.buckets {
+            cum += c;
+            writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{lo}\"}} {cum}").unwrap();
+        }
+        writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", self.count).unwrap();
+        let braced = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
+        writeln!(out, "{name}_sum{braced} {}", self.sum).unwrap();
+        writeln!(out, "{name}_count{braced} {}", self.count).unwrap();
+        writeln!(out, "{name}_max{braced} {}", self.max).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_consistent() {
+        let mut prev = 0;
+        for b in 0..N_BUCKETS {
+            let lo = lower_bound(b);
+            assert!(b == 0 || lo > prev, "bucket {b} bound {lo} <= {prev}");
+            assert_eq!(bucket_of(lo), b, "lower bound of bucket {b} maps back");
+            prev = lo;
+        }
+        // Extremes stay in range.
+        assert_eq!(bucket_of(0), 0);
+        assert!(bucket_of(u64::MAX) < N_BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 3, 5, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 21);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn large_quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let est = h.quantile(q) as f64;
+            assert!((est - exact).abs() / exact < 0.125, "q{q}: {est} vs {exact}");
+        }
+        assert_eq!(h.quantile(1.0), h.snapshot().buckets.last().unwrap().0.max(1));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..1_000u64 {
+            if v % 2 == 0 { &mut a } else { &mut b }.record(v * 17);
+            whole.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn exposition_renders_cumulative_buckets() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(5);
+        let mut out = String::new();
+        h.snapshot().expose_into("lat_ns", "stage=\"x\"", &mut out);
+        assert!(out.contains("# TYPE lat_ns histogram"));
+        assert!(out.contains("lat_ns_bucket{stage=\"x\",le=\"1\"} 2"));
+        assert!(out.contains("lat_ns_bucket{stage=\"x\",le=\"5\"} 3"));
+        assert!(out.contains("lat_ns_bucket{stage=\"x\",le=\"+Inf\"} 3"));
+        assert!(out.contains("lat_ns_sum{stage=\"x\"} 7"));
+        assert!(out.contains("lat_ns_count{stage=\"x\"} 3"));
+        assert!(out.contains("lat_ns_max{stage=\"x\"} 5"));
+    }
+}

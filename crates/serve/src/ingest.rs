@@ -9,6 +9,7 @@
 //! of silent.
 
 use crate::replay::TelemetrySample;
+use alba_obs::{Counter, Obs, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -78,17 +79,47 @@ pub struct IngestStats {
 #[derive(Clone, Debug)]
 pub struct IngestLayer {
     queues: Vec<SampleQueue>,
+    obs: Obs,
+    accepted_c: Counter,
+    dropped_c: Counter,
 }
 
 impl IngestLayer {
-    /// One queue of `capacity` samples per fleet node.
+    /// One queue of `capacity` samples per fleet node, unobserved.
     pub fn new(n_nodes: usize, capacity: usize) -> Self {
-        Self { queues: (0..n_nodes).map(|_| SampleQueue::new(capacity)).collect() }
+        Self::with_obs(n_nodes, capacity, Obs::disabled())
+    }
+
+    /// One queue per node, with drops counted in the obs registry
+    /// (`ingest_dropped_total`) and emitted as `sample_drop` events.
+    pub fn with_obs(n_nodes: usize, capacity: usize, obs: Obs) -> Self {
+        Self {
+            queues: (0..n_nodes).map(|_| SampleQueue::new(capacity)).collect(),
+            accepted_c: obs.counter("ingest_accepted_total", &[]),
+            dropped_c: obs.counter("ingest_dropped_total", &[]),
+            obs,
+        }
     }
 
     /// Routes one sample to its node's queue; returns `false` on drop.
+    /// Backpressure losses are structured events, not silence: a shed
+    /// sample emits `sample_drop` with the node, tick and queue depth.
     pub fn offer(&mut self, sample: TelemetrySample) -> bool {
-        self.queues[sample.node].push(sample)
+        let (node, at) = (sample.node, sample.at);
+        if self.queues[node].push(sample) {
+            self.accepted_c.inc();
+            return true;
+        }
+        self.dropped_c.inc();
+        self.obs.event(
+            "sample_drop",
+            &[
+                ("node", Value::from(node)),
+                ("at", Value::from(at)),
+                ("depth", Value::from(self.queues[node].len())),
+            ],
+        );
+        false
     }
 
     /// Drains one node's queue (oldest first).
@@ -145,6 +176,72 @@ mod tests {
         assert_eq!(q.dropped(), 2);
         // The oldest samples survive; the late arrivals were shed.
         assert_eq!(q.drain().iter().map(|s| s.at).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sustained_overflow_counts_every_drop() {
+        let mut q = SampleQueue::new(4);
+        for t in 0..1_000 {
+            q.push(sample(0, t));
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.dropped(), 996);
+        // Accounting is conserved: everything offered is either queued
+        // (pushed) or counted as dropped.
+        assert_eq!(q.pushed + q.dropped(), 1_000);
+    }
+
+    #[test]
+    fn peak_depth_is_monotone_across_drain_cycles() {
+        let mut layer = IngestLayer::new(1, 16);
+        let mut last_peak = 0;
+        for (cycle, burst) in [9, 3, 12, 1, 5].into_iter().enumerate() {
+            for t in 0..burst {
+                layer.offer(sample(0, cycle * 100 + t));
+            }
+            let peak = layer.stats().peak_depth;
+            assert!(peak >= last_peak, "peak_depth may never regress");
+            assert!(peak >= burst.min(16), "peak covers the current burst");
+            last_peak = peak;
+            layer.drain_node(0);
+            assert_eq!(layer.stats().peak_depth, last_peak, "drain keeps the high-water mark");
+        }
+        assert_eq!(last_peak, 12, "the largest burst sets the mark");
+    }
+
+    #[test]
+    fn drain_preserves_arrival_order_under_partial_overflow() {
+        let mut q = SampleQueue::new(6);
+        for t in [5, 1, 9, 2, 8, 3, 7, 4] {
+            q.push(sample(0, t));
+        }
+        // Oldest six survive in arrival (not tick) order.
+        assert_eq!(q.drain().iter().map(|s| s.at).collect::<Vec<_>>(), vec![5, 1, 9, 2, 8, 3]);
+        assert_eq!(q.dropped(), 2);
+        // The queue is reusable after a drain, order still FIFO.
+        q.push(sample(0, 11));
+        q.push(sample(0, 10));
+        assert_eq!(q.drain().iter().map(|s| s.at).collect::<Vec<_>>(), vec![11, 10]);
+    }
+
+    #[test]
+    fn drops_emit_structured_obs_events() {
+        let obs = alba_obs::Obs::wall();
+        let sink = std::sync::Arc::new(alba_obs::MemorySink::new());
+        obs.set_sink(sink.clone());
+        let mut layer = IngestLayer::with_obs(2, 2, obs.clone());
+        for t in 0..4 {
+            layer.offer(sample(1, t));
+        }
+        assert_eq!(layer.stats().dropped, 2);
+        assert_eq!(obs.counter("ingest_dropped_total", &[]).get(), 2);
+        assert_eq!(obs.counter("ingest_accepted_total", &[]).get(), 2);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2, "one event per shed sample");
+        assert!(lines[0].contains(r#""kind":"sample_drop""#));
+        assert!(lines[0].contains(r#""node":1"#));
+        assert!(lines[0].contains(r#""at":2"#));
+        assert!(lines[1].contains(r#""at":3"#));
     }
 
     #[test]

@@ -14,19 +14,31 @@
 //! * [`feedback`] — the online active-learning loop: uncertainty-gated
 //!   label requests, oracle labelling, forest refits and atomic model
 //!   hot-swaps,
-//! * [`stats`] — JSON-serialisable service statistics,
+//! * [`stats`] — JSON-serialisable service statistics with per-shard
+//!   latency percentiles (p50/p90/p95/p99/max),
 //! * [`service`] — the [`FleetService`] tick loop tying it together.
+//!
+//! The whole pipeline is instrumented with
+//! [`alba-obs`](alba_obs): build the service with
+//! [`FleetService::with_obs`] and every stage records spans into the
+//! metric registry, the shards keep busy/latency histograms, and
+//! structured events (`alarm`, `label_request`, `model_swap`,
+//! `sample_drop`) stream to the registry's JSONL sink.
+//! [`FleetService::prometheus`] dumps it all in text-exposition format.
+//! With a [`TickClock`](alba_obs::TickClock) two equally-seeded runs
+//! emit identical event logs (see the integration suite).
 //!
 //! ```no_run
 //! use alba_serve::{FleetService, ServeConfig};
 //! use albadross::System;
 //! use alba_telemetry::Scale;
 //!
-//! // Monitor the 52-node Volta testbed end to end.
+//! // Monitor the 52-node Volta testbed end to end, observed.
 //! let cfg = ServeConfig::new(System::Volta, Scale::Smoke, 52, 42);
-//! let mut svc = FleetService::new(cfg);
+//! let mut svc = FleetService::with_obs(cfg, alba_obs::Obs::wall());
 //! let stats = svc.run_to_completion();
-//! println!("{}", stats.to_json_pretty());
+//! println!("{}", stats.to_json_pretty().expect("stats serialise"));
+//! println!("{}", svc.prometheus());
 //! ```
 
 #![warn(missing_docs)]
@@ -43,4 +55,4 @@ pub use ingest::{IngestLayer, IngestStats, SampleQueue};
 pub use replay::{FleetConfig, NodeStream, ReplaySource, TelemetrySample};
 pub use service::{FleetService, ServeConfig};
 pub use shard::{NodeAlarm, Shard, ShardReport, ShardStats, WindowOutcome};
-pub use stats::{ServiceStats, ShardSnapshot};
+pub use stats::{LatencySummary, ServiceStats, ShardSnapshot};

@@ -20,9 +20,10 @@ use crate::feedback::{LabelQueue, LabelRequest, Retrainer};
 use crate::ingest::IngestLayer;
 use crate::replay::{FleetConfig, ReplaySource, TelemetrySample};
 use crate::shard::{NodeAlarm, Shard, ShardReport};
-use crate::stats::{ServiceStats, ShardSnapshot};
+use crate::stats::{LatencySummary, ServiceStats, ShardSnapshot};
 use alba_features::{FeatureExtractor, Mvts, TsFresh};
 use alba_ml::{DiagnosisModel, ForestParams};
+use alba_obs::{Histogram, Obs, Value};
 use albadross::{
     prepare_split, FeatureMethod, MonitorConfig, NodeMonitor, SplitConfig, SystemData,
 };
@@ -118,28 +119,41 @@ pub struct FleetService {
     tick: usize,
     samples_emitted: u64,
     wall_ns: u64,
+    obs: Obs,
 }
 
 impl FleetService {
     /// Trains the initial model on the system's offline campaign, builds
-    /// the (held-out) replay fleet and partitions it into shards.
+    /// the (held-out) replay fleet and partitions it into shards —
+    /// unobserved. [`FleetService::with_obs`] attaches a registry.
     pub fn new(cfg: ServeConfig) -> Self {
+        Self::with_obs(cfg, Obs::disabled())
+    }
+
+    /// [`FleetService::new`] with an observability registry: pipeline
+    /// stages record spans, shards keep per-stage histograms, and the
+    /// service emits structured events (`alarm`, `label_request`,
+    /// `model_swap`, `sample_drop`) to the registry's sink.
+    pub fn with_obs(cfg: ServeConfig, obs: Obs) -> Self {
         assert!(cfg.n_shards >= 1, "need at least one shard");
         assert!(cfg.retrain_batch >= 1, "retrain batch must be positive");
 
         // Offline phase: campaign → features → split → initial forest.
+        let init_span = obs.span("service_init_ns", &[("stage", "train_initial")]);
         let sd =
             SystemData::generate(cfg.fleet.system, cfg.method, cfg.fleet.scale, cfg.fleet.seed);
         let split = prepare_split(&sd.dataset, &cfg.split, cfg.fleet.seed);
         let retrainer = Retrainer::new(&split.train, cfg.forest);
         let model = retrainer.fit();
         let view = split.feature_view();
+        init_span.finish();
 
         // Online phase: a fresh (salted-seed) campaign streams the fleet.
+        let build_span = obs.span("service_init_ns", &[("stage", "build_replay")]);
         let replay_cfg = FleetConfig { seed: cfg.fleet.seed ^ REPLAY_SALT, ..cfg.fleet };
         let replay = ReplaySource::build(&replay_cfg);
         let oracle = replay.truth_labels();
-        let ingest = IngestLayer::new(replay.n_nodes(), cfg.queue_capacity);
+        let ingest = IngestLayer::with_obs(replay.n_nodes(), cfg.queue_capacity, obs.clone());
 
         // Seeded node→shard assignment: shuffle, then round-robin.
         let mut nodes: Vec<usize> = (0..replay.n_nodes()).collect();
@@ -169,9 +183,11 @@ impl FleetService {
                     view.clone(),
                     &cfg.monitor,
                     cfg.batched,
+                    obs.clone(),
                 )
             })
             .collect();
+        build_span.finish();
 
         let label_queue = LabelQueue::new(cfg.label_queue_capacity);
         Self {
@@ -190,6 +206,7 @@ impl FleetService {
             tick: 0,
             samples_emitted: 0,
             wall_ns: 0,
+            obs,
         }
     }
 
@@ -200,13 +217,16 @@ impl FleetService {
         let now = self.tick;
 
         // 1. Replay emits; the ingest layer buffers (or sheds).
+        let ingest_span = self.obs.span("stage_ns", &[("stage", "ingest")]);
         let emitted = self.replay.tick();
         self.samples_emitted += emitted.len() as u64;
         for s in emitted {
             self.ingest.offer(s);
         }
+        ingest_span.finish();
 
         // 2. Each shard drains its nodes' queues into one tick batch.
+        let drain_span = self.obs.span("stage_ns", &[("stage", "drain")]);
         let batches: Vec<Vec<TelemetrySample>> = self
             .shards
             .iter()
@@ -218,9 +238,11 @@ impl FleetService {
                 batch
             })
             .collect();
+        drain_span.finish();
 
         // 3. Shards process in parallel; reports come back in shard
         //    order, so the merge below is deterministic.
+        let process_span = self.obs.span("stage_ns", &[("stage", "process")]);
         let reports: Vec<ShardReport> = self
             .shards
             .par_chunks_mut(1)
@@ -229,29 +251,54 @@ impl FleetService {
                 sh.process(&batches[sh.id()], now)
             })
             .collect();
+        process_span.finish();
 
-        // 4. Alarm bus + uncertainty gate.
+        // 4. Alarm bus + uncertainty gate. Events are emitted here, on
+        //    the tick thread in shard order — never from the parallel
+        //    section above — so event logs are deterministic.
+        let alarm_span = self.obs.span("stage_ns", &[("stage", "alarm")]);
         let gating_open = self.swap_ticks.len() < self.cfg.max_retrains;
         for report in reports {
             for na in report.alarms {
+                self.obs.event(
+                    "alarm",
+                    &[
+                        ("node", Value::from(na.node)),
+                        ("label", Value::from(na.alarm.label.as_str())),
+                        ("confidence", Value::from(na.alarm.confidence)),
+                        ("tick", Value::from(now)),
+                    ],
+                );
                 *self.alarms_by_label.entry(na.alarm.label.clone()).or_insert(0) += 1;
                 self.alarm_log.push(na);
             }
             if gating_open {
                 for w in &report.windows {
                     if w.uncertainty >= self.cfg.uncertainty_threshold {
-                        self.label_queue.offer(LabelRequest::from_window(w));
+                        let accepted = self.label_queue.offer(LabelRequest::from_window(w));
+                        self.obs.event(
+                            "label_request",
+                            &[
+                                ("node", Value::from(w.node)),
+                                ("at", Value::from(w.at)),
+                                ("uncertainty", Value::from(w.uncertainty)),
+                                ("accepted", Value::from(accepted)),
+                            ],
+                        );
                     }
                 }
             }
         }
+        alarm_span.finish();
 
         // 5. Feedback: enough pending requests → label, retrain, swap.
+        let feedback_span = self.obs.span("stage_ns", &[("stage", "feedback")]);
         while self.label_queue.len() >= self.cfg.retrain_batch
             && self.swap_ticks.len() < self.cfg.max_retrains
         {
             self.retrain_round();
         }
+        feedback_span.finish();
 
         self.tick += 1;
         self.wall_ns += start.elapsed().as_nanos() as u64;
@@ -272,12 +319,22 @@ impl FleetService {
                 (r.row, truth)
             })
             .collect();
+        let retrain_span = self.obs.span("retrain_ns", &[]);
         let model = self.retrainer.fold_in(labelled);
+        retrain_span.finish();
         for sh in &mut self.shards {
             sh.set_model(Arc::clone(&model));
         }
         self.model = model;
         self.label_queue.record_retrain();
+        self.obs.event(
+            "model_swap",
+            &[
+                ("tick", Value::from(self.tick)),
+                ("round", Value::from(self.swap_ticks.len() + 1)),
+                ("train_samples", Value::from(self.retrainer.n_samples())),
+            ],
+        );
         self.swap_ticks.push(self.tick);
     }
 
@@ -310,10 +367,23 @@ impl FleetService {
         let shards: Vec<ShardSnapshot> = self
             .shards
             .iter()
-            .map(|sh| ShardSnapshot::from_counters(sh.id(), sh.nodes().len(), *sh.stats()))
+            .map(|sh| {
+                ShardSnapshot::new(
+                    sh.id(),
+                    sh.nodes().len(),
+                    *sh.stats(),
+                    sh.busy_histogram(),
+                    sh.latency_histogram(),
+                )
+            })
             .collect();
         let windows: u64 = shards.iter().map(|s| s.counters.windows).sum();
         let alarms: u64 = shards.iter().map(|s| s.counters.alarms).sum();
+        // Fleet-wide latency: per-shard histograms merge exactly.
+        let mut merged = Histogram::new();
+        for sh in &self.shards {
+            merged.merge(sh.latency_histogram());
+        }
         let wall_s = self.wall_ns as f64 / 1e9;
         let mut feedback = self.label_queue.stats();
         feedback.retrains = self.swap_ticks.len() as u64;
@@ -323,6 +393,7 @@ impl FleetService {
             ingest: self.ingest.stats(),
             shards,
             windows,
+            latency: LatencySummary::from_histogram(&merged),
             alarms,
             alarms_by_label: self.alarms_by_label.clone(),
             feedback,
@@ -330,6 +401,24 @@ impl FleetService {
             wall_ms: self.wall_ns / 1_000_000,
             windows_per_s: if wall_s > 0.0 { windows as f64 / wall_s } else { 0.0 },
         }
+    }
+
+    /// The observability handle the service was built with (disabled
+    /// unless [`FleetService::with_obs`] was used).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Prometheus-style text exposition: every metric in the obs
+    /// registry plus the per-shard busy/latency histograms.
+    pub fn prometheus(&self) -> String {
+        let mut out = self.obs.expose();
+        for sh in &self.shards {
+            let label = format!("shard=\"{}\"", sh.id());
+            sh.busy_histogram().snapshot().expose_into("shard_busy_ns", &label, &mut out);
+            sh.latency_histogram().snapshot().expose_into("shard_latency_ticks", &label, &mut out);
+        }
+        out
     }
 
     /// The configuration the service was built with.

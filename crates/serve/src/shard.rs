@@ -15,6 +15,7 @@ use alba_active::uncertainty_score;
 use alba_data::{Matrix, MetricDef};
 use alba_features::{FeatureExtractor, FeatureView};
 use alba_ml::{Diagnosis, DiagnosisModel};
+use alba_obs::{Counter, Histogram, Obs};
 use albadross::{Alarm, MonitorConfig, NodeMonitor};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -54,11 +55,16 @@ pub struct ShardReport {
     pub windows: Vec<WindowOutcome>,
 }
 
-/// Per-shard throughput counters.
+/// Per-shard throughput counters. Timing distributions (busy time,
+/// queueing latency) live in the shard's [`Histogram`]s, not here —
+/// see [`Shard::busy_histogram`] and [`Shard::latency_histogram`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ShardStats {
     /// Samples ingested into this shard's monitors.
     pub samples: u64,
+    /// Samples addressed to a node this shard does not own — skipped
+    /// (and counted in the obs registry), never a panic.
+    pub misrouted: u64,
     /// Windows diagnosed.
     pub windows: u64,
     /// Model invocations (1 per non-empty batch when batched; 1 per
@@ -68,11 +74,6 @@ pub struct ShardStats {
     pub max_batch: usize,
     /// Alarms confirmed.
     pub alarms: u64,
-    /// Busy time spent inside [`Shard::process`], in nanoseconds.
-    pub busy_ns: u64,
-    /// Sum over windows of (service tick - sample tick): queueing delay
-    /// between emission and diagnosis.
-    pub latency_ticks: u64,
 }
 
 /// A worker shard owning the monitors of a disjoint node subset.
@@ -86,6 +87,14 @@ pub struct Shard {
     view: FeatureView,
     batched: bool,
     stats: ShardStats,
+    /// Wall-time per [`Shard::process`] call, nanoseconds.
+    busy: Histogram,
+    /// Queueing delay (service tick - sample tick) per window, ticks.
+    latency: Histogram,
+    obs: Obs,
+    /// `"0"`, `"1"`, ... — the obs label value for this shard.
+    label: String,
+    misrouted_c: Counter,
 }
 
 impl Shard {
@@ -100,6 +109,7 @@ impl Shard {
         view: FeatureView,
         monitor: &MonitorConfig,
         batched: bool,
+        obs: Obs,
     ) -> Self {
         let monitors = nodes
             .iter()
@@ -114,7 +124,23 @@ impl Shard {
             })
             .collect();
         let local = nodes.iter().enumerate().map(|(l, &n)| (n, l)).collect();
-        Self { id, nodes, local, monitors, model, view, batched, stats: ShardStats::default() }
+        let label = id.to_string();
+        let misrouted_c = obs.counter("shard_misrouted_total", &[("shard", &label)]);
+        Self {
+            id,
+            nodes,
+            local,
+            monitors,
+            model,
+            view,
+            batched,
+            stats: ShardStats::default(),
+            busy: Histogram::new(),
+            latency: Histogram::new(),
+            obs,
+            label,
+            misrouted_c,
+        }
     }
 
     /// Shard index.
@@ -130,6 +156,17 @@ impl Shard {
     /// This shard's counters.
     pub fn stats(&self) -> &ShardStats {
         &self.stats
+    }
+
+    /// Wall-time distribution of [`Shard::process`] calls (nanoseconds).
+    pub fn busy_histogram(&self) -> &Histogram {
+        &self.busy
+    }
+
+    /// Queueing-delay distribution per diagnosed window (ticks between
+    /// sample emission and diagnosis).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
     }
 
     /// One node's monitor (by fleet node index).
@@ -154,22 +191,33 @@ impl Shard {
         let mut report = ShardReport::default();
 
         // Buffer samples; collect the windows that came due.
+        let extract_span =
+            self.obs.span("shard_stage_ns", &[("stage", "extract"), ("shard", &self.label)]);
         let mut due: Vec<(usize, usize)> = Vec::new(); // (local monitor, sample tick)
         let mut rows: Vec<Vec<f64>> = Vec::new();
         for s in samples {
-            let l = *self.local.get(&s.node).expect("sample routed to wrong shard");
+            // A sample addressed to a foreign node is an upstream routing
+            // bug; one bad packet must not panic the whole service.
+            let Some(&l) = self.local.get(&s.node) else {
+                self.stats.misrouted += 1;
+                self.misrouted_c.inc();
+                continue;
+            };
             self.stats.samples += 1;
             if self.monitors[l].push(&s.values) {
                 rows.push(self.monitors[l].window_row());
                 due.push((l, s.at));
             }
         }
+        extract_span.finish();
         if due.is_empty() {
-            self.stats.busy_ns += start.elapsed().as_nanos() as u64;
+            self.busy.record(start.elapsed().as_nanos() as u64);
             return report;
         }
 
         // Scale + infer: one call over the whole batch, or window-at-a-time.
+        let infer_span =
+            self.obs.span("shard_stage_ns", &[("stage", "infer"), ("shard", &self.label)]);
         let proba: Vec<Vec<f64>> = if self.batched {
             let mut x = Matrix::from_rows(&rows);
             self.view.scale_inplace(&mut x);
@@ -192,6 +240,7 @@ impl Shard {
                 })
                 .collect()
         };
+        infer_span.finish();
 
         // Verdicts + hysteresis, in sample order.
         let names = &self.model.class_names;
@@ -199,7 +248,7 @@ impl Shard {
             let best = (1..p.len()).fold(0, |b, i| if p[i] > p[b] { i } else { b });
             let diagnosis = Diagnosis { label: names[best].clone(), confidence: p[best] };
             self.stats.windows += 1;
-            self.stats.latency_ticks += (now.saturating_sub(at)) as u64;
+            self.latency.record((now.saturating_sub(at)) as u64);
             if let Some(alarm) = self.monitors[l].apply_diagnosis(diagnosis.clone()) {
                 self.stats.alarms += 1;
                 report.alarms.push(NodeAlarm { node: self.nodes[l], alarm });
@@ -212,7 +261,7 @@ impl Shard {
                 row,
             });
         }
-        self.stats.busy_ns += start.elapsed().as_nanos() as u64;
+        self.busy.record(start.elapsed().as_nanos() as u64);
         report
     }
 }

@@ -1,10 +1,57 @@
 //! Aggregated service statistics, serialisable to JSON for dashboards.
+//!
+//! Distribution summaries (busy time, queueing latency) are derived
+//! from the shards' [`Histogram`]s at snapshot time, so the export
+//! carries tail percentiles — p50/p90/p95/p99/max — not just means.
+//! Export is fallible by signature ([`ServiceStats::to_json`] returns
+//! `Result`): a stats dump must never panic the service it describes.
 
 use crate::feedback::FeedbackStats;
 use crate::ingest::IngestStats;
 use crate::shard::ShardStats;
+use alba_obs::{Histogram, HistogramSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Five-number summary of a latency histogram (units are whatever was
+/// recorded: nanoseconds for busy time, ticks for queueing delay).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a histogram snapshot.
+    pub fn from_snapshot(s: &HistogramSnapshot) -> Self {
+        Self {
+            count: s.count,
+            mean: s.mean(),
+            p50: s.quantile(0.50),
+            p90: s.quantile(0.90),
+            p95: s.quantile(0.95),
+            p99: s.quantile(0.99),
+            max: s.max,
+        }
+    }
+
+    /// Summarises a live histogram.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        Self::from_snapshot(&h.snapshot())
+    }
+}
 
 /// One shard's counters plus derived rates, as exported.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -15,30 +62,35 @@ pub struct ShardSnapshot {
     pub nodes: usize,
     /// Raw counters.
     pub counters: ShardStats,
-    /// Busy time in milliseconds (rounded).
+    /// Total busy time in milliseconds (rounded).
     pub busy_ms: u64,
     /// Windows diagnosed per busy second.
     pub windows_per_busy_s: f64,
-    /// Mean queueing delay between sample emission and diagnosis, in
-    /// ticks.
-    pub mean_latency_ticks: f64,
+    /// Busy time per [`process`](crate::Shard::process) call, ns.
+    pub busy: LatencySummary,
+    /// Queueing delay between sample emission and diagnosis, ticks.
+    pub latency: LatencySummary,
 }
 
 impl ShardSnapshot {
-    /// Derives the exported snapshot from raw counters.
-    pub fn from_counters(id: usize, nodes: usize, c: ShardStats) -> Self {
-        let busy_s = c.busy_ns as f64 / 1e9;
+    /// Derives the exported snapshot from the shard's raw counters and
+    /// timing histograms.
+    pub fn new(
+        id: usize,
+        nodes: usize,
+        c: ShardStats,
+        busy: &Histogram,
+        latency: &Histogram,
+    ) -> Self {
+        let busy_s = busy.sum() as f64 / 1e9;
         Self {
             id,
             nodes,
             counters: c,
-            busy_ms: c.busy_ns / 1_000_000,
+            busy_ms: busy.sum() / 1_000_000,
             windows_per_busy_s: if busy_s > 0.0 { c.windows as f64 / busy_s } else { 0.0 },
-            mean_latency_ticks: if c.windows > 0 {
-                c.latency_ticks as f64 / c.windows as f64
-            } else {
-                0.0
-            },
+            busy: LatencySummary::from_histogram(busy),
+            latency: LatencySummary::from_histogram(latency),
         }
     }
 }
@@ -56,6 +108,8 @@ pub struct ServiceStats {
     pub shards: Vec<ShardSnapshot>,
     /// Windows diagnosed fleet-wide.
     pub windows: u64,
+    /// Fleet-wide queueing-delay summary (per-shard histograms merged).
+    pub latency: LatencySummary,
     /// Alarms confirmed fleet-wide.
     pub alarms: u64,
     /// Confirmed alarms per diagnosed label.
@@ -72,13 +126,13 @@ pub struct ServiceStats {
 
 impl ServiceStats {
     /// Compact JSON export.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("stats serialise")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Pretty-printed JSON export.
-    pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(self).expect("stats serialise")
+    pub fn to_json_pretty(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 }
 
@@ -88,6 +142,12 @@ mod tests {
 
     #[test]
     fn stats_round_trip_through_json() {
+        let mut busy = Histogram::new();
+        busy.record(1_500_000);
+        busy.record(500_000);
+        let mut latency = Histogram::new();
+        latency.record(1);
+        latency.record(3);
         let mut s = ServiceStats {
             ticks: 10,
             samples_emitted: 520,
@@ -96,18 +156,46 @@ mod tests {
             wall_ms: 17,
             windows_per_s: 2470.6,
             swap_ticks: vec![7],
+            latency: LatencySummary::from_histogram(&latency),
             ..ServiceStats::default()
         };
         s.alarms_by_label.insert("memleak".into(), 2);
         s.alarms_by_label.insert("dcopy".into(), 1);
-        s.shards.push(ShardSnapshot::from_counters(
+        s.shards.push(ShardSnapshot::new(
             0,
             13,
-            ShardStats { windows: 42, busy_ns: 2_000_000, latency_ticks: 84, ..Default::default() },
+            ShardStats { windows: 42, ..Default::default() },
+            &busy,
+            &latency,
         ));
-        let back: ServiceStats = serde_json::from_str(&s.to_json()).unwrap();
+        let back: ServiceStats = serde_json::from_str(&s.to_json().unwrap()).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.shards[0].busy_ms, 2);
-        assert_eq!(back.shards[0].mean_latency_ticks, 2.0);
+        assert_eq!(back.shards[0].latency.mean, 2.0);
+        assert_eq!(back.shards[0].latency.p50, 1);
+        assert_eq!(back.shards[0].latency.max, 3);
+        assert_eq!(back.latency.count, 2);
+    }
+
+    #[test]
+    fn summary_of_exact_small_values() {
+        let mut h = Histogram::new();
+        for t in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record(t);
+        }
+        let s = LatencySummary::from_histogram(&h);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.p99, 7);
+        assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn empty_service_stats_export() {
+        let s = ServiceStats::default();
+        let json = s.to_json_pretty().unwrap();
+        let back: ServiceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

@@ -45,7 +45,7 @@ fn end_to_end_smoke_fleet() {
     assert_eq!(assigned, 16);
 
     // The stats export round-trips through JSON.
-    let json = stats.to_json();
+    let json = stats.to_json().expect("stats serialise");
     let back: alba_serve::ServiceStats = serde_json::from_str(&json).unwrap();
     assert_eq!(back, stats);
 }

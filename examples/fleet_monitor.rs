@@ -8,9 +8,18 @@
 //! requests, the oracle (ground truth) answers them, and the refreshed
 //! forest is hot-swapped into every monitor mid-run.
 //!
+//! The run is fully observed through `alba-obs`: a tick clock advances
+//! one second per service tick (so timestamps are deterministic),
+//! structured events stream to `results/fleet_monitor_events.jsonl`,
+//! and the metric registry plus the per-shard histograms are dumped to
+//! `results/fleet_monitor_metrics.prom` in text-exposition format.
+//!
 //! Run with: `cargo run --release --example fleet_monitor`
 
+use std::sync::Arc;
+
 use albadross_repro::framework::{MonitorConfig, System};
+use albadross_repro::obs::{FileSink, Obs, TickClock};
 use albadross_repro::serve::{FleetService, ServeConfig};
 use albadross_repro::telemetry::Scale;
 
@@ -25,8 +34,16 @@ fn main() {
     cfg.retrain_batch = 12;
     cfg.max_retrains = 2;
 
+    // Observe the run on a deterministic tick clock, with structured
+    // events streaming to a JSONL file.
+    let clock = Arc::new(TickClock::new());
+    let obs = Obs::with_clock(clock.clone());
+    std::fs::create_dir_all("results").expect("create results directory");
+    let events_path = std::path::Path::new("results/fleet_monitor_events.jsonl");
+    obs.set_sink(Arc::new(FileSink::create(events_path).expect("create event log")));
+
     println!("training the initial model and building the 52-node fleet...");
-    let mut svc = FleetService::new(cfg);
+    let mut svc = FleetService::with_obs(cfg, obs.clone());
     let anomalous: Vec<usize> = (0..svc.n_nodes()).filter(|&n| svc.truth(n) != "healthy").collect();
     println!(
         "  {} nodes streaming ({} carry injected anomalies), {} shards",
@@ -36,6 +53,11 @@ fn main() {
     );
 
     println!("serving...");
+    // Drive the ticks by hand so the obs clock tracks stream time (1 s
+    // per tick); run_to_completion then settles any leftover feedback.
+    while svc.tick() {
+        clock.advance(1_000_000_000);
+    }
     let stats = svc.run_to_completion();
 
     println!(
@@ -71,7 +93,18 @@ fn main() {
     let correct = svc.alarms().iter().filter(|na| na.alarm.label == svc.truth(na.node)).count();
     println!("  {}/{} alarms match the injected ground truth", correct, svc.alarms().len());
 
-    println!("\nservice stats (JSON):\n{}", stats.to_json_pretty());
+    println!("\nservice stats (JSON):\n{}", stats.to_json_pretty().expect("stats serialise"));
+
+    // Dump everything the registry saw: counters, stage histograms and
+    // the per-shard busy/latency histograms.
+    let metrics_path = std::path::Path::new("results/fleet_monitor_metrics.prom");
+    std::fs::write(metrics_path, svc.prometheus()).expect("write metrics dump");
+    println!(
+        "observability: {} events -> {}, metrics -> {}",
+        svc.obs().events_emitted(),
+        events_path.display(),
+        metrics_path.display()
+    );
 
     // The acceptance bar for this scenario: confirmed alarms that match
     // the injections, a serviced label request, and a completed hot-swap
@@ -82,5 +115,6 @@ fn main() {
     assert!(stats.feedback.serviced >= 1, "the AL loop must service a label request");
     assert!(stats.feedback.retrains >= 1, "the model must be hot-swapped at least once");
     assert_eq!(stats.ingest.pushed + stats.ingest.dropped, stats.samples_emitted);
+    assert!(svc.obs().events_emitted() > 0, "the observed run must log events");
     println!("\nall fleet-monitoring acceptance checks passed");
 }

@@ -20,4 +20,38 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> observability smoke (fleet_monitor example + artifact checks)"
+cargo run --release --example fleet_monitor >/dev/null
+python3 - <<'EOF'
+import json
+
+# Every event line must be a JSON object with ts and kind.
+kinds = set()
+with open("results/fleet_monitor_events.jsonl") as f:
+    lines = [line.rstrip("\n") for line in f]
+assert lines, "the observed example must emit events"
+for line in lines:
+    ev = json.loads(line)
+    assert isinstance(ev["ts"], int), line
+    kinds.add(ev["kind"])
+assert "label_request" in kinds and "model_swap" in kinds, kinds
+
+# The exposition dump must parse: TYPE headers, then name{labels} value.
+with open("results/fleet_monitor_metrics.prom") as f:
+    metrics = [line.rstrip("\n") for line in f if line.strip()]
+names = set()
+for line in metrics:
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split()
+        assert kind in ("counter", "gauge", "histogram"), line
+        names.add(name)
+        continue
+    name, value = line.rsplit(" ", 1)
+    float(value)
+    assert any(name.startswith(n) for n in names), f"sample before TYPE: {line}"
+for expected in ("stage_ns", "shard_busy_ns", "ingest_accepted_total"):
+    assert expected in names, f"missing metric family {expected}"
+print(f"  {len(lines)} events, {len(names)} metric families: OK")
+EOF
+
 echo "CI green."
