@@ -1,0 +1,82 @@
+//! Store I/O: cold `generate + extract` versus warm feature-cache reads.
+//!
+//! The store's reason to exist is that re-deriving a dataset (campaign
+//! generation + TSFRESH/MVTS extraction) costs seconds to hours while
+//! reading the memoised matrix back costs milliseconds. This bench pins
+//! that claim down at smoke scale:
+//!
+//! * `cold`  — [`SystemData::generate_uncached`]: the full pipeline,
+//!   nothing persisted,
+//! * `warm`  — [`SystemData::generate_stored`] against a pre-populated
+//!   [`TelemetryStore`]: two checksummed reads (telemetry entry skipped,
+//!   feature matrix decoded straight into a dataset),
+//! * `telemetry` — [`TelemetryStore::get_or_generate_campaign`] warm:
+//!   segment decode alone, isolating the column-codec cost.
+//!
+//! Environment knobs (both used by `scripts/ci.sh`):
+//!
+//! * `ALBA_BENCH_QUICK=1` — fewer repetitions,
+//! * `ALBA_STORE_IO_ASSERT=<N>` — exit non-zero unless warm reads are at
+//!   least `N`x faster than the cold pipeline.
+//!
+//! Run with: `cargo bench -p alba-bench --bench store_io`
+
+use alba_store::TelemetryStore;
+use alba_telemetry::Scale;
+use albadross::{FeatureMethod, System, SystemData};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::var("ALBA_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (cold_reps, warm_reps) = if quick { (1, 3) } else { (3, 10) };
+    let (system, method, scale, seed) = (System::Volta, FeatureMethod::Mvts, Scale::Smoke, 71);
+
+    let dir = std::env::temp_dir().join(format!("alba-store-io-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = TelemetryStore::open(&dir).expect("open bench store");
+
+    // Populate the store once (not measured) and sanity-check warm == cold.
+    let reference = SystemData::generate_stored(&store, system, method, scale, seed)
+        .expect("populate bench store");
+    let warm_data =
+        SystemData::generate_stored(&store, system, method, scale, seed).expect("warm read");
+    assert_eq!(reference.dataset.x.as_slice(), warm_data.dataset.x.as_slice());
+
+    let cold = best_of(cold_reps, || SystemData::generate_uncached(system, method, scale, seed));
+    let warm = best_of(warm_reps, || {
+        SystemData::generate_stored(&store, system, method, scale, seed).expect("warm read")
+    });
+    let campaign = system.campaign(scale, seed);
+    let telemetry = best_of(warm_reps, || {
+        store.get_or_generate_campaign(&campaign).expect("warm telemetry read")
+    });
+
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    println!("store_io/cold       generate+extract   {cold:>12.3?}");
+    println!("store_io/warm       feature-cache read {warm:>12.3?}");
+    println!("store_io/telemetry  segment decode     {telemetry:>12.3?}");
+    println!("store_io/speedup    warm vs cold       {speedup:>11.1}x");
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    if let Ok(min) = std::env::var("ALBA_STORE_IO_ASSERT") {
+        let min: f64 = min.parse().expect("ALBA_STORE_IO_ASSERT must be a number");
+        assert!(
+            speedup >= min,
+            "warm feature-cache read is only {speedup:.1}x faster than the cold \
+             pipeline (required: {min}x)"
+        );
+        println!("store_io/assert     speedup >= {min}x: OK");
+    }
+}

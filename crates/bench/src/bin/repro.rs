@@ -40,6 +40,7 @@ struct Args {
     scale_name: String,
     seed: u64,
     out: PathBuf,
+    store: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +49,7 @@ fn parse_args() -> Args {
     let mut scale_name = "default".to_string();
     let mut seed = 42u64;
     let mut out = PathBuf::from("results");
+    let mut store = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -67,11 +69,17 @@ fn parse_args() -> Args {
                 i += 1;
                 out = PathBuf::from(&argv[i]);
             }
+            "--store" => {
+                i += 1;
+                store = Some(PathBuf::from(&argv[i]));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--exp id,id,...] [--scale smoke|default|full] \
-                     [--seed N] [--out DIR]\nids: tables-setup table4 table5 fig3 fig4 \
-                     fig5 fig6 fig7 fig8 ablations all"
+                     [--seed N] [--out DIR] [--store DIR]\nids: tables-setup table4 table5 \
+                     fig3 fig4 fig5 fig6 fig7 fig8 ablations all\n--store DIR memoises \
+                     campaigns and feature matrices in an on-disk telemetry store \
+                     (equivalent to setting ALBA_STORE_DIR) and reports cache statistics."
                 );
                 std::process::exit(0);
             }
@@ -82,7 +90,52 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    Args { exps, scale_name, seed, out }
+    Args { exps, scale_name, seed, out, store }
+}
+
+/// Per-entry-kind cache statistics pulled from the obs registry after a
+/// store-backed run.
+#[derive(serde::Serialize)]
+struct StoreKindStats {
+    kind: String,
+    cache_hits: u64,
+    cache_misses: u64,
+    corrupt_entries: u64,
+    samples_written: u64,
+    samples_read: u64,
+}
+
+/// The `store_stats_<scale>.json` payload: one row per entry kind plus
+/// journal totals.
+#[derive(serde::Serialize)]
+struct StoreStats {
+    dir: String,
+    kinds: Vec<StoreKindStats>,
+    journal_appends: u64,
+    journal_replayed: u64,
+}
+
+fn store_stats(obs: &alba_obs::Obs, dir: &Path) -> StoreStats {
+    let kinds = ["campaign", "features", "fleet"]
+        .iter()
+        .map(|kind| {
+            let c = |name: &str| obs.counter(name, &[("kind", kind)]).get();
+            StoreKindStats {
+                kind: kind.to_string(),
+                cache_hits: c("store_cache_hits_total"),
+                cache_misses: c("store_cache_misses_total"),
+                corrupt_entries: c("store_corrupt_entries_total"),
+                samples_written: c("store_samples_written_total"),
+                samples_read: c("store_samples_read_total"),
+            }
+        })
+        .collect();
+    StoreStats {
+        dir: dir.display().to_string(),
+        kinds,
+        journal_appends: obs.counter("store_journal_appends_total", &[]).get(),
+        journal_replayed: obs.counter("store_journal_replayed_total", &[]).get(),
+    }
 }
 
 fn save_svgs(dir: &Path, stem: &str, curves: &[alba_active::MethodCurves]) {
@@ -144,6 +197,13 @@ fn main() {
         |id: &str| args.exps.iter().any(|e| e == id) || args.exps.iter().any(|e| e == "all");
     println!("# ALBADross reproduction harness — scale={} seed={}\n", args.scale_name, args.seed);
     let t_total = Instant::now();
+
+    // A --store directory routes dataset generation through the on-disk
+    // telemetry store (the env var is what the pipeline consults, so the
+    // flag and ALBA_STORE_DIR are interchangeable).
+    if let Some(dir) = &args.store {
+        std::env::set_var(albadross::STORE_DIR_ENV, dir);
+    }
 
     // Observe the whole run: stage spans deep in the pipeline record into
     // this registry, and the harness wraps each experiment in its own span.
@@ -254,6 +314,24 @@ fn main() {
                 &args.out,
                 &format!("table4_{}_{}", system.name().to_lowercase(), args.scale_name),
                 &res,
+            );
+        }
+    }
+
+    // Report what the store did for (or against) us this run.
+    if let Some(dir) = &args.store {
+        let stats = store_stats(&obs, dir);
+        save_json(&args.out, &format!("store_stats_{}", args.scale_name), &stats);
+        println!("\n== store cache ==");
+        for k in &stats.kinds {
+            println!(
+                "{:<10} hits={} misses={} corrupt={} written={} read={}",
+                k.kind,
+                k.cache_hits,
+                k.cache_misses,
+                k.corrupt_entries,
+                k.samples_written,
+                k.samples_read
             );
         }
     }

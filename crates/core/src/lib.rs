@@ -35,7 +35,7 @@ pub mod report;
 pub mod scale;
 pub mod split;
 
-pub use data::{FeatureMethod, System, SystemData};
+pub use data::{FeatureMethod, System, SystemData, STORE_DIR_ENV};
 pub use monitor::{Alarm, MonitorConfig, NodeMonitor, WindowVerdict};
 pub use plot::{figure_panels, render_curves_svg};
 pub use proctor::{run_proctor_session, Proctor, ProctorConfig};

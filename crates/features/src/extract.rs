@@ -125,6 +125,19 @@ mod tests {
     }
 
     #[test]
+    fn all_nan_series_extracts_without_panicking() {
+        // A node can drop off the aggregator entirely; the extractors
+        // must not panic sorting a window of NaNs (total_cmp, not
+        // partial_cmp().unwrap()).
+        let series = vec![f64::NAN; 128];
+        for extractor in [&Mvts as &dyn FeatureExtractor, &crate::tsfresh::TsFresh] {
+            let mut out = Vec::new();
+            extractor.extract(&series, &mut out);
+            assert_eq!(out.len(), extractor.n_features_per_metric());
+        }
+    }
+
+    #[test]
     fn extraction_shape_and_labels() {
         let samples = tiny_campaign();
         let ds = extract_features(&samples, &Mvts, &PreprocessConfig::default(), &class_names());

@@ -164,12 +164,8 @@ mod tests {
         let freq = 5;
         let x: Vec<f64> = (0..n).map(|i| (TAU * freq as f64 * i as f64 / n as f64).sin()).collect();
         let mags = real_fft_magnitudes(&x);
-        let peak = mags
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
+        let peak =
+            mags.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         assert_eq!(peak, freq);
     }
 
@@ -186,12 +182,8 @@ mod tests {
         // 1 Hz sampling, tone at 0.125 cycles/sample, 256-sample signal.
         let x: Vec<f64> = (0..256).map(|i| (TAU * 0.125 * i as f64).sin()).collect();
         let psd = welch_psd(&x, 64);
-        let peak = psd
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
+        let peak =
+            psd.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         // Bin k corresponds to k/seg cycles per sample: 0.125 * 64 = 8.
         assert_eq!(peak, 8);
     }

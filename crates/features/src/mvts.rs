@@ -84,7 +84,7 @@ impl FeatureExtractor for Mvts {
 
     fn extract(&self, x: &[f64], out: &mut Vec<f64>) {
         let mut sorted = x.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite input"));
+        sorted.sort_by(f64::total_cmp);
         let q25 = quantile_sorted(&sorted, 0.25);
         let q75 = quantile_sorted(&sorted, 0.75);
 

@@ -48,7 +48,7 @@ pub fn quantile(x: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = x.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 

@@ -255,7 +255,7 @@ impl FeatureExtractor for TsFresh {
 
     fn extract(&self, x: &[f64], out: &mut Vec<f64>) {
         let mut sorted = x.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite input"));
+        sorted.sort_by(f64::total_cmp);
         let q25 = quantile_sorted(&sorted, 0.25);
         let q75 = quantile_sorted(&sorted, 0.75);
         let mn = min(x);
@@ -287,7 +287,7 @@ impl FeatureExtractor for TsFresh {
         // 3. Quantiles of absolute changes + mean changes.
         let diffs: Vec<f64> = x.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
         let mut diffs_sorted = diffs.clone();
-        diffs_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite diffs"));
+        diffs_sorted.sort_by(f64::total_cmp);
         for q in 1..=9 {
             out.push(quantile_sorted(&diffs_sorted, q as f64 / 10.0));
         }
@@ -511,7 +511,7 @@ mod tests {
         let x: Vec<f64> =
             (0..100).map(|i| if i % 10 == 0 { 100.0 } else { (i % 3) as f64 * 0.1 }).collect();
         let mut sorted = x.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let small = change_quantiles(&x, &sorted, 0.0, 0.3);
         assert!(small < 1.0, "corridor change {small} must exclude spikes");
     }

@@ -116,6 +116,16 @@ impl ReplaySource {
         Self { streams, metrics, cursor: 0 }
     }
 
+    /// Rebuilds a replay source from already-materialised streams — the
+    /// path taken when a [`FleetService`](crate::FleetService) reads its
+    /// fleet back from a warm `alba-store` entry instead of regenerating
+    /// it. Streams must be in fleet-slot order and share one catalog.
+    pub fn from_streams(streams: Vec<NodeStream>) -> Self {
+        assert!(!streams.is_empty(), "a fleet needs at least one stream");
+        let metrics = streams[0].telemetry.series.metrics.clone();
+        Self { streams, metrics, cursor: 0 }
+    }
+
     /// Number of fleet nodes.
     pub fn n_nodes(&self) -> usize {
         self.streams.len()

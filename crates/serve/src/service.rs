@@ -18,12 +18,13 @@
 
 use crate::feedback::{LabelQueue, LabelRequest, Retrainer};
 use crate::ingest::IngestLayer;
-use crate::replay::{FleetConfig, ReplaySource, TelemetrySample};
+use crate::replay::{FleetConfig, NodeStream, ReplaySource, TelemetrySample};
 use crate::shard::{NodeAlarm, Shard, ShardReport};
 use crate::stats::{LatencySummary, ServiceStats, ShardSnapshot};
 use alba_features::{FeatureExtractor, Mvts, TsFresh};
 use alba_ml::{DiagnosisModel, ForestParams};
 use alba_obs::{Histogram, Obs, Value};
+use alba_store::{key_of, LabelJournal, TelemetryStore, KIND_LABEL, KIND_RETRAIN};
 use albadross::{
     prepare_split, FeatureMethod, MonitorConfig, NodeMonitor, SplitConfig, SystemData,
 };
@@ -72,6 +73,12 @@ pub struct ServeConfig {
     pub max_retrains: usize,
     /// Forest hyper-parameters for the initial fit and every refit.
     pub forest: ForestParams,
+    /// Root of an `alba-store` directory. When set, the offline campaign,
+    /// its feature matrix and the replay fleet's streams are memoised
+    /// there, and every labelled window is journalled for warm restart.
+    /// An unusable store degrades to the in-memory path (with a
+    /// `store_fallback` event), never a failed service.
+    pub store_dir: Option<String>,
 }
 
 impl ServeConfig {
@@ -95,6 +102,7 @@ impl ServeConfig {
             retrain_batch: 12,
             max_retrains: 2,
             forest: ForestParams { n_estimators: 15, seed, ..ForestParams::default() },
+            store_dir: None,
         }
     }
 }
@@ -111,6 +119,8 @@ pub struct FleetService {
     model: Arc<DiagnosisModel>,
     label_queue: LabelQueue,
     retrainer: Retrainer,
+    /// Write-ahead label journal (present iff `cfg.store_dir` is usable).
+    journal: Option<LabelJournal>,
     /// Ground-truth label per node (the labelling oracle).
     oracle: Vec<String>,
     alarm_log: Vec<NodeAlarm>,
@@ -138,20 +148,44 @@ impl FleetService {
         assert!(cfg.n_shards >= 1, "need at least one shard");
         assert!(cfg.retrain_batch >= 1, "retrain batch must be positive");
 
+        // Durable memoisation (optional): an unusable store degrades to
+        // the purely in-memory path rather than failing the service.
+        let store = cfg.store_dir.as_deref().and_then(|dir| {
+            TelemetryStore::with_obs(dir, obs.clone())
+                .map_err(|e| {
+                    obs.event(
+                        "store_fallback",
+                        &[("dir", dir.into()), ("error", e.to_string().into())],
+                    );
+                })
+                .ok()
+        });
+
         // Offline phase: campaign → features → split → initial forest.
         let init_span = obs.span("service_init_ns", &[("stage", "train_initial")]);
-        let sd =
-            SystemData::generate(cfg.fleet.system, cfg.method, cfg.fleet.scale, cfg.fleet.seed);
+        let sd = Self::system_data(&cfg, store.as_ref(), &obs);
         let split = prepare_split(&sd.dataset, &cfg.split, cfg.fleet.seed);
-        let retrainer = Retrainer::new(&split.train, cfg.forest);
-        let model = retrainer.fit();
+        let mut retrainer = Retrainer::new(&split.train, cfg.forest);
+        let mut model = retrainer.fit();
         let view = split.feature_view();
         init_span.finish();
+
+        // Warm restart: replay the label journal, folding every committed
+        // round back into the retrainer. Refits are round-seeded, so the
+        // restored model is bit-identical to the pre-shutdown one without
+        // re-spending the labelling budget.
+        let mut swap_ticks = Vec::new();
+        let journal = store.as_ref().and_then(|s| {
+            Self::restore_from_journal(s, &cfg, &obs, &mut retrainer, &mut model, &mut swap_ticks)
+        });
 
         // Online phase: a fresh (salted-seed) campaign streams the fleet.
         let build_span = obs.span("service_init_ns", &[("stage", "build_replay")]);
         let replay_cfg = FleetConfig { seed: cfg.fleet.seed ^ REPLAY_SALT, ..cfg.fleet };
-        let replay = ReplaySource::build(&replay_cfg);
+        let replay = match &store {
+            Some(s) => Self::replay_via_store(s, &replay_cfg, &obs),
+            None => ReplaySource::build(&replay_cfg),
+        };
         let oracle = replay.truth_labels();
         let ingest = IngestLayer::with_obs(replay.n_nodes(), cfg.queue_capacity, obs.clone());
 
@@ -199,15 +233,133 @@ impl FleetService {
             model,
             label_queue,
             retrainer,
+            journal,
             oracle,
             alarm_log: Vec::new(),
             alarms_by_label: BTreeMap::new(),
-            swap_ticks: Vec::new(),
+            swap_ticks,
             tick: 0,
             samples_emitted: 0,
             wall_ns: 0,
             obs,
         }
+    }
+
+    /// Offline training data, through the store when one is configured.
+    fn system_data(cfg: &ServeConfig, store: Option<&TelemetryStore>, obs: &Obs) -> SystemData {
+        let (system, method, scale, seed) =
+            (cfg.fleet.system, cfg.method, cfg.fleet.scale, cfg.fleet.seed);
+        let Some(s) = store else {
+            return SystemData::generate(system, method, scale, seed);
+        };
+        match SystemData::generate_stored(s, system, method, scale, seed) {
+            Ok(sd) => sd,
+            Err(e) => {
+                obs.event(
+                    "store_fallback",
+                    &[
+                        ("dir", s.root().display().to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                SystemData::generate(system, method, scale, seed)
+            }
+        }
+    }
+
+    /// Opens the service's label journal and folds every committed round
+    /// back into `retrainer`/`model`. A round is committed iff its labels
+    /// are followed by a retrain marker; trailing unmarked labels (a
+    /// crash mid-round) are dropped. Restored rounds land in
+    /// `swap_ticks`, so they count against `max_retrains`.
+    fn restore_from_journal(
+        store: &TelemetryStore,
+        cfg: &ServeConfig,
+        obs: &Obs,
+        retrainer: &mut Retrainer,
+        model: &mut Arc<DiagnosisModel>,
+        swap_ticks: &mut Vec<usize>,
+    ) -> Option<LabelJournal> {
+        // The journal is keyed by the full service config *minus* the
+        // store location, so moving a store does not orphan its journals.
+        let mut key_cfg = cfg.clone();
+        key_cfg.store_dir = None;
+        let path = store.journal_path(&key_of("serve", &key_cfg));
+        let (journal, records) = match LabelJournal::open(&path) {
+            Ok(v) => v,
+            Err(e) => {
+                obs.event(
+                    "store_fallback",
+                    &[("dir", path.display().to_string().into()), ("error", e.to_string().into())],
+                );
+                return None;
+            }
+        };
+        if !records.is_empty() {
+            let _span = obs.span("service_init_ns", &[("stage", "replay_journal")]);
+            let mut batch = Vec::new();
+            for rec in &records {
+                match rec.kind.as_str() {
+                    KIND_LABEL => batch.push((rec.row.clone(), rec.label.clone())),
+                    KIND_RETRAIN => {
+                        *model = retrainer.fold_in(std::mem::take(&mut batch));
+                        swap_ticks.push(rec.at);
+                    }
+                    _ => {}
+                }
+            }
+            obs.event(
+                "warm_restart",
+                &[
+                    ("rounds", Value::from(swap_ticks.len())),
+                    ("records", Value::from(records.len())),
+                    ("uncommitted", Value::from(batch.len())),
+                ],
+            );
+        }
+        Some(journal)
+    }
+
+    /// The replay fleet through the store: a warm entry skips stream
+    /// generation entirely, a miss generates and persists, and a corrupt
+    /// entry self-heals. Store write failures only cost the memoisation.
+    fn replay_via_store(store: &TelemetryStore, cfg: &FleetConfig, obs: &Obs) -> ReplaySource {
+        let key = key_of("fleet", cfg);
+        match store.read_samples("fleet", &key) {
+            Ok(Some(samples)) => {
+                obs.counter("store_cache_hits_total", &[("kind", "fleet")]).inc();
+                let streams = samples
+                    .into_iter()
+                    .map(|telemetry| {
+                        let app = telemetry.meta.app.clone();
+                        NodeStream { telemetry, app }
+                    })
+                    .collect();
+                return ReplaySource::from_streams(streams);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                obs.counter("store_corrupt_entries_total", &[("kind", "fleet")]).inc();
+                obs.event(
+                    "store_self_heal",
+                    &[("kind", "fleet".into()), ("error", e.to_string().into())],
+                );
+            }
+        }
+        obs.counter("store_cache_misses_total", &[("kind", "fleet")]).inc();
+        let replay = ReplaySource::build(cfg);
+        let telemetry: Vec<_> = replay.streams().iter().map(|s| s.telemetry.clone()).collect();
+        let config_json = serde_json::to_string(cfg).unwrap_or_default();
+        if let Err(e) = store.write_samples("fleet", &key, &config_json, &telemetry) {
+            obs.event(
+                "store_fallback",
+                &[
+                    ("dir", store.root().display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
+        }
+        replay
     }
 
     /// Advances the service by one second of fleet time. Returns `false`
@@ -312,10 +464,17 @@ impl FleetService {
         if reqs.is_empty() {
             return;
         }
-        let labelled = reqs
+        let labelled: Vec<(Vec<f64>, String)> = reqs
             .into_iter()
             .map(|r| {
                 let truth = self.oracle[r.node].clone();
+                // Write-ahead: the labelled row hits the journal before
+                // the retrainer ever sees it.
+                if let Some(j) = &self.journal {
+                    if let Err(e) = j.append_label(r.node, r.at, &truth, &r.row) {
+                        self.obs.event("journal_error", &[("error", e.to_string().into())]);
+                    }
+                }
                 (r.row, truth)
             })
             .collect();
@@ -327,6 +486,13 @@ impl FleetService {
         }
         self.model = model;
         self.label_queue.record_retrain();
+        // The marker commits the round: journal replay folds in exactly
+        // the label batches that reached this point.
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.append_retrain(self.swap_ticks.len() as u64 + 1, self.tick) {
+                self.obs.event("journal_error", &[("error", e.to_string().into())]);
+            }
+        }
         self.obs.event(
             "model_swap",
             &[

@@ -1,0 +1,108 @@
+//! Store error type: every durability failure surfaces as a value, never
+//! a panic — a corrupted or half-written file on a production system must
+//! degrade to a cache miss or an operator-visible error, not take the
+//! diagnosis service down.
+
+use std::fmt;
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Everything that can go wrong reading or writing the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A file's contents contradict its checksums or framing.
+    Corrupt {
+        /// File the corruption was detected in.
+        path: String,
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// A file ends mid-record (torn write / partial flush). Distinct from
+    /// [`StoreError::Corrupt`] because append-only consumers (the label
+    /// journal) may legitimately recover everything before the tear.
+    TruncatedTail {
+        /// File the tear was detected in.
+        path: String,
+        /// Byte offset of the first incomplete record.
+        offset: u64,
+    },
+    /// The file is readable but describes a different schema (metric
+    /// catalog, feature key, format version) than the caller expects.
+    SchemaMismatch {
+        /// File whose schema disagrees.
+        path: String,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store file {path}: {detail}")
+            }
+            StoreError::TruncatedTail { path, offset } => {
+                write!(f, "truncated store file {path}: record torn at byte {offset}")
+            }
+            StoreError::SchemaMismatch { path, detail } => {
+                write!(f, "schema mismatch in {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl StoreError {
+    /// Shorthand for a [`StoreError::Corrupt`] value.
+    pub fn corrupt(path: impl AsRef<std::path::Path>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt { path: path.as_ref().display().to_string(), detail: detail.into() }
+    }
+
+    /// Shorthand for a [`StoreError::SchemaMismatch`] value.
+    pub fn schema(path: impl AsRef<std::path::Path>, detail: impl Into<String>) -> Self {
+        StoreError::SchemaMismatch {
+            path: path.as_ref().display().to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file() {
+        let e = StoreError::corrupt("/tmp/seg-0000.seg", "bad CRC");
+        assert!(e.to_string().contains("seg-0000.seg"));
+        assert!(e.to_string().contains("bad CRC"));
+        let t = StoreError::TruncatedTail { path: "j.jsonl".into(), offset: 17 };
+        assert!(t.to_string().contains("byte 17"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StoreError = io.into();
+        assert!(matches!(e, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,294 @@
+//! The write-ahead label journal.
+//!
+//! Every oracle response the online service receives — and every retrain
+//! round it completes — is appended to a JSONL journal *before* the
+//! in-memory state advances. On restart the journal is replayed: labelled
+//! batches are folded back into the retrainer round by round, which
+//! (because retraining is round-seeded) reproduces the pre-crash model
+//! deterministically instead of re-spending the labelling budget.
+//!
+//! Records carry a contiguous sequence number. Replay tolerates exactly
+//! one torn record at the end of the file (a crash mid-append): the tear
+//! is truncated away and appending resumes after the last intact record.
+//! A malformed record *followed by more data*, or a sequence gap, is real
+//! corruption and surfaces as an error.
+
+use crate::error::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// One journal entry. `kind` is `"label"` (an oracle-labelled window,
+/// the fields `node`/`at`/`label` are meaningful) or `"retrain"` (a
+/// completed retrain round, the field `round` is meaningful).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Contiguous record index, starting at 0.
+    pub seq: u64,
+    /// Record type: `"label"` or `"retrain"`.
+    pub kind: String,
+    /// Fleet node the labelled window came from.
+    pub node: usize,
+    /// Tick at which the label request was raised.
+    pub at: usize,
+    /// Oracle-provided class label (empty for `"retrain"` records).
+    pub label: String,
+    /// Retrain round just completed (0 for `"label"` records).
+    pub round: u64,
+    /// The labelled window's scaled model-input row (empty for
+    /// `"retrain"` records) — what warm restart folds back into the
+    /// retrainer. JSON doubles round-trip bit-exactly through the
+    /// vendored serde_json, so the refitted model is reproduced, not
+    /// approximated.
+    pub row: Vec<f64>,
+}
+
+/// Record kind for labelled windows.
+pub const KIND_LABEL: &str = "label";
+/// Record kind for completed retrain rounds.
+pub const KIND_RETRAIN: &str = "retrain";
+
+struct Inner {
+    path: PathBuf,
+    file: File,
+    next_seq: u64,
+}
+
+/// Append-only label journal (see the module docs). Clones share one
+/// underlying file and sequence counter.
+#[derive(Clone)]
+pub struct LabelJournal {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for LabelJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("LabelJournal")
+            .field("path", &inner.path)
+            .field("next_seq", &inner.next_seq)
+            .finish()
+    }
+}
+
+impl LabelJournal {
+    /// Opens (creating if absent) the journal at `path`, replaying every
+    /// intact record. A torn final record is truncated away; corruption
+    /// elsewhere is an error.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, Vec<JournalRecord>)> {
+        let path = path.as_ref().to_path_buf();
+        let obs = alba_obs::global();
+        let _span = obs.span("store_read_ns", &[("kind", "journal")]);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let mut records = Vec::new();
+        let mut good_bytes = 0usize;
+        let mut offset = 0usize;
+        let mut lines = text.split_inclusive('\n').peekable();
+        while let Some(line) = lines.next() {
+            let complete = line.ends_with('\n');
+            let parsed = if complete {
+                serde_json::from_str::<JournalRecord>(line.trim_end_matches('\n')).ok()
+            } else {
+                None
+            };
+            match parsed {
+                Some(rec) => {
+                    if rec.seq != records.len() as u64 {
+                        return Err(StoreError::corrupt(
+                            &path,
+                            format!("sequence gap: expected {}, found {}", records.len(), rec.seq),
+                        ));
+                    }
+                    good_bytes = offset + line.len();
+                    records.push(rec);
+                    offset = good_bytes;
+                }
+                None => {
+                    if lines.peek().is_some() {
+                        return Err(StoreError::corrupt(
+                            &path,
+                            format!("malformed record at byte {offset} before end of journal"),
+                        ));
+                    }
+                    // Torn tail: drop the partial record and recover.
+                    obs.counter("store_journal_torn_tails_total", &[]).inc();
+                    break;
+                }
+            }
+        }
+        if good_bytes < text.len() {
+            // Truncate the tear so the next append starts on a record
+            // boundary.
+            let f = OpenOptions::new().write(true).create(true).truncate(false).open(&path)?;
+            f.set_len(good_bytes as u64)?;
+        }
+        let file = OpenOptions::new().append(true).create(true).open(&path)?;
+        obs.counter("store_journal_replayed_total", &[]).add(records.len() as u64);
+        let next_seq = records.len() as u64;
+        Ok((Self { inner: Arc::new(Mutex::new(Inner { path, file, next_seq })) }, records))
+    }
+
+    fn append(&self, mut rec: JournalRecord) -> Result<u64> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        rec.seq = inner.next_seq;
+        let mut line = serde_json::to_string(&rec)
+            .map_err(|e| StoreError::corrupt(&inner.path, format!("record serialise: {e:?}")))?;
+        line.push('\n');
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.flush()?;
+        inner.next_seq += 1;
+        alba_obs::global().counter("store_journal_appends_total", &[]).inc();
+        Ok(rec.seq)
+    }
+
+    /// Journals one oracle-labelled window (its scaled model-input row
+    /// travels with the label). Returns the record's seq.
+    pub fn append_label(&self, node: usize, at: usize, label: &str, row: &[f64]) -> Result<u64> {
+        self.append(JournalRecord {
+            seq: 0,
+            kind: KIND_LABEL.to_string(),
+            node,
+            at,
+            label: label.to_string(),
+            round: 0,
+            row: row.to_vec(),
+        })
+    }
+
+    /// Journals a completed retrain round at tick `at` — the commit
+    /// marker for every label record since the previous marker. Returns
+    /// the record's seq.
+    pub fn append_retrain(&self, round: u64, at: usize) -> Result<u64> {
+        self.append(JournalRecord {
+            seq: 0,
+            kind: KIND_RETRAIN.to_string(),
+            node: 0,
+            at,
+            label: String::new(),
+            round,
+            row: Vec::new(),
+        })
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).next_seq
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> PathBuf {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).path.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tmpdir;
+
+    #[test]
+    fn append_and_replay_round_trips() {
+        let dir = tmpdir("journal-roundtrip");
+        let path = dir.join("j.jsonl");
+        {
+            let (j, replayed) = LabelJournal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            assert_eq!(
+                j.append_label(3, 120, "memleak", &[0.25, f64::MIN_POSITIVE, -1.0]).unwrap(),
+                0
+            );
+            assert_eq!(j.append_label(7, 130, "healthy", &[]).unwrap(), 1);
+            assert_eq!(j.append_retrain(1, 135).unwrap(), 2);
+        }
+        let (j, replayed) = LabelJournal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[0].kind, KIND_LABEL);
+        assert_eq!(replayed[0].node, 3);
+        assert_eq!(replayed[0].label, "memleak");
+        assert_eq!(replayed[2].kind, KIND_RETRAIN);
+        assert_eq!(replayed[2].round, 1);
+        assert_eq!(j.next_seq(), 3);
+        // Appending after replay continues the sequence.
+        assert_eq!(j.append_label(1, 140, "dcopy", &[1.0]).unwrap(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recovered() {
+        let dir = tmpdir("journal-torn");
+        let path = dir.join("j.jsonl");
+        {
+            let (j, _) = LabelJournal::open(&path).unwrap();
+            j.append_label(0, 10, "dial", &[0.5]).unwrap();
+            j.append_label(1, 20, "leak", &[0.5]).unwrap();
+        }
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let keep = bytes.len();
+        bytes.extend_from_slice(b"{\"seq\":2,\"kind\":\"label\",\"no");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (j, replayed) = LabelJournal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "intact prefix survives");
+        assert_eq!(j.next_seq(), 2);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep as u64, "tear truncated");
+        j.append_label(2, 30, "linkclog", &[0.5]).unwrap();
+        let (_, again) = LabelJournal::open(&path).unwrap();
+        assert_eq!(again.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let dir = tmpdir("journal-corrupt");
+        let path = dir.join("j.jsonl");
+        {
+            let (j, _) = LabelJournal::open(&path).unwrap();
+            j.append_label(0, 10, "a", &[]).unwrap();
+            j.append_label(1, 20, "b", &[]).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let vandalised = text.replacen("\"kind\"", "\"ki!!\"", 1);
+        std::fs::write(&path, vandalised).unwrap();
+        assert!(matches!(LabelJournal::open(&path), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sequence_gap_is_an_error() {
+        let dir = tmpdir("journal-gap");
+        let path = dir.join("j.jsonl");
+        let rec = |seq: u64| {
+            serde_json::to_string(&JournalRecord {
+                seq,
+                kind: KIND_LABEL.to_string(),
+                node: 0,
+                at: 0,
+                label: "x".to_string(),
+                round: 0,
+                row: Vec::new(),
+            })
+            .unwrap()
+        };
+        std::fs::write(&path, format!("{}\n{}\n", rec(0), rec(2))).unwrap();
+        assert!(matches!(LabelJournal::open(&path), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clones_share_the_sequence() {
+        let dir = tmpdir("journal-clone");
+        let (a, _) = LabelJournal::open(dir.join("j.jsonl")).unwrap();
+        let b = a.clone();
+        a.append_label(0, 1, "x", &[]).unwrap();
+        assert_eq!(b.append_label(1, 2, "y", &[]).unwrap(), 1);
+        assert_eq!(a.next_seq(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,63 @@
+//! Content-derived store keys.
+//!
+//! Every store entry is addressed by a 64-bit FNV-1a hash of a namespace
+//! tag plus the canonical JSON of the configuration that produced it —
+//! campaign configs for telemetry, `(campaign, window spec, feature set)`
+//! descriptors for cached feature matrices. Equal configs therefore map
+//! to equal keys across processes and sessions, which is the whole
+//! memoisation contract; the tag keeps namespaces from colliding.
+
+use serde::Serialize;
+
+/// 64-bit FNV-1a over raw bytes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Derives the 16-hex-digit store key for `value` in namespace `tag`.
+///
+/// # Panics
+/// Panics if `value` fails to serialise (config types are plain data and
+/// always serialise).
+pub fn key_of<T: Serialize>(tag: &str, value: &T) -> String {
+    let json = serde_json::to_string(value).expect("store key config must serialise");
+    let mut bytes = Vec::with_capacity(tag.len() + 1 + json.len());
+    bytes.extend_from_slice(tag.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(json.as_bytes());
+    format!("{:016x}", fnv1a64(&bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn keys_are_stable_and_tag_scoped() {
+        #[derive(Serialize)]
+        struct Cfg {
+            seed: u64,
+        }
+        let a = key_of("campaign", &Cfg { seed: 7 });
+        let b = key_of("campaign", &Cfg { seed: 7 });
+        let c = key_of("campaign", &Cfg { seed: 8 });
+        let d = key_of("fleet", &Cfg { seed: 7 });
+        assert_eq!(a, b, "equal configs map to equal keys");
+        assert_ne!(a, c, "seed must change the key");
+        assert_ne!(a, d, "tag must scope the namespace");
+        assert_eq!(a.len(), 16);
+    }
+}

@@ -1,0 +1,288 @@
+//! The embedded store: a directory of content-addressed segment sets.
+//!
+//! ```text
+//! <root>/
+//!   campaigns/<key16>/manifest.json     campaign telemetry (tag "campaign")
+//!   campaigns/<key16>/seg-0000.seg
+//!   fleets/<key16>/...                  serve replay streams (tag "fleet")
+//!   features/<key16>.fmat               cached feature matrices
+//!   journals/<name>.jsonl               write-ahead label journals
+//! ```
+//!
+//! Writes are atomic at entry granularity: segments land in a `*.tmp-<pid>`
+//! staging directory that is renamed into place once fully flushed, so a
+//! crash mid-write leaves a stale staging dir (ignored and overwritten on
+//! the next attempt), never a half-valid entry. All reads and writes are
+//! timed through the observability registry (`store_read_ns` /
+//! `store_write_ns` histograms, labelled by entry kind) and cache
+//! consultations bump `store_cache_hits_total` / `store_cache_misses_total`.
+
+use crate::error::{Result, StoreError};
+use crate::keys::key_of;
+use crate::segment::{SegmentReader, SegmentWriter};
+use alba_obs::Obs;
+use alba_telemetry::{CampaignConfig, NodeTelemetry};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Blocks per segment file; campaigns larger than this span several
+/// segments so no single file (or corruption) covers the whole entry.
+const BLOCKS_PER_SEGMENT: usize = 512;
+
+/// Sidecar written next to an entry's segments for human inspection.
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    key: String,
+    tag: String,
+    n_samples: u64,
+    n_segments: u64,
+    config_json: String,
+}
+
+/// Handle on one store directory. Cheap to clone; all state is on disk.
+#[derive(Clone, Debug)]
+pub struct TelemetryStore {
+    root: PathBuf,
+    obs: Obs,
+}
+
+impl TelemetryStore {
+    /// Opens (creating if needed) the store rooted at `root`, observed by
+    /// the process-global registry.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        Self::with_obs(root, alba_obs::global())
+    }
+
+    /// Opens the store with an explicit observability handle.
+    pub fn with_obs(root: impl AsRef<Path>, obs: Obs) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        for sub in ["campaigns", "fleets", "features", "journals"] {
+            std::fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(Self { root, obs })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The observability handle the store records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Store key of a campaign config.
+    pub fn campaign_key(cfg: &CampaignConfig) -> String {
+        key_of("campaign", cfg)
+    }
+
+    fn entry_dir(&self, kind: &str, key: &str) -> PathBuf {
+        let ns = match kind {
+            "campaign" => "campaigns",
+            "fleet" => "fleets",
+            other => panic!("unknown segment namespace {other}"),
+        };
+        self.root.join(ns).join(key)
+    }
+
+    /// Path of the feature-cache file for `key` (used by
+    /// [`crate::FeatureCache`]).
+    pub(crate) fn feature_path(&self, key: &str) -> PathBuf {
+        self.root.join("features").join(format!("{key}.fmat"))
+    }
+
+    /// Path of the label journal named `name`.
+    pub fn journal_path(&self, name: &str) -> PathBuf {
+        self.root.join("journals").join(format!("{name}.jsonl"))
+    }
+
+    /// True when the store already holds an entry for `(kind, key)`.
+    pub fn contains(&self, kind: &str, key: &str) -> bool {
+        self.entry_dir(kind, key).join("manifest.json").exists()
+    }
+
+    /// Persists `samples` as the `(kind, key)` entry, atomically replacing
+    /// any previous version. All samples must share one metric catalog.
+    pub fn write_samples(
+        &self,
+        kind: &str,
+        key: &str,
+        config_json: &str,
+        samples: &[NodeTelemetry],
+    ) -> Result<()> {
+        let _span = self.obs.span("store_write_ns", &[("kind", kind)]);
+        let final_dir = self.entry_dir(kind, key);
+        let stage = final_dir.with_extension(format!("tmp-{}", std::process::id()));
+        std::fs::remove_dir_all(&stage).ok();
+        std::fs::create_dir_all(&stage)?;
+
+        let metrics = samples.first().map(|s| s.series.metrics.clone()).unwrap_or_default();
+        let mut n_segments = 0u64;
+        for (i, chunk) in samples.chunks(BLOCKS_PER_SEGMENT).enumerate() {
+            let mut w = SegmentWriter::create(stage.join(format!("seg-{i:04}.seg")), &metrics)?;
+            for s in chunk {
+                w.append(s)?;
+            }
+            w.finish()?;
+            n_segments += 1;
+        }
+        let manifest = Manifest {
+            key: key.to_string(),
+            tag: kind.to_string(),
+            n_samples: samples.len() as u64,
+            n_segments,
+            config_json: config_json.to_string(),
+        };
+        std::fs::write(
+            stage.join("manifest.json"),
+            serde_json::to_string_pretty(&manifest)
+                .map_err(|e| StoreError::corrupt(&stage, format!("manifest: {e:?}")))?,
+        )?;
+        std::fs::remove_dir_all(&final_dir).ok();
+        std::fs::rename(&stage, &final_dir)?;
+        self.obs
+            .counter("store_samples_written_total", &[("kind", kind)])
+            .add(samples.len() as u64);
+        Ok(())
+    }
+
+    /// Reads the `(kind, key)` entry. `Ok(None)` means absent (a cache
+    /// miss); corrupt or torn entries surface as errors for the caller to
+    /// heal (usually by regenerating and rewriting).
+    pub fn read_samples(&self, kind: &str, key: &str) -> Result<Option<Vec<NodeTelemetry>>> {
+        let dir = self.entry_dir(kind, key);
+        let manifest_path = dir.join("manifest.json");
+        if !manifest_path.exists() {
+            return Ok(None);
+        }
+        let _span = self.obs.span("store_read_ns", &[("kind", kind)]);
+        let manifest: Manifest = serde_json::from_str(&std::fs::read_to_string(&manifest_path)?)
+            .map_err(|e| StoreError::corrupt(&manifest_path, format!("manifest parse: {e:?}")))?;
+        if manifest.key != key {
+            return Err(StoreError::schema(
+                &manifest_path,
+                format!("manifest key {} under directory {key}", manifest.key),
+            ));
+        }
+        let mut out = Vec::with_capacity(manifest.n_samples as usize);
+        for i in 0..manifest.n_segments {
+            let seg = SegmentReader::open(dir.join(format!("seg-{i:04}.seg")))?;
+            out.extend(seg.read_all()?);
+        }
+        if out.len() as u64 != manifest.n_samples {
+            return Err(StoreError::corrupt(
+                &dir,
+                format!(
+                    "manifest promises {} samples, segments hold {}",
+                    manifest.n_samples,
+                    out.len()
+                ),
+            ));
+        }
+        self.obs.counter("store_samples_read_total", &[("kind", kind)]).add(out.len() as u64);
+        Ok(Some(out))
+    }
+
+    /// Memoised campaign generation: returns the stored telemetry when
+    /// present and intact, otherwise generates via
+    /// [`CampaignConfig::generate`], persists, and returns it. Corrupt
+    /// entries self-heal (counted in `store_corrupt_entries_total`).
+    pub fn get_or_generate_campaign(&self, cfg: &CampaignConfig) -> Result<Vec<NodeTelemetry>> {
+        let key = Self::campaign_key(cfg);
+        match self.read_samples("campaign", &key) {
+            Ok(Some(samples)) => {
+                self.obs.counter("store_cache_hits_total", &[("kind", "campaign")]).inc();
+                return Ok(samples);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                self.obs.counter("store_corrupt_entries_total", &[("kind", "campaign")]).inc();
+                self.obs.event(
+                    "store_self_heal",
+                    &[("kind", "campaign".into()), ("error", e.to_string().into())],
+                );
+            }
+        }
+        self.obs.counter("store_cache_misses_total", &[("kind", "campaign")]).inc();
+        let samples = cfg.generate();
+        let config_json = serde_json::to_string(cfg)
+            .map_err(|e| StoreError::corrupt(&self.root, format!("campaign config: {e:?}")))?;
+        self.write_samples("campaign", &key, &config_json, &samples)?;
+        Ok(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tmpdir;
+    use alba_telemetry::Scale;
+
+    #[test]
+    fn campaign_memoisation_round_trips_and_counts() {
+        let dir = tmpdir("store-campaign");
+        let obs = Obs::wall();
+        let store = TelemetryStore::with_obs(&dir, obs.clone()).unwrap();
+        let cfg = CampaignConfig::volta(Scale::Smoke, 41);
+
+        let cold = store.get_or_generate_campaign(&cfg).unwrap();
+        assert_eq!(obs.counter("store_cache_misses_total", &[("kind", "campaign")]).get(), 1);
+        assert_eq!(obs.counter("store_cache_hits_total", &[("kind", "campaign")]).get(), 0);
+
+        let warm = store.get_or_generate_campaign(&cfg).unwrap();
+        assert_eq!(obs.counter("store_cache_hits_total", &[("kind", "campaign")]).get(), 1);
+        assert_eq!(cold.len(), warm.len());
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.meta, b.meta);
+            for m in 0..a.series.n_metrics() {
+                for (x, y) in a.series.metric(m).iter().zip(b.series.metric(m)) {
+                    assert!(x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()));
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_entries() {
+        let a = CampaignConfig::volta(Scale::Smoke, 1);
+        let b = CampaignConfig::volta(Scale::Smoke, 2);
+        assert_ne!(TelemetryStore::campaign_key(&a), TelemetryStore::campaign_key(&b));
+    }
+
+    #[test]
+    fn corrupt_entry_self_heals() {
+        let dir = tmpdir("store-heal");
+        let obs = Obs::wall();
+        let store = TelemetryStore::with_obs(&dir, obs.clone()).unwrap();
+        let cfg = CampaignConfig::volta(Scale::Smoke, 43);
+        store.get_or_generate_campaign(&cfg).unwrap();
+
+        // Vandalise the first segment.
+        let key = TelemetryStore::campaign_key(&cfg);
+        let seg = dir.join("campaigns").join(&key).join("seg-0000.seg");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let healed = store.get_or_generate_campaign(&cfg).unwrap();
+        assert!(!healed.is_empty());
+        assert_eq!(obs.counter("store_corrupt_entries_total", &[("kind", "campaign")]).get(), 1);
+        // And the rewritten entry now hits.
+        store.get_or_generate_campaign(&cfg).unwrap();
+        assert_eq!(obs.counter("store_cache_hits_total", &[("kind", "campaign")]).get(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn absent_entry_reads_as_none() {
+        let dir = tmpdir("store-absent");
+        let store = TelemetryStore::with_obs(&dir, Obs::disabled()).unwrap();
+        assert!(store.read_samples("campaign", "deadbeefdeadbeef").unwrap().is_none());
+        assert!(!store.contains("campaign", "deadbeefdeadbeef"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

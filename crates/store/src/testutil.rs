@@ -1,0 +1,12 @@
+//! Test-only helpers.
+
+use std::path::PathBuf;
+
+/// A fresh scratch directory under the system temp dir, unique per
+/// `(test name, process)`. Callers clean up with `remove_dir_all`.
+pub fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("alba-store-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create test tmpdir");
+    dir
+}

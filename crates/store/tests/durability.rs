@@ -1,0 +1,178 @@
+//! Durability of the on-disk formats, exercised through the public crate
+//! surface: truncated segment tails, flipped bytes under the CRC, torn
+//! journal records, vandalised feature matrices — every failure must
+//! surface as a typed error (or self-heal), never a panic or silently
+//! wrong data.
+
+use std::fs;
+use std::path::PathBuf;
+
+use alba_features::{Mvts, PreprocessConfig};
+use alba_obs::Obs;
+use alba_store::{FeatureKey, LabelJournal, StoreError, TelemetryStore};
+use alba_telemetry::{class_names, CampaignConfig, Scale};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("alba-durability-{name}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn campaign() -> CampaignConfig {
+    let mut cfg = CampaignConfig::volta(Scale::Smoke, 97);
+    cfg.apps.truncate(2);
+    cfg.shapes.truncate(1);
+    cfg
+}
+
+/// Path of the campaign entry's first segment file.
+fn first_segment(store: &TelemetryStore, cfg: &CampaignConfig) -> PathBuf {
+    store.root().join("campaigns").join(TelemetryStore::campaign_key(cfg)).join("seg-0000.seg")
+}
+
+#[test]
+fn truncated_segment_tail_is_a_typed_error_and_heals() {
+    let dir = tmpdir("truncated-tail");
+    let obs = Obs::wall();
+    let store = TelemetryStore::with_obs(&dir, obs.clone()).unwrap();
+    let cfg = campaign();
+    let original = store.get_or_generate_campaign(&cfg).unwrap();
+
+    // Chop bytes off the tail: a crash mid-write (without the staging
+    // rename) or a torn copy.
+    let seg = first_segment(&store, &cfg);
+    let bytes = fs::read(&seg).unwrap();
+    fs::write(&seg, &bytes[..bytes.len() - 64]).unwrap();
+
+    let key = TelemetryStore::campaign_key(&cfg);
+    match store.read_samples("campaign", &key) {
+        Err(StoreError::TruncatedTail { .. }) | Err(StoreError::Corrupt { .. }) => {}
+        other => panic!("truncated segment must surface as corruption, got {other:?}"),
+    }
+
+    // The memoising entry point self-heals: regenerate, rewrite, serve.
+    let healed = store.get_or_generate_campaign(&cfg).unwrap();
+    assert_eq!(healed.len(), original.len());
+    assert_eq!(obs.counter("store_corrupt_entries_total", &[("kind", "campaign")]).get(), 1);
+    // And the rewritten entry is intact again.
+    assert!(store.read_samples("campaign", &key).unwrap().is_some());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_single_byte_flip_in_a_segment_is_caught() {
+    let dir = tmpdir("bit-flips");
+    let store = TelemetryStore::with_obs(&dir, Obs::disabled()).unwrap();
+    let cfg = campaign();
+    store.get_or_generate_campaign(&cfg).unwrap();
+    let key = TelemetryStore::campaign_key(&cfg);
+
+    let seg = first_segment(&store, &cfg);
+    let pristine = fs::read(&seg).unwrap();
+    // Flipping any byte must either error out or (for bytes that only
+    // pad) still decode — but a sweep of every offset is too slow, so
+    // stride across the file, always including the first and last bytes.
+    let stride = (pristine.len() / 97).max(1);
+    let offsets: Vec<usize> =
+        (0..pristine.len()).step_by(stride).chain([pristine.len() - 1]).collect();
+    for off in offsets {
+        let mut bytes = pristine.clone();
+        bytes[off] ^= 0x41;
+        fs::write(&seg, &bytes).unwrap();
+        match store.read_samples("campaign", &key) {
+            Err(_) => {}
+            Ok(_) => panic!("flipping byte {off} went undetected"),
+        }
+    }
+    fs::write(&seg, &pristine).unwrap();
+    assert!(store.read_samples("campaign", &key).unwrap().is_some(), "pristine file reads");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn vandalised_feature_matrix_self_heals() {
+    let dir = tmpdir("fmat-heal");
+    let obs = Obs::wall();
+    let store = TelemetryStore::with_obs(&dir, obs.clone()).unwrap();
+    let cfg = campaign();
+    let samples = store.get_or_generate_campaign(&cfg).unwrap();
+    let key = FeatureKey::whole_run(
+        TelemetryStore::campaign_key(&cfg),
+        &Mvts,
+        PreprocessConfig::default(),
+        &class_names(),
+    );
+    let cold = store.features().get_or_extract(&key, &samples, &Mvts).unwrap();
+
+    // Flip one byte in the middle of the matrix payload.
+    let fmat = store.root().join("features").join(format!("{}.fmat", key.store_key()));
+    let mut bytes = fs::read(&fmat).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&fmat, &bytes).unwrap();
+
+    assert!(store.features().read(&key).is_err(), "corrupt matrix must not read back");
+    let healed = store.features().get_or_extract(&key, &samples, &Mvts).unwrap();
+    assert_eq!(obs.counter("store_corrupt_entries_total", &[("kind", "features")]).get(), 1);
+    for (a, b) in cold.x.as_slice().iter().zip(healed.x.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "healed matrix must be bit-identical");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_survives_repeated_torn_appends() {
+    let dir = tmpdir("journal-tears");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("j.jsonl");
+    let mut survivors = 0u64;
+    for round in 0..5usize {
+        let (journal, records) = LabelJournal::open(&path).unwrap();
+        assert_eq!(records.len() as u64, survivors, "round {round}: intact prefix replays");
+        journal.append_label(round, round * 10, "memleak", &[round as f64, 0.5]).unwrap();
+        survivors += 1;
+        drop(journal);
+        // Tear the tail differently each round: a partial record whose
+        // length varies, so truncation is exercised at many offsets.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&b"{\"seq\":9999,\"kind\":\"label\""[..8 + 2 * round]);
+        fs::write(&path, &bytes).unwrap();
+    }
+    let (_, records) = LabelJournal::open(&path).unwrap();
+    assert_eq!(records.len() as u64, survivors);
+    for (i, rec) in records.iter().enumerate() {
+        assert_eq!(rec.seq, i as u64, "sequence stays contiguous across tears");
+        assert_eq!(rec.row, vec![i as f64, 0.5], "rows replay bit-exactly");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn garbage_files_never_panic() {
+    let dir = tmpdir("garbage");
+    let store = TelemetryStore::with_obs(&dir, Obs::disabled()).unwrap();
+    let cfg = campaign();
+    let key = TelemetryStore::campaign_key(&cfg);
+
+    // A manifest pointing at segments that do not exist / are noise.
+    let entry = store.root().join("campaigns").join(&key);
+    fs::create_dir_all(&entry).unwrap();
+    fs::write(
+        entry.join("manifest.json"),
+        format!(
+            "{{\"key\":\"{key}\",\"tag\":\"campaign\",\"n_samples\":3,\
+             \"n_segments\":1,\"config_json\":\"{{}}\"}}"
+        ),
+    )
+    .unwrap();
+    fs::write(entry.join("seg-0000.seg"), [0x41u8; 256]).unwrap();
+    assert!(store.read_samples("campaign", &key).is_err());
+
+    // An empty segment file.
+    fs::write(entry.join("seg-0000.seg"), []).unwrap();
+    assert!(store.read_samples("campaign", &key).is_err());
+
+    // And the memoising path still recovers by regenerating.
+    assert!(store.get_or_generate_campaign(&cfg).is_ok());
+    fs::remove_dir_all(&dir).ok();
+}

@@ -54,4 +54,39 @@ for expected in ("stage_ns", "shard_busy_ns", "ingest_accepted_total"):
 print(f"  {len(lines)} events, {len(names)} metric families: OK")
 EOF
 
+echo "==> store smoke (cold run populates, warm run hits, results identical)"
+STORE_DIR=$(mktemp -d)
+OUT_COLD=$(mktemp -d)
+OUT_WARM=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR" "$OUT_COLD" "$OUT_WARM"' EXIT
+cargo run --release -p alba-bench --bin repro -- \
+    --exp fig3 --scale smoke --store "$STORE_DIR" --out "$OUT_COLD" >/dev/null
+cargo run --release -p alba-bench --bin repro -- \
+    --exp fig3 --scale smoke --store "$STORE_DIR" --out "$OUT_WARM" >/dev/null
+python3 - "$OUT_COLD" "$OUT_WARM" <<'EOF'
+import json
+import pathlib
+import sys
+
+cold, warm = (pathlib.Path(p) for p in sys.argv[1:3])
+a = (cold / "fig3_smoke.json").read_bytes()
+b = (warm / "fig3_smoke.json").read_bytes()
+assert a == b, "warm-store run must reproduce fig3 byte-identically"
+
+for run, expect_hits in (("cold", False), ("warm", True)):
+    stats = json.loads(((cold if run == "cold" else warm) / "store_stats_smoke.json").read_text())
+    hits = sum(k["cache_hits"] for k in stats["kinds"])
+    misses = sum(k["cache_misses"] for k in stats["kinds"])
+    if expect_hits:
+        assert hits > 0, f"warm run must hit the store cache: {stats}"
+        assert all(k["corrupt_entries"] == 0 for k in stats["kinds"]), stats
+    else:
+        assert misses > 0, f"cold run must populate the store: {stats}"
+print(f"  fig3 byte-identical across cold/warm store runs, {hits} warm cache hits: OK")
+EOF
+
+echo "==> store I/O bench (warm reads must be >= 10x faster than cold)"
+ALBA_BENCH_QUICK=1 ALBA_STORE_IO_ASSERT=10 \
+    cargo bench -p alba-bench --bench store_io
+
 echo "CI green."

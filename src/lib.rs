@@ -10,5 +10,6 @@ pub use alba_features as features;
 pub use alba_ml as ml;
 pub use alba_obs as obs;
 pub use alba_serve as serve;
+pub use alba_store as store;
 pub use alba_telemetry as telemetry;
 pub use albadross as framework;

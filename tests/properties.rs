@@ -4,9 +4,12 @@
 
 use albadross_repro::active::{entropy_score, margin_score, uncertainty_score};
 use albadross_repro::data::Matrix;
+use albadross_repro::data::MetricKind;
 use albadross_repro::features::stats;
 use albadross_repro::features::{chi_square_scores, interpolate_gaps, MinMaxScaler};
 use albadross_repro::ml::{softmax_row, ConfusionMatrix};
+use albadross_repro::store::codec::{get_uvarint, put_uvarint};
+use albadross_repro::store::{decode_column, encode_column};
 use proptest::prelude::*;
 
 fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -15,6 +18,23 @@ fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
 
 fn nonempty_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+/// Arbitrary IEEE-754 bit patterns, weighted towards the nasty ones.
+fn any_bits() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..u64::MAX,
+        Just(f64::NAN.to_bits()),
+        Just(f64::INFINITY.to_bits()),
+        Just(f64::NEG_INFINITY.to_bits()),
+        Just((-0.0f64).to_bits()),
+        Just(u64::MAX), // NaN with an all-ones payload
+        Just(1u64),     // smallest positive subnormal
+    ]
+}
+
+fn any_kind() -> impl Strategy<Value = MetricKind> {
+    (0u8..2).prop_map(|v| if v == 0 { MetricKind::Gauge } else { MetricKind::Counter })
 }
 
 proptest! {
@@ -175,6 +195,56 @@ proptest! {
         prop_assert!(uncertainty_score(&p).abs() < 1e-12);
         prop_assert!((margin_score(&p) - 1.0).abs() < 1e-12);
         prop_assert!(entropy_score(&p).abs() < 1e-12);
+    }
+
+    // ---- store codecs --------------------------------------------------
+
+    #[test]
+    fn uvarint_round_trips_any_u64(values in prop::collection::vec(any_bits(), 0..50)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len(), "no trailing bytes");
+    }
+
+    #[test]
+    fn column_codec_round_trips_any_bit_pattern(
+        bits in prop::collection::vec(any_bits(), 0..120),
+        kind in any_kind(),
+    ) {
+        // *Any* IEEE-754 pattern — subnormals, infinities, NaN payloads —
+        // must survive the column codec; NaNs may collapse to the
+        // canonical NaN (the gap bitmap carries them), everything else
+        // must round-trip bit-exactly.
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let encoded = encode_column(&values, kind);
+        let decoded = decode_column(&encoded, values.len(), kind).unwrap();
+        prop_assert_eq!(values.len(), decoded.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            if a.is_nan() {
+                prop_assert!(b.is_nan(), "NaN must decode as NaN");
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn column_decode_never_panics_on_garbage(
+        bytes in prop::collection::vec((0u16..256).prop_map(|v| v as u8), 0..200),
+        n in 0usize..64,
+        kind in any_kind(),
+    ) {
+        // Hostile bytes must yield Ok or Err — never a panic, never a
+        // huge allocation.
+        if let Ok(decoded) = decode_column(&bytes, n, kind) {
+            prop_assert_eq!(decoded.len(), n);
+        }
     }
 
     // ---- chi-square ----------------------------------------------------
