@@ -21,6 +21,12 @@
 //! Text renderings go to stdout; machine-readable JSON is written to
 //! `--out` (default `results/`).
 //!
+//! `repro --chaos [--seed N]` runs the fault-injection drill instead: a
+//! 52-node Volta fleet under a seeded [`alba_chaos::FaultPlan`], with
+//! the event log, the plan and the injection/recovery counters written
+//! to `--out`. Equal seeds produce byte-identical event logs;
+//! `--chaos-plan FILE` replays a previously saved plan exactly.
+//!
 //! The whole run is observed through [`alba_obs`]: a wall-clock registry
 //! is installed globally, each experiment runs under an
 //! `experiment_ns{exp=...}` span, the pipeline stages record their own
@@ -41,6 +47,8 @@ struct Args {
     seed: u64,
     out: PathBuf,
     store: Option<PathBuf>,
+    chaos: bool,
+    chaos_plan: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -50,9 +58,19 @@ fn parse_args() -> Args {
     let mut seed = 42u64;
     let mut out = PathBuf::from("results");
     let mut store = None;
+    let mut chaos = false;
+    let mut chaos_plan = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--chaos" => {
+                chaos = true;
+            }
+            "--chaos-plan" => {
+                i += 1;
+                chaos = true;
+                chaos_plan = Some(PathBuf::from(&argv[i]));
+            }
             "--exp" => {
                 i += 1;
                 exps = argv[i].split(',').map(str::to_string).collect();
@@ -79,7 +97,10 @@ fn parse_args() -> Args {
                      [--seed N] [--out DIR] [--store DIR]\nids: tables-setup table4 table5 \
                      fig3 fig4 fig5 fig6 fig7 fig8 ablations all\n--store DIR memoises \
                      campaigns and feature matrices in an on-disk telemetry store \
-                     (equivalent to setting ALBA_STORE_DIR) and reports cache statistics."
+                     (equivalent to setting ALBA_STORE_DIR) and reports cache statistics.\n\
+                     --chaos runs the fault-injection drill (seeded 52-node fleet under a \
+                     FaultPlan; event log, plan and counters land in --out).\n\
+                     --chaos-plan FILE replays a FaultPlan saved by a previous --chaos run."
                 );
                 std::process::exit(0);
             }
@@ -90,7 +111,107 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    Args { exps, scale_name, seed, out, store }
+    Args { exps, scale_name, seed, out, store, chaos, chaos_plan }
+}
+
+/// The `--chaos` drill: a 52-node Volta fleet runs under a seeded
+/// fault plan with every structured event streamed to a JSONL file.
+/// Writes `chaos_events_<seed>.jsonl`, `chaos_plan_<seed>.json`
+/// (replayable via `--chaos-plan`) and `chaos_stats_<seed>.json`, and
+/// exits non-zero if injection or recovery counters stayed at zero.
+fn run_chaos_drill(args: &Args) {
+    use alba_obs::{FileSink, Obs, TickClock};
+    use alba_serve::{FleetService, ServeConfig};
+    use std::sync::Arc;
+
+    let mut cfg = ServeConfig::new(System::Volta, alba_telemetry::Scale::Smoke, 52, args.seed);
+    cfg.fleet.duration_override_s = Some(150);
+    cfg.monitor =
+        albadross::MonitorConfig { window: 60, stride: 10, confirm: 2, min_confidence: 0.5 };
+    cfg.uncertainty_threshold = 0.3;
+    cfg.retrain_batch = 8;
+    cfg.max_retrains = 2;
+    cfg.store_dir = args.store.as_ref().map(|d| d.display().to_string());
+    cfg.chaos = Some(alba_chaos::ChaosConfig::default());
+
+    // A tick clock (not wall time) stamps events, so equal seeds yield
+    // byte-identical logs.
+    let obs = Obs::with_clock(Arc::new(TickClock::new()));
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let events_path = args.out.join(format!("chaos_events_{}.jsonl", args.seed));
+    obs.set_sink(Arc::new(FileSink::create(&events_path).expect("create event log")));
+
+    let mut svc = match &args.chaos_plan {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read fault plan {}: {e}", path.display()));
+            let plan = alba_chaos::FaultPlan::from_json(&json)
+                .unwrap_or_else(|e| panic!("parse fault plan {}: {e}", path.display()));
+            println!("# chaos drill — replaying {} ({} events)\n", path.display(), plan.len());
+            FleetService::with_chaos_plan(cfg, plan, obs.clone())
+        }
+        None => {
+            println!("# chaos drill — seed={} (52-node Volta fleet)\n", args.seed);
+            FleetService::with_obs(cfg, obs.clone())
+        }
+    };
+    let plan = svc.chaos_plan().expect("chaotic service carries a plan").clone();
+    let plan_path = args.out.join(format!("chaos_plan_{}.json", args.seed));
+    std::fs::write(&plan_path, plan.to_json().expect("serialise plan")).expect("write plan");
+    println!("[saved {}]", plan_path.display());
+
+    let t = Instant::now();
+    let stats = svc.run_to_completion();
+    let chaos = stats.chaos.clone().expect("chaotic run exports chaos stats");
+    save_json(&args.out, &format!("chaos_stats_{}", args.seed), &stats);
+    println!("[saved {}]", events_path.display());
+
+    println!("\n== chaos drill ==");
+    println!(
+        "ticks={} windows={} alarms={} swaps={:?}",
+        stats.ticks, stats.windows, stats.alarms, stats.swap_ticks
+    );
+    println!(
+        "faults: started={} injected={} (blackout={} burst={} stuck={} garbage={} skew={} storm_dup={})",
+        chaos.faults_started,
+        chaos.total_injected(),
+        chaos.injected.blackout_drops,
+        chaos.injected.burst_drops,
+        chaos.injected.stuck_readings,
+        chaos.injected.garbage_readings,
+        chaos.injected.skewed_samples,
+        chaos.injected.storm_duplicates,
+    );
+    println!(
+        "recovery: total={} shard_restarts={} quarantines={}→{} oracle_timeouts={} oracle_recoveries={} journal_recoveries={} backoff_waits={} ({} simulated ns)",
+        chaos.total_recoveries(),
+        chaos.shard_restarts,
+        chaos.quarantines_entered,
+        chaos.quarantines_released,
+        chaos.oracle_timeouts,
+        chaos.oracle_recoveries,
+        chaos.journal_recoveries,
+        chaos.backoff_waits,
+        chaos.backoff_ns,
+    );
+    println!(
+        "errors: unroutable={} malformed={} oracle_misses={} journal_reopens={} journal_failures={}",
+        stats.errors.unroutable_samples,
+        stats.errors.malformed_samples,
+        stats.errors.oracle_misses,
+        stats.errors.journal_reopens,
+        stats.errors.journal_failures,
+    );
+    println!("# done in {:?}", t.elapsed());
+
+    if chaos.total_injected() == 0 {
+        eprintln!("chaos drill injected nothing — plan or injector is broken");
+        std::process::exit(3);
+    }
+    if chaos.total_recoveries() == 0 {
+        eprintln!("chaos drill recovered nothing — self-healing is broken");
+        std::process::exit(4);
+    }
 }
 
 /// Per-entry-kind cache statistics pulled from the obs registry after a
@@ -191,6 +312,10 @@ fn stage_timings(obs: &alba_obs::Obs) -> Vec<TimingEntry> {
 
 fn main() {
     let args = parse_args();
+    if args.chaos {
+        run_chaos_drill(&args);
+        return;
+    }
     let scale = RunScale::parse(&args.scale_name, args.seed)
         .unwrap_or_else(|| panic!("unknown scale {:?}", args.scale_name));
     let wants =

@@ -1,0 +1,108 @@
+//! Bounded, monotone, deterministic retry backoff.
+//!
+//! Recovery paths (oracle calls, journal appends, store reads) retry
+//! through a [`Backoff`]: exponential growth from a base delay up to a
+//! hard cap, with seeded jitter so concurrent retriers de-synchronise
+//! without sacrificing replayability. Delays are *simulated* — the
+//! serving loop records them against its virtual clock instead of
+//! sleeping — so chaos runs stay fast and deterministic.
+
+use crate::mix;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic exponential backoff policy.
+///
+/// The delay for attempt `k` (0-based) is
+/// `min(base · 2^k + jitter(seed, k), cap)` where `jitter` is a pure
+/// function of `(seed, attempt)` bounded by the un-jittered step, so the
+/// schedule is monotone non-decreasing and never exceeds `cap_ns`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// First-retry delay in nanoseconds.
+    pub base_ns: u64,
+    /// Hard ceiling on any single delay.
+    pub cap_ns: u64,
+    /// Attempts allowed before giving up (`delay_ns` returns `None`).
+    pub max_attempts: u32,
+    /// Jitter seed; equal seeds give equal schedules.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self { base_ns: 1_000_000, cap_ns: 1_000_000_000, max_attempts: 5, seed: 0 }
+    }
+}
+
+impl Backoff {
+    /// A policy with the given shape, jittered by `seed`.
+    pub fn new(base_ns: u64, cap_ns: u64, max_attempts: u32, seed: u64) -> Self {
+        Self { base_ns, cap_ns, max_attempts, seed }
+    }
+
+    /// Delay before retry number `attempt` (0-based), or `None` once
+    /// the attempt budget is exhausted.
+    pub fn delay_ns(&self, attempt: u32) -> Option<u64> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let raw = self.base_ns.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        // Jitter grows with the step so the schedule stays monotone:
+        // step k's jitter ceiling (raw/2) never bridges the 2x gap to
+        // step k+1's un-jittered floor.
+        let jitter = if raw == 0 { 0 } else { mix(self.seed, attempt as u64) % (raw / 2 + 1) };
+        Some(raw.saturating_add(jitter).min(self.cap_ns))
+    }
+
+    /// Total simulated delay if every allowed attempt is consumed.
+    pub fn worst_case_total_ns(&self) -> u64 {
+        (0..self.max_attempts).filter_map(|a| self.delay_ns(a)).fold(0, u64::saturating_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_bounded_by_cap_and_budget() {
+        let b = Backoff::new(1_000, 50_000, 8, 42);
+        for a in 0..8 {
+            let d = b.delay_ns(a).expect("within budget");
+            assert!(d <= 50_000, "attempt {a} delay {d} exceeds cap");
+            assert!(d >= 1_000, "attempt {a} delay {d} below base");
+        }
+        assert_eq!(b.delay_ns(8), None, "budget exhausted");
+        assert_eq!(b.delay_ns(100), None);
+    }
+
+    #[test]
+    fn schedule_is_monotone_non_decreasing() {
+        for seed in 0..20u64 {
+            let b = Backoff::new(500, 1_000_000, 12, seed);
+            let delays: Vec<u64> = (0..12).filter_map(|a| b.delay_ns(a)).collect();
+            for w in delays.windows(2) {
+                assert!(w[1] >= w[0], "seed {seed}: schedule dipped {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_schedules() {
+        let a = Backoff::new(1_000, 1 << 30, 10, 7);
+        let b = Backoff::new(1_000, 1 << 30, 10, 7);
+        let c = Backoff::new(1_000, 1 << 30, 10, 8);
+        let sched = |p: &Backoff| (0..10).map(|k| p.delay_ns(k)).collect::<Vec<_>>();
+        assert_eq!(sched(&a), sched(&b));
+        assert_ne!(sched(&a), sched(&c), "different seed should jitter differently");
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let b = Backoff::new(u64::MAX / 2, u64::MAX, 64, 3);
+        for a in 0..64 {
+            assert!(b.delay_ns(a).unwrap() >= u64::MAX / 2, "saturating math keeps base floor");
+        }
+        assert!(b.worst_case_total_ns() == u64::MAX, "saturates, not wraps");
+    }
+}

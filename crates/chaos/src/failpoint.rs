@@ -1,0 +1,158 @@
+//! Named, call-counted failpoints for I/O fault injection.
+//!
+//! The store cannot depend on the chaos crate (it sits below it), so it
+//! exposes a plain closure hook; [`Failpoints`] is the shared arsenal
+//! the serving layer arms from the [`crate::FaultPlan`] and adapts into
+//! that hook. Each named point carries a budget of pending failures:
+//! `arm("store.read", 2)` makes the next two checks of `store.read`
+//! fail, after which the point goes quiet until re-armed. Checks are
+//! counted whether or not they fire, so tests can assert exactly how
+//! many I/O calls crossed each boundary.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Point {
+    /// Failures still pending at this point.
+    pending: u64,
+    /// Checks that fired (returned "fail").
+    fired: u64,
+    /// Total checks, fired or not.
+    checks: u64,
+}
+
+/// A shared registry of named failpoints. Cheap to clone — clones share
+/// state, so the chaos runtime can arm points while store adapters
+/// check them.
+#[derive(Clone, Debug, Default)]
+pub struct Failpoints {
+    points: Arc<Mutex<HashMap<String, Point>>>,
+}
+
+impl Failpoints {
+    /// An empty registry; every check passes until a point is armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules the next `n` checks of `name` to fail (additive with
+    /// any failures already pending).
+    pub fn arm(&self, name: &str, n: u64) {
+        let mut map = self.points.lock().unwrap();
+        map.entry(name.to_string()).or_default().pending += n;
+    }
+
+    /// Clears any pending failures on `name` (counters are kept).
+    pub fn disarm(&self, name: &str) {
+        let mut map = self.points.lock().unwrap();
+        if let Some(p) = map.get_mut(name) {
+            p.pending = 0;
+        }
+    }
+
+    /// Records one crossing of `name` and reports whether it should
+    /// fail. Consumes one pending failure when it fires.
+    pub fn check(&self, name: &str) -> bool {
+        let mut map = self.points.lock().unwrap();
+        let p = map.entry(name.to_string()).or_default();
+        p.checks += 1;
+        if p.pending > 0 {
+            p.pending -= 1;
+            p.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many checks of `name` fired.
+    pub fn fired(&self, name: &str) -> u64 {
+        self.points.lock().unwrap().get(name).map(|p| p.fired).unwrap_or(0)
+    }
+
+    /// How many times `name` was checked (fired or not).
+    pub fn checks(&self, name: &str) -> u64 {
+        self.points.lock().unwrap().get(name).map(|p| p.checks).unwrap_or(0)
+    }
+
+    /// Failures still pending on `name`.
+    pub fn pending(&self, name: &str) -> u64 {
+        self.points.lock().unwrap().get(name).map(|p| p.pending).unwrap_or(0)
+    }
+
+    /// Total fired failures across every point.
+    pub fn total_fired(&self) -> u64 {
+        self.points.lock().unwrap().values().map(|p| p.fired).sum()
+    }
+
+    /// An I/O-flavoured adapter for `name`: returns a closure that
+    /// yields `Some(io::Error)` when the point fires, suitable for the
+    /// store's fault-hook seam.
+    pub fn io_hook(&self, tag: &str) -> impl Fn(&str) -> Option<std::io::Error> + Send + Sync {
+        let fp = self.clone();
+        let tag = tag.to_string();
+        move |name: &str| {
+            if fp.check(name) {
+                Some(std::io::Error::other(format!("failpoint {name} ({tag}): injected fault")))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_points_fire_exactly_n_times() {
+        let fp = Failpoints::new();
+        fp.arm("store.read", 2);
+        assert!(fp.check("store.read"));
+        assert!(fp.check("store.read"));
+        assert!(!fp.check("store.read"), "budget exhausted");
+        assert_eq!(fp.fired("store.read"), 2);
+        assert_eq!(fp.checks("store.read"), 3);
+    }
+
+    #[test]
+    fn unarmed_points_always_pass_but_still_count() {
+        let fp = Failpoints::new();
+        assert!(!fp.check("journal.append"));
+        assert_eq!(fp.checks("journal.append"), 1);
+        assert_eq!(fp.fired("journal.append"), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let fp = Failpoints::new();
+        let other = fp.clone();
+        other.arm("store.fsync", 1);
+        assert!(fp.check("store.fsync"), "armed through the clone");
+        assert_eq!(other.fired("store.fsync"), 1);
+    }
+
+    #[test]
+    fn arming_is_additive_and_disarm_clears() {
+        let fp = Failpoints::new();
+        fp.arm("x", 1);
+        fp.arm("x", 2);
+        assert_eq!(fp.pending("x"), 3);
+        fp.disarm("x");
+        assert_eq!(fp.pending("x"), 0);
+        assert!(!fp.check("x"));
+    }
+
+    #[test]
+    fn io_hook_translates_fires_into_errors() {
+        let fp = Failpoints::new();
+        let hook = fp.io_hook("unit");
+        fp.arm("store.write", 1);
+        let err = hook("store.write").expect("fires once");
+        assert!(err.to_string().contains("store.write"));
+        assert!(hook("store.write").is_none());
+        assert_eq!(fp.total_fired(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Telemetry-layer fault application.
+//!
+//! The [`TelemetryInjector`] sits between the replay source and the
+//! ingest layer: every emitted sample passes through
+//! [`TelemetryInjector::apply`], which consults the [`FaultPlan`] for
+//! faults active at the current tick and mutates, delays, duplicates or
+//! drops the sample accordingly. All decisions are pure functions of
+//! the plan and `(node, tick)` — no RNG state is consumed at apply
+//! time — so equal plans inject identical fault streams.
+
+use crate::mix;
+use crate::plan::{FaultKind, FaultPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Non-physical reading injected by a garbage sensor. Far beyond the
+/// detection threshold ([`GARBAGE_DETECT_ABS`]) but finite, so it
+/// traverses feature extraction like real corrupt telemetry would.
+pub const GARBAGE_VALUE: f64 = 4.2e12;
+
+/// Detection threshold: a reading with magnitude above this is treated
+/// as garbage by the serving layer's quarantine detector. Real metrics
+/// in the generated campaigns stay orders of magnitude below it.
+pub const GARBAGE_DETECT_ABS: f64 = 1.0e9;
+
+/// What the injector decided for one sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectAction {
+    /// Deliver the (possibly mutated) sample, plus this many storm
+    /// duplicates (0 for a normal delivery).
+    Deliver {
+        /// Extra retransmitted copies to offer after the original.
+        duplicates: usize,
+    },
+    /// The sample never arrives (blackout or burst loss).
+    Drop,
+}
+
+/// Injection counters, serialisable into the service's chaos stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct InjectStats {
+    /// Samples dropped by node blackouts.
+    pub blackout_drops: u64,
+    /// Samples dropped by burst loss windows.
+    pub burst_drops: u64,
+    /// Readings frozen by stuck sensors.
+    pub stuck_readings: u64,
+    /// Readings replaced with garbage.
+    pub garbage_readings: u64,
+    /// Samples whose timestamp was skewed backwards.
+    pub skewed_samples: u64,
+    /// Extra duplicate deliveries scheduled by queue storms.
+    pub storm_duplicates: u64,
+}
+
+impl InjectStats {
+    /// Total injected telemetry faults (sum of every counter).
+    pub fn total(&self) -> u64 {
+        self.blackout_drops
+            + self.burst_drops
+            + self.stuck_readings
+            + self.garbage_readings
+            + self.skewed_samples
+            + self.storm_duplicates
+    }
+}
+
+/// Applies a [`FaultPlan`]'s telemetry faults to a sample stream.
+#[derive(Clone, Debug)]
+pub struct TelemetryInjector {
+    plan: FaultPlan,
+    /// Last clean value per (node, metric), captured when a stuck-sensor
+    /// event first touches the stripe.
+    held: HashMap<(usize, usize), f64>,
+    stats: InjectStats,
+}
+
+impl TelemetryInjector {
+    /// An injector over `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, held: HashMap::new(), stats: InjectStats::default() }
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> InjectStats {
+        self.stats
+    }
+
+    /// Applies every telemetry fault active at `tick` to one sample.
+    /// `at` is the sample's own timestamp (mutated by clock skew);
+    /// `values` is its reading vector (mutated by sensor faults).
+    pub fn apply(
+        &mut self,
+        node: usize,
+        tick: usize,
+        at: &mut usize,
+        values: &mut [f64],
+    ) -> InjectAction {
+        // Losses first: a blacked-out node emits nothing, so sensor
+        // faults on it are moot this tick.
+        for e in self.plan.active(FaultKind::NodeBlackout, tick) {
+            if e.target == node {
+                self.stats.blackout_drops += 1;
+                return InjectAction::Drop;
+            }
+        }
+        for e in self.plan.active(FaultKind::BurstLoss, tick) {
+            // Fleet-wide deterministic loss pattern: every `magnitude`-th
+            // (node, tick) cell in a seeded interleave goes missing.
+            let modulus = e.magnitude.max(2);
+            if mix(self.plan.seed ^ e.tick as u64, (node + tick) as u64).is_multiple_of(modulus) {
+                self.stats.burst_drops += 1;
+                return InjectAction::Drop;
+            }
+        }
+
+        for e in self.plan.active(FaultKind::StuckSensor, tick) {
+            if e.target == node && !values.is_empty() {
+                let m = e.metric % values.len();
+                let held = *self.held.entry((node, m)).or_insert(values[m]);
+                values[m] = held;
+                self.stats.stuck_readings += 1;
+            }
+        }
+        for e in self.plan.active(FaultKind::GarbageSensor, tick) {
+            if e.target == node {
+                // Garble alternating metrics starting at the stripe
+                // origin — a node spewing garbage, not one flaky sensor.
+                let n = values.len();
+                for (i, v) in values.iter_mut().enumerate() {
+                    if n == 0 || (i + e.metric) % 2 != 0 {
+                        continue;
+                    }
+                    let sign =
+                        if mix(e.metric as u64, (i ^ tick) as u64) & 1 == 0 { 1.0 } else { -1.0 };
+                    *v = sign * GARBAGE_VALUE;
+                    self.stats.garbage_readings += 1;
+                }
+            }
+        }
+        for e in self.plan.active(FaultKind::ClockSkew, tick) {
+            if e.target == node {
+                *at = at.saturating_sub(e.magnitude as usize);
+                self.stats.skewed_samples += 1;
+            }
+        }
+
+        let mut duplicates = 0usize;
+        for e in self.plan.active(FaultKind::QueueStorm, tick) {
+            duplicates += e.magnitude as usize;
+        }
+        self.stats.storm_duplicates += duplicates as u64;
+        InjectAction::Deliver { duplicates }
+    }
+
+    /// True when `values` looks like sustained garbage (≥ 25 % of the
+    /// readings beyond [`GARBAGE_DETECT_ABS`]). NaN gaps alone do not
+    /// trip the detector — production telemetry legitimately has them.
+    pub fn looks_garbage(values: &[f64]) -> bool {
+        if values.is_empty() {
+            return false;
+        }
+        let bad = values.iter().filter(|v| v.is_finite() && v.abs() > GARBAGE_DETECT_ABS).count();
+        bad * 4 >= values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEvent;
+
+    fn plan_with(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan { seed: 9, horizon: 100, n_nodes: 4, n_shards: 2, events }
+    }
+
+    fn ev(kind: FaultKind, tick: usize, duration: usize, target: usize) -> FaultEvent {
+        FaultEvent { kind, tick, duration, target, metric: 1, magnitude: 2 }
+    }
+
+    #[test]
+    fn blackout_drops_only_the_target_during_the_window() {
+        let mut inj = TelemetryInjector::new(plan_with(vec![ev(FaultKind::NodeBlackout, 5, 3, 1)]));
+        let mut vals = [1.0, 2.0];
+        for tick in [5, 6, 7] {
+            let mut at = tick;
+            assert_eq!(inj.apply(1, tick, &mut at, &mut vals), InjectAction::Drop);
+            assert_eq!(
+                inj.apply(0, tick, &mut at, &mut vals),
+                InjectAction::Deliver { duplicates: 0 },
+                "other nodes deliver"
+            );
+        }
+        let mut at = 8;
+        assert_eq!(
+            inj.apply(1, 8, &mut at, &mut vals),
+            InjectAction::Deliver { duplicates: 0 },
+            "window over: node recovers"
+        );
+        assert_eq!(inj.stats().blackout_drops, 3);
+    }
+
+    #[test]
+    fn stuck_sensor_freezes_the_first_seen_value() {
+        let mut inj = TelemetryInjector::new(plan_with(vec![ev(FaultKind::StuckSensor, 0, 10, 2)]));
+        let mut at = 0;
+        let mut vals = [10.0, 20.0, 30.0];
+        inj.apply(2, 0, &mut at, &mut vals);
+        assert_eq!(vals[1], 20.0, "first touch captures the live value");
+        let mut vals = [11.0, 99.0, 31.0];
+        inj.apply(2, 1, &mut at, &mut vals);
+        assert_eq!(vals[1], 20.0, "subsequent readings are frozen");
+        assert_eq!(vals[0], 11.0, "other metrics flow");
+        assert_eq!(inj.stats().stuck_readings, 2);
+    }
+
+    #[test]
+    fn garbage_is_detectable_and_counted() {
+        let mut inj =
+            TelemetryInjector::new(plan_with(vec![ev(FaultKind::GarbageSensor, 0, 5, 0)]));
+        let mut at = 0;
+        let mut vals = vec![1.0; 8];
+        inj.apply(0, 0, &mut at, &mut vals);
+        assert!(inj.stats().garbage_readings >= 4, "half the stripe garbled");
+        assert!(TelemetryInjector::looks_garbage(&vals));
+        assert!(!TelemetryInjector::looks_garbage(&[1.0, 2.0, f64::NAN, 3.0]), "NaN gaps pass");
+    }
+
+    #[test]
+    fn clock_skew_rewinds_timestamps() {
+        let mut inj = TelemetryInjector::new(plan_with(vec![ev(FaultKind::ClockSkew, 3, 2, 1)]));
+        let mut at = 10;
+        let mut vals = [0.0];
+        inj.apply(1, 3, &mut at, &mut vals);
+        assert_eq!(at, 8, "magnitude-2 skew rewinds by two ticks");
+        let mut at = 1;
+        inj.apply(1, 4, &mut at, &mut vals);
+        assert_eq!(at, 0, "skew saturates at zero");
+        assert_eq!(inj.stats().skewed_samples, 2);
+    }
+
+    #[test]
+    fn storms_duplicate_and_burst_loss_drops_deterministically() {
+        let mut a = TelemetryInjector::new(plan_with(vec![
+            ev(FaultKind::QueueStorm, 0, 2, 0),
+            ev(FaultKind::BurstLoss, 10, 5, 0),
+        ]));
+        let mut b = a.clone();
+        let mut vals = [0.0];
+        let mut at = 0;
+        assert_eq!(a.apply(0, 0, &mut at, &mut vals), InjectAction::Deliver { duplicates: 2 });
+        let mut outcomes = Vec::new();
+        for tick in 10..15 {
+            for node in 0..4 {
+                let mut at = tick;
+                outcomes.push(a.apply(node, tick, &mut at, &mut vals));
+            }
+        }
+        assert!(outcomes.contains(&InjectAction::Drop), "some samples must be lost");
+        assert!(outcomes.contains(&InjectAction::Deliver { duplicates: 0 }), "but not all of them");
+        // Determinism: the clone reproduces the exact same decisions.
+        let mut at = 0;
+        b.apply(0, 0, &mut at, &mut vals);
+        let mut again = Vec::new();
+        for tick in 10..15 {
+            for node in 0..4 {
+                let mut at = tick;
+                again.push(b.apply(node, tick, &mut at, &mut vals));
+            }
+        }
+        assert_eq!(outcomes, again);
+    }
+}

@@ -1,0 +1,55 @@
+//! # alba-chaos
+//!
+//! Seeded, deterministic fault injection for the ALBADross pipeline —
+//! plus the self-healing primitives the injected faults exercise.
+//! Production HPC telemetry is full of gaps, stuck sensors and node
+//! dropouts (RUAD treats missing production data as the norm), so the
+//! reproduction makes failure a first-class, *reproducibly testable*
+//! scenario instead of a happy-path afterthought:
+//!
+//! * [`plan`] — the [`FaultPlan`]: a seeded schedule of [`FaultEvent`]s
+//!   across every layer boundary (telemetry, serve, store),
+//!   serialisable to JSON so any chaos run can be replayed exactly,
+//! * [`inject`] — the [`TelemetryInjector`] applying telemetry-layer
+//!   faults (node blackouts, stuck/garbage sensors, clock skew, burst
+//!   sample loss, queue storms) to a live sample stream,
+//! * [`backoff`] — bounded, monotone, deterministic-per-seed
+//!   exponential [`Backoff`] for retrying oracle and store operations,
+//! * [`quarantine`] — the [`QuarantineGate`]: hysteresis-guarded
+//!   quarantine of nodes emitting sustained garbage,
+//! * [`failpoint`] — call-indexed [`Failpoints`] that store and serve
+//!   consult to inject I/O failures at exact, replayable call counts.
+//!
+//! ## Determinism contract
+//!
+//! Nothing in this crate reads wall-clock time or an ambient RNG. A
+//! [`FaultPlan`] is a pure function of `(config, seed, horizon, fleet
+//! shape)`; injection decisions are pure functions of the plan and the
+//! `(node, tick)` being processed; backoff jitter is a pure function of
+//! `(seed, attempt)`. Two runs with equal seeds therefore inject the
+//! byte-identical fault sequence — the serve chaos suite asserts
+//! bit-identical event logs on top of this.
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod failpoint;
+pub mod inject;
+pub mod plan;
+pub mod quarantine;
+
+pub use backoff::Backoff;
+pub use failpoint::Failpoints;
+pub use inject::{InjectAction, InjectStats, TelemetryInjector};
+pub use plan::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+pub use quarantine::{QuarantineConfig, QuarantineGate, Transition};
+
+/// Mixes two words into a uniformly-scrambled one (SplitMix64 finaliser).
+/// The deterministic "randomness" behind per-call decisions that must not
+/// consume RNG state: garbage values, backoff jitter, loss patterns.
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,344 @@
+//! The fault plan: a seeded, serialisable schedule of injected faults.
+//!
+//! A [`FaultPlan`] is generated once from a [`ChaosConfig`] and a seed,
+//! then *consumed read-only* by the injection layers — the plan is the
+//! single source of truth for what goes wrong and when, which is what
+//! makes a chaos run replayable: persist the plan as JSON
+//! ([`FaultPlan::to_json`]), load it back ([`FaultPlan::from_json`]),
+//! and the same faults hit the same targets at the same ticks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Every fault class the plan can schedule, spanning the three layer
+/// boundaries: telemetry (what the fleet emits), serve (how the service
+/// processes), store (what the disk does).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A node goes dark: no samples for the event's duration.
+    NodeBlackout,
+    /// A sensor freezes: one metric stripe repeats its last value.
+    StuckSensor,
+    /// A node spews garbage: alternating metrics emit non-physical
+    /// values (±4.2e12) for the duration.
+    GarbageSensor,
+    /// A node's clock lags: sample timestamps fall behind fleet time by
+    /// `magnitude` ticks.
+    ClockSkew,
+    /// Bursty sample loss: during the window, a deterministic subset of
+    /// the fleet's samples never arrives.
+    BurstLoss,
+    /// Retransmission storm: each delivered sample arrives `magnitude`
+    /// extra times, overflowing bounded ingest queues.
+    QueueStorm,
+    /// A worker shard panics mid-tick (`target` is the shard index).
+    ShardPanic,
+    /// The labelling oracle stops answering; the next `magnitude` calls
+    /// fail before it recovers.
+    OracleOutage,
+    /// The store's write path fails for the next `magnitude` calls.
+    StoreWriteError,
+    /// The store's read path fails for the next `magnitude` calls.
+    StoreReadError,
+    /// A journal append is torn mid-write (partial flush, then error) —
+    /// exercises torn-tail recovery.
+    FsyncFailure,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in events, counters and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::NodeBlackout => "node_blackout",
+            FaultKind::StuckSensor => "stuck_sensor",
+            FaultKind::GarbageSensor => "garbage_sensor",
+            FaultKind::ClockSkew => "clock_skew",
+            FaultKind::BurstLoss => "burst_loss",
+            FaultKind::QueueStorm => "queue_storm",
+            FaultKind::ShardPanic => "shard_panic",
+            FaultKind::OracleOutage => "oracle_outage",
+            FaultKind::StoreWriteError => "store_write_error",
+            FaultKind::StoreReadError => "store_read_error",
+            FaultKind::FsyncFailure => "fsync_failure",
+        }
+    }
+}
+
+/// One scheduled fault: what, when, for how long, against whom.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Service tick at which the fault becomes active.
+    pub tick: usize,
+    /// Ticks the fault stays active (>= 1).
+    pub duration: usize,
+    /// Target index: fleet node for telemetry faults, shard for
+    /// [`FaultKind::ShardPanic`], unused (0) otherwise.
+    pub target: usize,
+    /// Metric index for sensor faults (stripe origin), unused otherwise.
+    pub metric: usize,
+    /// Kind-specific magnitude: skew ticks, storm multiplicity, failed
+    /// call count, loss modulus.
+    pub magnitude: u64,
+}
+
+impl FaultEvent {
+    /// True while the event is active at `tick`.
+    pub fn active_at(&self, tick: usize) -> bool {
+        tick >= self.tick && tick < self.tick + self.duration
+    }
+}
+
+/// How much of each fault class a generated plan schedules. Counts are
+/// absolute events per run; `0` disables a class. The default is a
+/// "bad week in production": every class represented, nothing so hot
+/// the service can't stay live.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Node blackout events.
+    pub blackouts: usize,
+    /// Stuck-sensor events.
+    pub stuck_sensors: usize,
+    /// Garbage-sensor events (these drive quarantine).
+    pub garbage_sensors: usize,
+    /// Clock-skew events.
+    pub clock_skews: usize,
+    /// Burst-loss windows.
+    pub burst_losses: usize,
+    /// Queue-storm windows.
+    pub queue_storms: usize,
+    /// Shard panics.
+    pub shard_panics: usize,
+    /// Oracle outages.
+    pub oracle_outages: usize,
+    /// Store write-path failures.
+    pub store_write_errors: usize,
+    /// Store read-path failures.
+    pub store_read_errors: usize,
+    /// Torn journal appends.
+    pub fsync_failures: usize,
+    /// Mean fault duration in ticks (actual durations are seeded draws
+    /// in `[mean/2, mean*3/2]`).
+    pub mean_duration: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            blackouts: 3,
+            stuck_sensors: 2,
+            garbage_sensors: 2,
+            clock_skews: 2,
+            burst_losses: 2,
+            queue_storms: 1,
+            shard_panics: 2,
+            oracle_outages: 2,
+            store_write_errors: 2,
+            store_read_errors: 1,
+            fsync_failures: 1,
+            mean_duration: 30,
+        }
+    }
+}
+
+/// The full seeded fault schedule (see the module docs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (recorded for provenance; replay
+    /// uses the events, not the seed).
+    pub seed: u64,
+    /// Tick horizon the plan was generated for.
+    pub horizon: usize,
+    /// Fleet size the plan targets.
+    pub n_nodes: usize,
+    /// Shard count the plan targets.
+    pub n_shards: usize,
+    /// Scheduled faults, sorted by `(tick, kind, target)`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (nothing injected).
+    pub fn empty() -> Self {
+        Self { seed: 0, horizon: 0, n_nodes: 0, n_shards: 0, events: Vec::new() }
+    }
+
+    /// Generates the schedule: every count in `cfg` becomes that many
+    /// events with seeded ticks, targets, durations and magnitudes.
+    /// Deterministic — equal arguments yield an identical plan.
+    pub fn generate(
+        cfg: &ChaosConfig,
+        seed: u64,
+        horizon: usize,
+        n_nodes: usize,
+        n_shards: usize,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = horizon.max(2);
+        let n_nodes = n_nodes.max(1);
+        let n_shards = n_shards.max(1);
+        let mean = cfg.mean_duration.max(2);
+        let mut events = Vec::new();
+        let classes: [(FaultKind, usize); 11] = [
+            (FaultKind::NodeBlackout, cfg.blackouts),
+            (FaultKind::StuckSensor, cfg.stuck_sensors),
+            (FaultKind::GarbageSensor, cfg.garbage_sensors),
+            (FaultKind::ClockSkew, cfg.clock_skews),
+            (FaultKind::BurstLoss, cfg.burst_losses),
+            (FaultKind::QueueStorm, cfg.queue_storms),
+            (FaultKind::ShardPanic, cfg.shard_panics),
+            (FaultKind::OracleOutage, cfg.oracle_outages),
+            (FaultKind::StoreWriteError, cfg.store_write_errors),
+            (FaultKind::StoreReadError, cfg.store_read_errors),
+            (FaultKind::FsyncFailure, cfg.fsync_failures),
+        ];
+        for (kind, count) in classes {
+            for _ in 0..count {
+                // Leave the final quarter of the horizon fault-free so
+                // recovery (quarantine release, queue drain) is visible
+                // within the run.
+                let start_cap = (horizon * 3 / 4).max(1);
+                let tick = rng.gen_range(0..start_cap);
+                let duration = rng.gen_range(mean / 2..=mean + mean / 2).max(1);
+                let target = match kind {
+                    FaultKind::ShardPanic => rng.gen_range(0..n_shards),
+                    _ => rng.gen_range(0..n_nodes),
+                };
+                // Metric stripes resolve modulo the catalog width at
+                // injection time; 64 keeps the draw catalog-agnostic.
+                let metric = rng.gen_range(0..64usize);
+                let magnitude = match kind {
+                    FaultKind::ClockSkew => rng.gen_range(1..=5u64),
+                    FaultKind::QueueStorm => rng.gen_range(2..=4u64),
+                    FaultKind::BurstLoss => rng.gen_range(2..=4u64),
+                    FaultKind::OracleOutage => rng.gen_range(1..=4u64),
+                    FaultKind::StoreWriteError | FaultKind::StoreReadError => {
+                        rng.gen_range(1..=2u64)
+                    }
+                    _ => 1,
+                };
+                events.push(FaultEvent { kind, tick, duration, target, metric, magnitude });
+            }
+        }
+        events.sort_by_key(|e| (e.tick, e.kind, e.target, e.metric, e.magnitude, e.duration));
+        Self { seed, horizon, n_nodes, n_shards, events }
+    }
+
+    /// Total scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that *become active* exactly at `tick`, in plan order.
+    pub fn starting_at(&self, tick: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.tick == tick)
+    }
+
+    /// Events of `kind` active at `tick`, in plan order.
+    pub fn active(&self, kind: FaultKind, tick: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.kind == kind && e.active_at(tick))
+    }
+
+    /// Serialises the plan to pretty JSON for replay.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Loads a plan previously saved with [`FaultPlan::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let cfg = ChaosConfig::default();
+        let a = FaultPlan::generate(&cfg, 7, 300, 52, 4);
+        let b = FaultPlan::generate(&cfg, 7, 300, 52, 4);
+        assert_eq!(a, b, "equal seeds must give identical plans");
+        let c = FaultPlan::generate(&cfg, 8, 300, 52, 4);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn every_configured_class_is_scheduled_in_bounds() {
+        let cfg = ChaosConfig::default();
+        let plan = FaultPlan::generate(&cfg, 42, 300, 52, 4);
+        assert_eq!(plan.len(), 20, "default config sums to 20 events");
+        for e in &plan.events {
+            assert!(e.tick < 300 * 3 / 4, "events start inside the capped horizon");
+            assert!(e.duration >= 1);
+            match e.kind {
+                FaultKind::ShardPanic => assert!(e.target < 4),
+                _ => assert!(e.target < 52),
+            }
+        }
+        for kind in [
+            FaultKind::NodeBlackout,
+            FaultKind::ShardPanic,
+            FaultKind::OracleOutage,
+            FaultKind::FsyncFailure,
+        ] {
+            assert!(plan.events.iter().any(|e| e.kind == kind), "missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let plan = FaultPlan::generate(&ChaosConfig::default(), 3, 200, 16, 4);
+        let json = plan.to_json().unwrap();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back, "a replayed plan must match the original exactly");
+    }
+
+    #[test]
+    fn active_and_starting_queries_agree_with_event_windows() {
+        let e = FaultEvent {
+            kind: FaultKind::NodeBlackout,
+            tick: 10,
+            duration: 5,
+            target: 3,
+            metric: 0,
+            magnitude: 1,
+        };
+        let plan = FaultPlan { seed: 0, horizon: 100, n_nodes: 8, n_shards: 2, events: vec![e] };
+        assert_eq!(plan.starting_at(10).count(), 1);
+        assert_eq!(plan.starting_at(11).count(), 0);
+        assert!(!e.active_at(9));
+        assert!(e.active_at(10));
+        assert!(e.active_at(14));
+        assert!(!e.active_at(15));
+        assert_eq!(plan.active(FaultKind::NodeBlackout, 12).count(), 1);
+        assert_eq!(plan.active(FaultKind::StuckSensor, 12).count(), 0);
+    }
+
+    #[test]
+    fn zeroed_config_schedules_nothing() {
+        let cfg = ChaosConfig {
+            blackouts: 0,
+            stuck_sensors: 0,
+            garbage_sensors: 0,
+            clock_skews: 0,
+            burst_losses: 0,
+            queue_storms: 0,
+            shard_panics: 0,
+            oracle_outages: 0,
+            store_write_errors: 0,
+            store_read_errors: 0,
+            fsync_failures: 0,
+            mean_duration: 30,
+        };
+        assert!(FaultPlan::generate(&cfg, 1, 100, 8, 2).is_empty());
+    }
+}

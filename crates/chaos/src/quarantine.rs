@@ -1,0 +1,172 @@
+//! Hysteresis-guarded node quarantine.
+//!
+//! A node spewing garbage telemetry (stuck at ±4.2e12, non-physical
+//! spikes) must be fenced off before it pollutes window features and
+//! triggers alarm storms — but a single bad sample must *not* bounce a
+//! healthy node in and out of quarantine. The [`QuarantineGate`]
+//! therefore requires `bad_windows` consecutive garbage observations to
+//! enter quarantine and `good_windows` consecutive clean ones to leave:
+//! alternating good/bad streams shorter than either threshold produce
+//! no transitions at all (no flapping).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hysteresis thresholds for entering and leaving quarantine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineConfig {
+    /// Consecutive garbage observations required to quarantine a node.
+    pub bad_windows: u32,
+    /// Consecutive clean observations required to release it.
+    pub good_windows: u32,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        Self { bad_windows: 3, good_windows: 5 }
+    }
+}
+
+/// What one observation did to a node's quarantine state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transition {
+    /// State unchanged.
+    None,
+    /// The node just crossed the bad-streak threshold and is now fenced.
+    Entered,
+    /// The node just crossed the good-streak threshold and is readmitted.
+    Released,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeState {
+    quarantined: bool,
+    bad_streak: u32,
+    good_streak: u32,
+}
+
+/// Per-node quarantine state machine with hysteresis.
+#[derive(Clone, Debug)]
+pub struct QuarantineGate {
+    cfg: QuarantineConfig,
+    nodes: HashMap<usize, NodeState>,
+    entered: u64,
+    released: u64,
+}
+
+impl QuarantineGate {
+    /// A gate with the given hysteresis thresholds.
+    pub fn new(cfg: QuarantineConfig) -> Self {
+        Self { cfg, nodes: HashMap::new(), entered: 0, released: 0 }
+    }
+
+    /// Feeds one observation for `node` (`bad` = the sample looked like
+    /// garbage) and reports any state transition it caused.
+    pub fn observe(&mut self, node: usize, bad: bool) -> Transition {
+        let s = self.nodes.entry(node).or_default();
+        if bad {
+            s.bad_streak += 1;
+            s.good_streak = 0;
+            if !s.quarantined && s.bad_streak >= self.cfg.bad_windows {
+                s.quarantined = true;
+                self.entered += 1;
+                return Transition::Entered;
+            }
+        } else {
+            s.good_streak += 1;
+            s.bad_streak = 0;
+            if s.quarantined && s.good_streak >= self.cfg.good_windows {
+                s.quarantined = false;
+                self.released += 1;
+                return Transition::Released;
+            }
+        }
+        Transition::None
+    }
+
+    /// True while `node` is fenced off.
+    pub fn is_quarantined(&self, node: usize) -> bool {
+        self.nodes.get(&node).map(|s| s.quarantined).unwrap_or(false)
+    }
+
+    /// Nodes currently quarantined, ascending.
+    pub fn quarantined_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            self.nodes.iter().filter(|(_, s)| s.quarantined).map(|(n, _)| *n).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Lifetime count of quarantine entries.
+    pub fn entered(&self) -> u64 {
+        self.entered
+    }
+
+    /// Lifetime count of quarantine releases.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enters_only_after_consecutive_bad_windows() {
+        let mut g = QuarantineGate::new(QuarantineConfig { bad_windows: 3, good_windows: 2 });
+        assert_eq!(g.observe(0, true), Transition::None);
+        assert_eq!(g.observe(0, true), Transition::None);
+        assert!(!g.is_quarantined(0));
+        assert_eq!(g.observe(0, true), Transition::Entered);
+        assert!(g.is_quarantined(0));
+        assert_eq!(g.entered(), 1);
+    }
+
+    #[test]
+    fn a_clean_window_resets_the_bad_streak() {
+        let mut g = QuarantineGate::new(QuarantineConfig { bad_windows: 3, good_windows: 2 });
+        for _ in 0..10 {
+            assert_eq!(g.observe(1, true), Transition::None);
+            assert_eq!(g.observe(1, true), Transition::None);
+            assert_eq!(g.observe(1, false), Transition::None);
+        }
+        assert!(!g.is_quarantined(1), "streak never reached 3 consecutively");
+        assert_eq!(g.entered(), 0);
+    }
+
+    #[test]
+    fn releases_only_after_consecutive_good_windows() {
+        let mut g = QuarantineGate::new(QuarantineConfig { bad_windows: 2, good_windows: 3 });
+        g.observe(2, true);
+        assert_eq!(g.observe(2, true), Transition::Entered);
+        assert_eq!(g.observe(2, false), Transition::None);
+        assert_eq!(g.observe(2, false), Transition::None);
+        // Relapse resets the good streak.
+        assert_eq!(g.observe(2, true), Transition::None);
+        assert!(g.is_quarantined(2));
+        assert_eq!(g.observe(2, false), Transition::None);
+        assert_eq!(g.observe(2, false), Transition::None);
+        assert_eq!(g.observe(2, false), Transition::Released);
+        assert!(!g.is_quarantined(2));
+        assert_eq!(g.released(), 1);
+    }
+
+    #[test]
+    fn alternating_observations_never_flap() {
+        let mut g = QuarantineGate::new(QuarantineConfig::default());
+        for i in 0..1000 {
+            assert_eq!(g.observe(3, i % 2 == 0), Transition::None, "flapped at step {i}");
+        }
+        assert_eq!(g.entered() + g.released(), 0);
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        let mut g = QuarantineGate::new(QuarantineConfig { bad_windows: 1, good_windows: 1 });
+        g.observe(0, true);
+        assert!(g.is_quarantined(0));
+        assert!(!g.is_quarantined(7));
+        assert_eq!(g.quarantined_nodes(), vec![0]);
+    }
+}

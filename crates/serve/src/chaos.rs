@@ -1,0 +1,254 @@
+//! The service's chaos runtime: plan-driven fault application plus the
+//! recovery counters the self-healing machinery reports.
+//!
+//! A [`ChaosRuntime`] is built from an [`alba_chaos::FaultPlan`] (either
+//! generated from `ServeConfig::chaos` or replayed from JSON) and rides
+//! inside the [`FleetService`](crate::FleetService) tick loop:
+//!
+//! * telemetry faults go through its [`TelemetryInjector`] before the
+//!   ingest layer sees a sample,
+//! * garbage-emitting nodes pass a hysteresis [`QuarantineGate`],
+//! * store/journal faults are armed as named [`Failpoints`] the store's
+//!   fault-hook seam consults,
+//! * oracle outages and journal errors are retried through a seeded
+//!   [`Backoff`] whose (simulated) waits are counted, never slept.
+//!
+//! Everything here is deterministic: the runtime holds no ambient RNG
+//! and reads no wall clock, so two services with equal plans emit
+//! byte-identical fault/recovery event streams.
+
+use alba_chaos::{
+    Backoff, ChaosConfig, Failpoints, FaultKind, FaultPlan, InjectStats, QuarantineConfig,
+    QuarantineGate, TelemetryInjector,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::Once;
+
+/// Panic payload used for injected shard panics, so the process-global
+/// panic hook can stay quiet about faults we injected on purpose while
+/// still reporting real ones.
+pub struct InjectedPanic;
+
+static SILENCE: Once = Once::new();
+
+/// Installs (once per process) a panic hook that suppresses the stderr
+/// noise of [`InjectedPanic`]s and delegates everything else to the
+/// previous hook.
+pub fn silence_injected_panics() {
+    SILENCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Chaos counters, exported inside `ServiceStats` when a run is chaotic.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Fault events whose window opened during the run.
+    pub faults_started: u64,
+    /// Telemetry-layer injection counters.
+    pub injected: InjectStats,
+    /// Samples dropped because their node was quarantined.
+    pub quarantine_drops: u64,
+    /// Nodes fenced off by the quarantine gate.
+    pub quarantines_entered: u64,
+    /// Nodes readmitted after sustained clean telemetry.
+    pub quarantines_released: u64,
+    /// Shards restarted by the supervisor after an (injected) panic.
+    pub shard_restarts: u64,
+    /// Retrain rounds deferred because the oracle was down.
+    pub oracle_timeouts: u64,
+    /// Retrain rounds that succeeded after at least one deferral.
+    pub oracle_recoveries: u64,
+    /// Store/journal failpoints that fired.
+    pub store_faults_fired: u64,
+    /// Journal appends recovered by reopen-and-retry.
+    pub journal_recoveries: u64,
+    /// Bounded-backoff waits taken (oracle + journal retries).
+    pub backoff_waits: u64,
+    /// Total simulated backoff delay, nanoseconds.
+    pub backoff_ns: u64,
+}
+
+impl ChaosStats {
+    /// Total injected faults across every layer.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.total() + self.store_faults_fired + self.shard_restarts
+    }
+
+    /// Total recovery actions the self-healing machinery performed.
+    pub fn total_recoveries(&self) -> u64 {
+        self.quarantines_released
+            + self.shard_restarts
+            + self.oracle_recoveries
+            + self.journal_recoveries
+    }
+}
+
+/// Plan-driven fault application state riding inside the service.
+#[derive(Clone, Debug)]
+pub struct ChaosRuntime {
+    /// The schedule being executed (serialisable for exact replay).
+    pub plan: FaultPlan,
+    /// Telemetry-layer injector.
+    pub injector: TelemetryInjector,
+    /// Garbage-node quarantine gate.
+    pub gate: QuarantineGate,
+    /// Named failpoints the store/journal fault hooks consult.
+    pub failpoints: Failpoints,
+    /// Retry policy for oracle/journal recovery paths.
+    pub backoff: Backoff,
+    /// Consecutive oracle deferrals so far (0 when healthy).
+    pub oracle_attempt: u32,
+    /// Mid-run counters (merged with component counters on snapshot).
+    pub stats: ChaosStats,
+}
+
+impl ChaosRuntime {
+    /// Builds the runtime for `plan` and arms the *startup* store
+    /// failpoints: scheduled store read/write faults fire during the
+    /// service's initial campaign/fleet I/O, where the store's
+    /// self-healing (regenerate, degrade to in-memory) absorbs them.
+    pub fn new(plan: FaultPlan) -> Self {
+        silence_injected_panics();
+        let failpoints = Failpoints::new();
+        for e in &plan.events {
+            match e.kind {
+                FaultKind::StoreReadError => failpoints.arm("store.read", e.magnitude),
+                FaultKind::StoreWriteError => failpoints.arm("store.write", e.magnitude),
+                _ => {}
+            }
+        }
+        let injector = TelemetryInjector::new(plan.clone());
+        Self {
+            plan,
+            injector,
+            gate: QuarantineGate::new(QuarantineConfig::default()),
+            failpoints,
+            backoff: Backoff { seed: 0, ..Backoff::default() },
+            oracle_attempt: 0,
+            stats: ChaosStats::default(),
+        }
+        .seeded()
+    }
+
+    fn seeded(mut self) -> Self {
+        self.backoff.seed = self.plan.seed;
+        self
+    }
+
+    /// Fault events whose window opens at `tick` (cloned so the caller
+    /// can mutate the runtime while handling them).
+    pub fn starting_at(&self, tick: usize) -> Vec<alba_chaos::FaultEvent> {
+        self.plan.starting_at(tick).cloned().collect()
+    }
+
+    /// True while any oracle-outage window covers `tick`.
+    pub fn oracle_down(&self, tick: usize) -> bool {
+        self.plan.active(FaultKind::OracleOutage, tick).next().is_some()
+    }
+
+    /// The (simulated) delay before the next oracle retry. Bounded: the
+    /// delay stops growing once the attempt budget is consumed, but the
+    /// retrain round keeps deferring until the outage window closes.
+    pub fn oracle_backoff_ns(&self) -> u64 {
+        let capped = self.oracle_attempt.min(self.backoff.max_attempts.saturating_sub(1));
+        self.backoff.delay_ns(capped).unwrap_or(self.backoff.cap_ns)
+    }
+
+    /// Counters snapshot: mid-run stats merged with the component
+    /// counters (injector, gate, failpoints).
+    pub fn snapshot(&self) -> ChaosStats {
+        let mut s = self.stats.clone();
+        s.injected = self.injector.stats();
+        s.quarantines_entered = self.gate.entered();
+        s.quarantines_released = self.gate.released();
+        s.store_faults_fired = self.failpoints.total_fired();
+        s
+    }
+}
+
+/// Generates the service's fault plan from its config — the same
+/// `(config, seed)` always yields the same plan. The horizon covers the
+/// configured replay duration (or the 300 s default scale) plus slack
+/// for transients, so faults land throughout the run.
+pub fn plan_for(
+    chaos: &ChaosConfig,
+    seed: u64,
+    duration_override_s: Option<usize>,
+    n_nodes: usize,
+    n_shards: usize,
+) -> FaultPlan {
+    let horizon = duration_override_s.unwrap_or(300) + 60;
+    FaultPlan::generate(chaos, seed, horizon, n_nodes, n_shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_arms_startup_store_failpoints_from_the_plan() {
+        let cfg = ChaosConfig { store_read_errors: 2, ..zeroed() };
+        let plan = plan_for(&cfg, 11, Some(150), 16, 4);
+        let rt = ChaosRuntime::new(plan.clone());
+        let expected: u64 = plan
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultKind::StoreReadError)
+            .map(|e| e.magnitude)
+            .sum();
+        assert!(expected > 0);
+        assert_eq!(rt.failpoints.pending("store.read"), expected);
+        assert_eq!(rt.failpoints.pending("store.write"), 0);
+    }
+
+    #[test]
+    fn oracle_down_tracks_outage_windows() {
+        let cfg = ChaosConfig { oracle_outages: 1, ..zeroed() };
+        let plan = plan_for(&cfg, 5, Some(150), 16, 4);
+        let e = plan.events[0];
+        let rt = ChaosRuntime::new(plan);
+        assert!(rt.oracle_down(e.tick));
+        assert!(!rt.oracle_down(e.tick + e.duration));
+        assert!(rt.oracle_backoff_ns() >= rt.backoff.base_ns);
+    }
+
+    #[test]
+    fn snapshot_merges_component_counters() {
+        let plan = plan_for(&zeroed(), 3, Some(150), 8, 2);
+        let mut rt = ChaosRuntime::new(plan);
+        rt.failpoints.arm("journal.append", 1);
+        rt.failpoints.check("journal.append");
+        for _ in 0..3 {
+            rt.gate.observe(1, true);
+        }
+        rt.stats.shard_restarts = 2;
+        let s = rt.snapshot();
+        assert_eq!(s.store_faults_fired, 1);
+        assert_eq!(s.quarantines_entered, 1);
+        assert!(s.total_injected() >= 3);
+        assert!(s.total_recoveries() >= 2);
+    }
+
+    fn zeroed() -> ChaosConfig {
+        ChaosConfig {
+            blackouts: 0,
+            stuck_sensors: 0,
+            garbage_sensors: 0,
+            clock_skews: 0,
+            burst_losses: 0,
+            queue_storms: 0,
+            shard_panics: 0,
+            oracle_outages: 0,
+            store_write_errors: 0,
+            store_read_errors: 0,
+            fsync_failures: 0,
+            mean_duration: 20,
+        }
+    }
+}

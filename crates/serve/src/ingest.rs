@@ -71,6 +71,9 @@ pub struct IngestStats {
     pub pushed: u64,
     /// Samples dropped on full queues (backpressure losses).
     pub dropped: u64,
+    /// Samples addressed to a node outside the fleet — a corrupt or
+    /// misconfigured feed must be counted, never an index panic.
+    pub unroutable: u64,
     /// Deepest any single queue ever got.
     pub peak_depth: usize,
 }
@@ -79,6 +82,7 @@ pub struct IngestStats {
 #[derive(Clone, Debug)]
 pub struct IngestLayer {
     queues: Vec<SampleQueue>,
+    unroutable: u64,
     obs: Obs,
     accepted_c: Counter,
     dropped_c: Counter,
@@ -95,6 +99,7 @@ impl IngestLayer {
     pub fn with_obs(n_nodes: usize, capacity: usize, obs: Obs) -> Self {
         Self {
             queues: (0..n_nodes).map(|_| SampleQueue::new(capacity)).collect(),
+            unroutable: 0,
             accepted_c: obs.counter("ingest_accepted_total", &[]),
             dropped_c: obs.counter("ingest_dropped_total", &[]),
             obs,
@@ -104,8 +109,19 @@ impl IngestLayer {
     /// Routes one sample to its node's queue; returns `false` on drop.
     /// Backpressure losses are structured events, not silence: a shed
     /// sample emits `sample_drop` with the node, tick and queue depth.
+    /// A sample addressed outside the fleet is counted unroutable (and
+    /// emits `sample_unroutable`), never an index panic.
     pub fn offer(&mut self, sample: TelemetrySample) -> bool {
         let (node, at) = (sample.node, sample.at);
+        if node >= self.queues.len() {
+            self.unroutable += 1;
+            self.obs.counter("ingest_unroutable_total", &[]).inc();
+            self.obs.event(
+                "sample_unroutable",
+                &[("node", Value::from(node)), ("at", Value::from(at))],
+            );
+            return false;
+        }
         if self.queues[node].push(sample) {
             self.accepted_c.inc();
             return true;
@@ -122,14 +138,14 @@ impl IngestLayer {
         false
     }
 
-    /// Drains one node's queue (oldest first).
+    /// Drains one node's queue (oldest first). Unknown nodes drain empty.
     pub fn drain_node(&mut self, node: usize) -> Vec<TelemetrySample> {
-        self.queues[node].drain()
+        self.queues.get_mut(node).map(SampleQueue::drain).unwrap_or_default()
     }
 
-    /// Current depth of one node's queue.
+    /// Current depth of one node's queue (0 for unknown nodes).
     pub fn depth(&self, node: usize) -> usize {
-        self.queues[node].len()
+        self.queues.get(node).map(SampleQueue::len).unwrap_or(0)
     }
 
     /// True when every queue is empty.
@@ -142,6 +158,7 @@ impl IngestLayer {
         IngestStats {
             pushed: self.queues.iter().map(|q| q.pushed).sum(),
             dropped: self.queues.iter().map(|q| q.dropped).sum(),
+            unroutable: self.unroutable,
             peak_depth: self.queues.iter().map(|q| q.peak_depth).max().unwrap_or(0),
         }
     }
@@ -242,6 +259,18 @@ mod tests {
         assert!(lines[0].contains(r#""node":1"#));
         assert!(lines[0].contains(r#""at":2"#));
         assert!(lines[1].contains(r#""at":3"#));
+    }
+
+    #[test]
+    fn out_of_fleet_samples_are_counted_not_panics() {
+        let mut layer = IngestLayer::new(2, 4);
+        assert!(!layer.offer(sample(99, 0)), "unknown node is rejected");
+        assert!(!layer.offer(sample(2, 1)), "one past the end too");
+        let st = layer.stats();
+        assert_eq!(st.unroutable, 2);
+        assert_eq!(st.pushed, 0);
+        assert!(layer.drain_node(99).is_empty(), "draining unknown nodes is safe");
+        assert_eq!(layer.depth(99), 0);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   hot-swaps,
 //! * [`stats`] — JSON-serialisable service statistics with per-shard
 //!   latency percentiles (p50/p90/p95/p99/max),
+//! * [`chaos`] — the plan-driven fault-injection runtime and the
+//!   self-healing counters ([`alba_chaos`] supplies the plan; the
+//!   service supplies shard supervision, quarantine, bounded backoff
+//!   and journal healing),
 //! * [`service`] — the [`FleetService`] tick loop tying it together.
 //!
 //! The whole pipeline is instrumented with
@@ -43,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod feedback;
 pub mod ingest;
 pub mod replay;
@@ -50,9 +55,10 @@ pub mod service;
 pub mod shard;
 pub mod stats;
 
+pub use chaos::{plan_for, ChaosRuntime, ChaosStats, InjectedPanic};
 pub use feedback::{FeedbackStats, LabelQueue, LabelRequest, Retrainer};
 pub use ingest::{IngestLayer, IngestStats, SampleQueue};
 pub use replay::{FleetConfig, NodeStream, ReplaySource, TelemetrySample};
 pub use service::{FleetService, ServeConfig};
 pub use shard::{NodeAlarm, Shard, ShardReport, ShardStats, WindowOutcome};
-pub use stats::{LatencySummary, ServiceStats, ShardSnapshot};
+pub use stats::{ErrorStats, LatencySummary, ServiceStats, ShardSnapshot};

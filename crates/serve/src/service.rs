@@ -16,15 +16,17 @@
 //! with the same config produce identical alarms, verdicts and swap
 //! ticks (asserted by the integration suite).
 
+use crate::chaos::{plan_for, ChaosRuntime, ChaosStats};
 use crate::feedback::{LabelQueue, LabelRequest, Retrainer};
 use crate::ingest::IngestLayer;
 use crate::replay::{FleetConfig, NodeStream, ReplaySource, TelemetrySample};
 use crate::shard::{NodeAlarm, Shard, ShardReport};
-use crate::stats::{LatencySummary, ServiceStats, ShardSnapshot};
+use crate::stats::{ErrorStats, LatencySummary, ServiceStats, ShardSnapshot};
+use alba_chaos::{Backoff, FaultKind, FaultPlan, InjectAction, TelemetryInjector, Transition};
 use alba_features::{FeatureExtractor, Mvts, TsFresh};
 use alba_ml::{DiagnosisModel, ForestParams};
 use alba_obs::{Histogram, Obs, Value};
-use alba_store::{key_of, LabelJournal, TelemetryStore, KIND_LABEL, KIND_RETRAIN};
+use alba_store::{key_of, LabelJournal, StoreError, TelemetryStore, KIND_LABEL, KIND_RETRAIN};
 use albadross::{
     prepare_split, FeatureMethod, MonitorConfig, NodeMonitor, SplitConfig, SystemData,
 };
@@ -34,6 +36,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -79,6 +82,12 @@ pub struct ServeConfig {
     /// An unusable store degrades to the in-memory path (with a
     /// `store_fallback` event), never a failed service.
     pub store_dir: Option<String>,
+    /// When set, the service generates a seeded [`FaultPlan`] from this
+    /// shape and runs under fault injection (see [`crate::chaos`]).
+    /// Excluded — like `store_dir` — from the journal identity, so a
+    /// chaotic run journals to (and warm-restarts from) the same journal
+    /// as a fault-free one.
+    pub chaos: Option<alba_chaos::ChaosConfig>,
 }
 
 impl ServeConfig {
@@ -103,6 +112,7 @@ impl ServeConfig {
             max_retrains: 2,
             forest: ForestParams { n_estimators: 15, seed, ..ForestParams::default() },
             store_dir: None,
+            chaos: None,
         }
     }
 }
@@ -129,6 +139,15 @@ pub struct FleetService {
     tick: usize,
     samples_emitted: u64,
     wall_ns: u64,
+    /// Plan-driven fault injection (present iff built with a plan).
+    chaos: Option<ChaosRuntime>,
+    /// Retry policy for journal appends (always on; chaos only makes it
+    /// fire more often). Seeded, so simulated waits are deterministic.
+    journal_backoff: Backoff,
+    /// Typed error counters not owned by a sub-layer.
+    oracle_misses: u64,
+    journal_reopens: u64,
+    journal_failures: u64,
     obs: Obs,
 }
 
@@ -144,14 +163,50 @@ impl FleetService {
     /// stages record spans, shards keep per-stage histograms, and the
     /// service emits structured events (`alarm`, `label_request`,
     /// `model_swap`, `sample_drop`) to the registry's sink.
+    ///
+    /// When `cfg.chaos` is set, a seeded [`FaultPlan`] is generated from
+    /// it (deterministically in `cfg.fleet.seed`) and the service runs
+    /// under fault injection.
     pub fn with_obs(cfg: ServeConfig, obs: Obs) -> Self {
+        let plan = cfg.chaos.as_ref().map(|cz| {
+            plan_for(
+                cz,
+                cfg.fleet.seed,
+                cfg.fleet.duration_override_s,
+                cfg.fleet.n_nodes,
+                cfg.n_shards,
+            )
+        });
+        Self::build(cfg, plan, obs)
+    }
+
+    /// Builds the service under an *explicit* fault plan — the replay
+    /// path for a `FaultPlan` loaded back from JSON. The plan is run
+    /// as-is; `cfg.chaos` is ignored for scheduling (it still shapes
+    /// nothing else).
+    pub fn with_chaos_plan(cfg: ServeConfig, plan: FaultPlan, obs: Obs) -> Self {
+        Self::build(cfg, Some(plan), obs)
+    }
+
+    fn build(cfg: ServeConfig, plan: Option<FaultPlan>, obs: Obs) -> Self {
         assert!(cfg.n_shards >= 1, "need at least one shard");
         assert!(cfg.retrain_batch >= 1, "retrain batch must be positive");
+
+        // The chaos runtime exists before any store I/O so that startup
+        // store faults (read/write failpoints) can fire during the
+        // initial campaign and fleet reads.
+        let chaos = plan.map(ChaosRuntime::new);
 
         // Durable memoisation (optional): an unusable store degrades to
         // the purely in-memory path rather than failing the service.
         let store = cfg.store_dir.as_deref().and_then(|dir| {
             TelemetryStore::with_obs(dir, obs.clone())
+                .map(|mut s| {
+                    if let Some(cz) = &chaos {
+                        s.set_fault_hook(Arc::new(cz.failpoints.io_hook("store")));
+                    }
+                    s
+                })
                 .map_err(|e| {
                     obs.event(
                         "store_fallback",
@@ -178,6 +233,9 @@ impl FleetService {
         let journal = store.as_ref().and_then(|s| {
             Self::restore_from_journal(s, &cfg, &obs, &mut retrainer, &mut model, &mut swap_ticks)
         });
+        if let (Some(j), Some(cz)) = (&journal, &chaos) {
+            j.set_fault_hook(Arc::new(cz.failpoints.io_hook("journal")));
+        }
 
         // Online phase: a fresh (salted-seed) campaign streams the fleet.
         let build_span = obs.span("service_init_ns", &[("stage", "build_replay")]);
@@ -224,6 +282,7 @@ impl FleetService {
         build_span.finish();
 
         let label_queue = LabelQueue::new(cfg.label_queue_capacity);
+        let journal_backoff = Backoff { seed: cfg.fleet.seed, ..Backoff::default() };
         Self {
             cfg,
             replay,
@@ -241,6 +300,11 @@ impl FleetService {
             tick: 0,
             samples_emitted: 0,
             wall_ns: 0,
+            chaos,
+            journal_backoff,
+            oracle_misses: 0,
+            journal_reopens: 0,
+            journal_failures: 0,
             obs,
         }
     }
@@ -281,9 +345,13 @@ impl FleetService {
         swap_ticks: &mut Vec<usize>,
     ) -> Option<LabelJournal> {
         // The journal is keyed by the full service config *minus* the
-        // store location, so moving a store does not orphan its journals.
+        // store location and chaos shape, so moving a store does not
+        // orphan its journals and a chaotic run shares its journal with
+        // the fault-free equivalent (warm restart must converge to the
+        // same model either way).
         let mut key_cfg = cfg.clone();
         key_cfg.store_dir = None;
+        key_cfg.chaos = None;
         let path = store.journal_path(&key_of("serve", &key_cfg));
         let (journal, records) = match LabelJournal::open(&path) {
             Ok(v) => v,
@@ -368,12 +436,27 @@ impl FleetService {
         let start = Instant::now();
         let now = self.tick;
 
-        // 1. Replay emits; the ingest layer buffers (or sheds).
+        // 0. Chaos pre-stage: open this tick's fault windows (emitting
+        //    `fault_injected` events on the tick thread, in plan order)
+        //    and arm the machinery they target.
+        if self.chaos.is_some() {
+            self.open_fault_windows(now);
+        }
+
+        // 1. Replay emits; the ingest layer buffers (or sheds). Under
+        //    chaos every sample first passes the telemetry injector and
+        //    the quarantine gate.
         let ingest_span = self.obs.span("stage_ns", &[("stage", "ingest")]);
         let emitted = self.replay.tick();
         self.samples_emitted += emitted.len() as u64;
-        for s in emitted {
-            self.ingest.offer(s);
+        if self.chaos.is_some() {
+            for s in emitted {
+                self.offer_through_chaos(s, now);
+            }
+        } else {
+            for s in emitted {
+                self.ingest.offer(s);
+            }
         }
         ingest_span.finish();
 
@@ -393,16 +476,40 @@ impl FleetService {
         drain_span.finish();
 
         // 3. Shards process in parallel; reports come back in shard
-        //    order, so the merge below is deterministic.
+        //    order, so the merge below is deterministic. Each shard runs
+        //    under its supervisor: a panicking shard is caught here and
+        //    restarted below (on the tick thread) with the current —
+        //    i.e. last-journaled — model re-installed.
         let process_span = self.obs.span("stage_ns", &[("stage", "process")]);
-        let reports: Vec<ShardReport> = self
+        let outcomes: Vec<std::thread::Result<ShardReport>> = self
             .shards
             .par_chunks_mut(1)
             .map(|chunk| {
                 let sh = &mut chunk[0];
-                sh.process(&batches[sh.id()], now)
+                std::panic::catch_unwind(AssertUnwindSafe(|| sh.process(&batches[sh.id()], now)))
             })
             .collect();
+        let mut reports = Vec::with_capacity(outcomes.len());
+        for (id, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(report) => reports.push(report),
+                Err(_) => {
+                    // Supervisor: rebuild the shard (fresh monitors, the
+                    // deployed model, counters carried over). The tick's
+                    // batch for this shard is lost — exactly what a real
+                    // worker crash costs.
+                    self.shards[id] = self.shards[id].respawn();
+                    if let Some(cz) = &mut self.chaos {
+                        cz.stats.shard_restarts += 1;
+                    }
+                    self.obs.event(
+                        "shard_restart",
+                        &[("shard", Value::from(id)), ("tick", Value::from(now))],
+                    );
+                    reports.push(ShardReport::default());
+                }
+            }
+        }
         process_span.finish();
 
         // 4. Alarm bus + uncertainty gate. Events are emitted here, on
@@ -444,11 +551,15 @@ impl FleetService {
         alarm_span.finish();
 
         // 5. Feedback: enough pending requests → label, retrain, swap.
+        //    A deferred round (oracle down) breaks out; the requests stay
+        //    queued and the next tick retries after (simulated) backoff.
         let feedback_span = self.obs.span("stage_ns", &[("stage", "feedback")]);
         while self.label_queue.len() >= self.cfg.retrain_batch
             && self.swap_ticks.len() < self.cfg.max_retrains
         {
-            self.retrain_round();
+            if !self.retrain_round() {
+                break;
+            }
         }
         feedback_span.finish();
 
@@ -458,26 +569,69 @@ impl FleetService {
     }
 
     /// Services one batch of label requests through the oracle, refits
-    /// and hot-swaps the model into every shard.
-    fn retrain_round(&mut self) {
+    /// and hot-swaps the model into every shard. Returns `false` when
+    /// the round was *deferred* — the oracle is down, the requests stay
+    /// queued, and (simulated) backoff is charged — so callers must not
+    /// loop on a deferral.
+    fn retrain_round(&mut self) -> bool {
+        let now = self.tick;
+        // Oracle availability gate: during an outage window the round is
+        // deferred with bounded, seeded backoff — requests are *not*
+        // taken from the queue, so nothing is lost.
+        if let Some(cz) = &mut self.chaos {
+            if cz.oracle_down(now) {
+                let wait = cz.oracle_backoff_ns();
+                cz.oracle_attempt = cz.oracle_attempt.saturating_add(1);
+                cz.stats.oracle_timeouts += 1;
+                cz.stats.backoff_waits += 1;
+                cz.stats.backoff_ns += wait;
+                self.obs.event(
+                    "oracle_timeout",
+                    &[
+                        ("tick", Value::from(now)),
+                        ("attempt", Value::from(cz.oracle_attempt as u64)),
+                        ("backoff_ns", Value::from(wait)),
+                    ],
+                );
+                return false;
+            }
+            if cz.oracle_attempt > 0 {
+                cz.stats.oracle_recoveries += 1;
+                self.obs.event(
+                    "oracle_recovery",
+                    &[
+                        ("tick", Value::from(now)),
+                        ("after_attempts", Value::from(cz.oracle_attempt as u64)),
+                    ],
+                );
+                cz.oracle_attempt = 0;
+            }
+        }
         let reqs = self.label_queue.take(self.cfg.retrain_batch);
         if reqs.is_empty() {
-            return;
+            return true;
         }
-        let labelled: Vec<(Vec<f64>, String)> = reqs
-            .into_iter()
-            .map(|r| {
-                let truth = self.oracle[r.node].clone();
-                // Write-ahead: the labelled row hits the journal before
-                // the retrainer ever sees it.
-                if let Some(j) = &self.journal {
-                    if let Err(e) = j.append_label(r.node, r.at, &truth, &r.row) {
-                        self.obs.event("journal_error", &[("error", e.to_string().into())]);
-                    }
-                }
-                (r.row, truth)
-            })
-            .collect();
+        let mut labelled: Vec<(Vec<f64>, String)> = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            // A request for a node outside the oracle's truth table is a
+            // typed error, not an index panic.
+            let Some(truth) = self.oracle.get(r.node).cloned() else {
+                self.oracle_misses += 1;
+                self.obs.event(
+                    "oracle_miss",
+                    &[("node", Value::from(r.node)), ("at", Value::from(r.at))],
+                );
+                continue;
+            };
+            // Write-ahead: the labelled row hits the journal before the
+            // retrainer ever sees it (retried under bounded backoff; a
+            // torn append heals by reopening the journal).
+            self.journal_append_retrying(|j| j.append_label(r.node, r.at, &truth, &r.row));
+            labelled.push((r.row, truth));
+        }
+        if labelled.is_empty() {
+            return true;
+        }
         let retrain_span = self.obs.span("retrain_ns", &[]);
         let model = self.retrainer.fold_in(labelled);
         retrain_span.finish();
@@ -488,11 +642,8 @@ impl FleetService {
         self.label_queue.record_retrain();
         // The marker commits the round: journal replay folds in exactly
         // the label batches that reached this point.
-        if let Some(j) = &self.journal {
-            if let Err(e) = j.append_retrain(self.swap_ticks.len() as u64 + 1, self.tick) {
-                self.obs.event("journal_error", &[("error", e.to_string().into())]);
-            }
-        }
+        let round = self.swap_ticks.len() as u64 + 1;
+        self.journal_append_retrying(|j| j.append_retrain(round, now));
         self.obs.event(
             "model_swap",
             &[
@@ -502,6 +653,154 @@ impl FleetService {
             ],
         );
         self.swap_ticks.push(self.tick);
+        true
+    }
+
+    /// Opens this tick's fault windows: emits one `fault_injected` event
+    /// per starting fault (tick thread, plan order) and arms the
+    /// machinery the fault targets. Telemetry faults need no arming —
+    /// the injector consults the plan per sample.
+    fn open_fault_windows(&mut self, now: usize) {
+        let Some(cz) = &mut self.chaos else { return };
+        for e in cz.starting_at(now) {
+            cz.stats.faults_started += 1;
+            self.obs.event(
+                "fault_injected",
+                &[
+                    ("fault", Value::from(e.kind.name())),
+                    ("tick", Value::from(e.tick)),
+                    ("duration", Value::from(e.duration)),
+                    ("target", Value::from(e.target)),
+                    ("magnitude", Value::from(e.magnitude)),
+                ],
+            );
+            match e.kind {
+                FaultKind::ShardPanic => {
+                    if let Some(sh) = self.shards.get_mut(e.target) {
+                        sh.arm_panic();
+                    }
+                }
+                // Runtime store faults land on the journal — the only
+                // store I/O after startup. A write error fails the next
+                // append outright; an fsync failure tears it mid-record.
+                FaultKind::StoreWriteError => cz.failpoints.arm("journal.append", 1),
+                FaultKind::FsyncFailure => cz.failpoints.arm("journal.torn", 1),
+                _ => {}
+            }
+        }
+    }
+
+    /// Routes one replay sample through the telemetry injector and the
+    /// quarantine gate, then into ingest. Storm duplicates are offered
+    /// after the original (stressing the bounded queues); quarantined
+    /// nodes' samples are fenced off before ingest sees them.
+    fn offer_through_chaos(&mut self, mut s: TelemetrySample, now: usize) {
+        let Some(cz) = &mut self.chaos else {
+            self.ingest.offer(s);
+            return;
+        };
+        let node = s.node;
+        match cz.injector.apply(node, now, &mut s.at, &mut s.values) {
+            InjectAction::Drop => {}
+            InjectAction::Deliver { duplicates } => {
+                let bad = TelemetryInjector::looks_garbage(&s.values);
+                match cz.gate.observe(node, bad) {
+                    Transition::Entered => {
+                        self.obs.event(
+                            "quarantine_enter",
+                            &[("node", Value::from(node)), ("tick", Value::from(now))],
+                        );
+                    }
+                    Transition::Released => {
+                        self.obs.event(
+                            "quarantine_release",
+                            &[("node", Value::from(node)), ("tick", Value::from(now))],
+                        );
+                    }
+                    Transition::None => {}
+                }
+                if cz.gate.is_quarantined(node) {
+                    cz.stats.quarantine_drops += 1;
+                    return;
+                }
+                self.ingest.offer(s.clone());
+                for _ in 0..duplicates {
+                    self.ingest.offer(s.clone());
+                }
+            }
+        }
+    }
+
+    /// Appends to the journal under the bounded retry policy. A torn
+    /// append (simulated crash mid-record) heals by reopening the
+    /// journal — which truncates the tear — before retrying; other
+    /// errors retry after (simulated, counted) backoff. Exhausting the
+    /// budget counts a `journal_failures` error and drops the record
+    /// from durable storage only — the in-memory round still completes.
+    fn journal_append_retrying<F>(&mut self, op: F)
+    where
+        F: Fn(&LabelJournal) -> alba_store::Result<u64>,
+    {
+        let Some(journal) = self.journal.clone() else { return };
+        let mut journal = journal;
+        let mut attempt: u32 = 0;
+        loop {
+            let err = match op(&journal) {
+                Ok(_) => {
+                    if attempt > 0 {
+                        if let Some(cz) = &mut self.chaos {
+                            cz.stats.journal_recoveries += 1;
+                        }
+                    }
+                    return;
+                }
+                Err(e) => e,
+            };
+            let torn = matches!(err, StoreError::TruncatedTail { .. });
+            self.obs.event(
+                "journal_error",
+                &[
+                    ("error", Value::from(err.to_string())),
+                    ("attempt", Value::from(attempt as u64)),
+                    ("torn", Value::from(torn)),
+                ],
+            );
+            if torn {
+                // Reopen truncates the half-written record; appending
+                // then resumes on a record boundary.
+                match LabelJournal::open(journal.path()) {
+                    Ok((fresh, _)) => {
+                        if let Some(cz) = &self.chaos {
+                            fresh.set_fault_hook(Arc::new(cz.failpoints.io_hook("journal")));
+                        }
+                        self.journal_reopens += 1;
+                        self.journal = Some(fresh.clone());
+                        journal = fresh;
+                    }
+                    Err(e) => {
+                        self.obs.event(
+                            "journal_error",
+                            &[("error", Value::from(e.to_string())), ("fatal", Value::from(true))],
+                        );
+                        self.journal_failures += 1;
+                        return;
+                    }
+                }
+            }
+            match self.journal_backoff.delay_ns(attempt) {
+                Some(wait) => {
+                    if let Some(cz) = &mut self.chaos {
+                        cz.stats.backoff_waits += 1;
+                        cz.stats.backoff_ns += wait;
+                    }
+                }
+                None => {
+                    self.journal_failures += 1;
+                    return;
+                }
+            }
+            attempt += 1;
+        }
     }
 
     /// Runs at most `max_ticks` ticks; returns how many actually ran.
@@ -553,6 +852,13 @@ impl FleetService {
         let wall_s = self.wall_ns as f64 / 1e9;
         let mut feedback = self.label_queue.stats();
         feedback.retrains = self.swap_ticks.len() as u64;
+        let errors = ErrorStats {
+            unroutable_samples: self.ingest.stats().unroutable,
+            malformed_samples: self.shards.iter().map(|sh| sh.stats().malformed).sum(),
+            oracle_misses: self.oracle_misses,
+            journal_reopens: self.journal_reopens,
+            journal_failures: self.journal_failures,
+        };
         ServiceStats {
             ticks: self.tick,
             samples_emitted: self.samples_emitted,
@@ -563,6 +869,8 @@ impl FleetService {
             alarms,
             alarms_by_label: self.alarms_by_label.clone(),
             feedback,
+            errors,
+            chaos: self.chaos.as_ref().map(ChaosRuntime::snapshot),
             swap_ticks: self.swap_ticks.clone(),
             wall_ms: self.wall_ns / 1_000_000,
             windows_per_s: if wall_s > 0.0 { windows as f64 / wall_s } else { 0.0 },
@@ -625,5 +933,16 @@ impl FleetService {
     /// Pending label requests.
     pub fn pending_label_requests(&self) -> usize {
         self.label_queue.len()
+    }
+
+    /// The fault plan driving this run, when it is chaotic. Serialise it
+    /// with [`FaultPlan::to_json`] to replay the exact same chaos later.
+    pub fn chaos_plan(&self) -> Option<&FaultPlan> {
+        self.chaos.as_ref().map(|cz| &cz.plan)
+    }
+
+    /// Chaos injection/recovery counters, when the run is chaotic.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(ChaosRuntime::snapshot)
     }
 }

@@ -74,6 +74,9 @@ pub struct ShardStats {
     pub max_batch: usize,
     /// Alarms confirmed.
     pub alarms: u64,
+    /// Samples whose reading vector did not match the metric catalog —
+    /// skipped (and counted), never an index panic inside the monitor.
+    pub malformed: u64,
 }
 
 /// A worker shard owning the monitors of a disjoint node subset.
@@ -84,8 +87,14 @@ pub struct Shard {
     local: HashMap<usize, usize>,
     monitors: Vec<NodeMonitor>,
     model: Arc<DiagnosisModel>,
+    extractor: Arc<dyn FeatureExtractor + Send + Sync>,
+    metrics: Vec<MetricDef>,
+    monitor_cfg: MonitorConfig,
     view: FeatureView,
     batched: bool,
+    /// Injected-fault flag: the next [`Shard::process`] call panics
+    /// (exercising the service's supervisor) instead of processing.
+    panic_armed: bool,
     stats: ShardStats,
     /// Wall-time per [`Shard::process`] call, nanoseconds.
     busy: Histogram,
@@ -132,8 +141,12 @@ impl Shard {
             local,
             monitors,
             model,
+            extractor,
+            metrics: metrics.to_vec(),
+            monitor_cfg: monitor.clone(),
             view,
             batched,
+            panic_armed: false,
             stats: ShardStats::default(),
             busy: Histogram::new(),
             latency: Histogram::new(),
@@ -141,6 +154,35 @@ impl Shard {
             label,
             misrouted_c,
         }
+    }
+
+    /// Arms an injected panic: the next [`Shard::process`] call aborts
+    /// via `panic!` before touching any monitor, exactly like a worker
+    /// crashing between batches.
+    pub fn arm_panic(&mut self) {
+        self.panic_armed = true;
+    }
+
+    /// Rebuilds this shard after a panic: fresh monitors (in-memory
+    /// window state is lost, as it would be in a real worker restart)
+    /// running the shard's current model, with the lifetime counters and
+    /// timing histograms carried over so stats never regress.
+    pub fn respawn(&self) -> Shard {
+        let mut fresh = Shard::new(
+            self.id,
+            self.nodes.clone(),
+            Arc::clone(&self.model),
+            Arc::clone(&self.extractor),
+            &self.metrics,
+            self.view.clone(),
+            &self.monitor_cfg,
+            self.batched,
+            self.obs.clone(),
+        );
+        fresh.stats = self.stats;
+        fresh.busy = self.busy.clone();
+        fresh.latency = self.latency.clone();
+        fresh
     }
 
     /// Shard index.
@@ -187,6 +229,12 @@ impl Shard {
     ///
     /// `now` is the service tick, used for latency accounting only.
     pub fn process(&mut self, samples: &[TelemetrySample], now: usize) -> ShardReport {
+        if self.panic_armed {
+            // Injected fault: die before mutating any monitor, so the
+            // supervisor's respawn sees a consistent (pre-tick) shard.
+            self.panic_armed = false;
+            std::panic::panic_any(crate::chaos::InjectedPanic);
+        }
         let start = Instant::now();
         let mut report = ShardReport::default();
 
@@ -203,6 +251,13 @@ impl Shard {
                 self.misrouted_c.inc();
                 continue;
             };
+            // A reading vector that disagrees with the catalog would
+            // index out of bounds inside the monitor; count and skip.
+            if s.values.len() != self.metrics.len() {
+                self.stats.malformed += 1;
+                self.obs.counter("shard_malformed_total", &[("shard", &self.label)]).inc();
+                continue;
+            }
             self.stats.samples += 1;
             if self.monitors[l].push(&s.values) {
                 rows.push(self.monitors[l].window_row());

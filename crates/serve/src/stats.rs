@@ -6,6 +6,7 @@
 //! Export is fallible by signature ([`ServiceStats::to_json`] returns
 //! `Result`): a stats dump must never panic the service it describes.
 
+use crate::chaos::ChaosStats;
 use crate::feedback::FeedbackStats;
 use crate::ingest::IngestStats;
 use crate::shard::ShardStats;
@@ -95,6 +96,34 @@ impl ShardSnapshot {
     }
 }
 
+/// Typed error counters: every fallible path the service survives is
+/// counted here instead of panicking or silently swallowing the fault.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Samples addressed outside the fleet (ingest routing guard).
+    pub unroutable_samples: u64,
+    /// Samples whose readings disagreed with the metric catalog.
+    pub malformed_samples: u64,
+    /// Label requests whose node had no oracle truth entry.
+    pub oracle_misses: u64,
+    /// Journal tears healed by reopen-and-retry.
+    pub journal_reopens: u64,
+    /// Journal appends abandoned after the retry budget (labels lost to
+    /// durable storage; the in-memory round still completes).
+    pub journal_failures: u64,
+}
+
+impl ErrorStats {
+    /// Sum of every error counter.
+    pub fn total(&self) -> u64 {
+        self.unroutable_samples
+            + self.malformed_samples
+            + self.oracle_misses
+            + self.journal_reopens
+            + self.journal_failures
+    }
+}
+
 /// Whole-service statistics after (or during) a run.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServiceStats {
@@ -116,6 +145,11 @@ pub struct ServiceStats {
     pub alarms_by_label: BTreeMap<String, u64>,
     /// Feedback-loop counters.
     pub feedback: FeedbackStats,
+    /// Typed error counters (survived faults, not crashes).
+    pub errors: ErrorStats,
+    /// Chaos injection/recovery counters (present iff the run was
+    /// driven by a fault plan).
+    pub chaos: Option<ChaosStats>,
     /// Model hot-swaps performed (ticks at which they happened).
     pub swap_ticks: Vec<usize>,
     /// Wall-clock run time in milliseconds.

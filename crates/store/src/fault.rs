@@ -1,0 +1,42 @@
+//! The store's fault-injection seam.
+//!
+//! The store sits below the chaos layer in the crate graph, so it cannot
+//! depend on `alba-chaos`. Instead it exposes a plain closure hook: the
+//! serving layer adapts its chaos failpoints into a [`FaultHook`] and
+//! installs it with [`crate::TelemetryStore::set_fault_hook`] /
+//! [`crate::LabelJournal::set_fault_hook`]. Production code never
+//! installs a hook, so the checks compile down to a `None` branch.
+//!
+//! Hook sites (by name passed to the hook):
+//!
+//! | name             | where it fires                                    |
+//! |------------------|---------------------------------------------------|
+//! | `store.write`    | entry of [`crate::TelemetryStore::write_samples`] |
+//! | `store.read`     | entry of a present-entry read                     |
+//! | `store.fsync`    | before the atomic rename publishing an entry      |
+//! | `journal.append` | before a journal record is written                |
+//! | `journal.torn`   | mid-append: half the record reaches disk, then the append errors — a simulated crash the next open heals by truncation |
+
+use std::sync::Arc;
+
+/// Injectable fault hook: given a site name, return `Some(error)` to
+/// make that I/O call fail. Cheap to clone; `None` everywhere in
+/// production.
+pub type FaultHook = Arc<dyn Fn(&str) -> Option<std::io::Error> + Send + Sync>;
+
+/// Consults an optional hook at `site`, mapping a fired fault into the
+/// store's error type.
+pub(crate) fn check(hook: &Option<FaultHook>, site: &str) -> crate::error::Result<()> {
+    if let Some(h) = hook {
+        if let Some(e) = h(site) {
+            return Err(e.into());
+        }
+    }
+    Ok(())
+}
+
+/// True when the hook fires at `site` (for sites that need custom
+/// behaviour instead of an early error, e.g. torn appends).
+pub(crate) fn fires(hook: &Option<FaultHook>, site: &str) -> bool {
+    hook.as_ref().and_then(|h| h(site)).is_some()
+}

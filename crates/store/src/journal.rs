@@ -14,6 +14,7 @@
 //! corruption and surfaces as an error.
 
 use crate::error::{Result, StoreError};
+use crate::fault::FaultHook;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -54,6 +55,7 @@ struct Inner {
     path: PathBuf,
     file: File,
     next_seq: u64,
+    fault: Option<FaultHook>,
 }
 
 /// Append-only label journal (see the module docs). Clones share one
@@ -131,7 +133,16 @@ impl LabelJournal {
         let file = OpenOptions::new().append(true).create(true).open(&path)?;
         obs.counter("store_journal_replayed_total", &[]).add(records.len() as u64);
         let next_seq = records.len() as u64;
-        Ok((Self { inner: Arc::new(Mutex::new(Inner { path, file, next_seq })) }, records))
+        Ok((
+            Self { inner: Arc::new(Mutex::new(Inner { path, file, next_seq, fault: None })) },
+            records,
+        ))
+    }
+
+    /// Installs a fault-injection hook consulted on every append (see
+    /// [`crate::fault`]). Test/chaos machinery only.
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).fault = Some(hook);
     }
 
     fn append(&self, mut rec: JournalRecord) -> Result<u64> {
@@ -140,6 +151,19 @@ impl LabelJournal {
         let mut line = serde_json::to_string(&rec)
             .map_err(|e| StoreError::corrupt(&inner.path, format!("record serialise: {e:?}")))?;
         line.push('\n');
+        crate::fault::check(&inner.fault, "journal.append")?;
+        if crate::fault::fires(&inner.fault, "journal.torn") {
+            // Simulated crash mid-append: half the record reaches disk
+            // and the write "dies". The caller must reopen the journal,
+            // which truncates the tear back to the last intact record.
+            let half = &line.as_bytes()[..line.len() / 2];
+            inner.file.write_all(half)?;
+            inner.file.flush()?;
+            return Err(StoreError::TruncatedTail {
+                path: inner.path.display().to_string(),
+                offset: inner.next_seq,
+            });
+        }
         inner.file.write_all(line.as_bytes())?;
         inner.file.flush()?;
         inner.next_seq += 1;
@@ -278,6 +302,37 @@ mod tests {
         };
         std::fs::write(&path, format!("{}\n{}\n", rec(0), rec(2))).unwrap();
         assert!(matches!(LabelJournal::open(&path), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_append_fault_is_healed_by_reopen() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let dir = tmpdir("journal-fault");
+        let path = dir.join("j.jsonl");
+        let (j, _) = LabelJournal::open(&path).unwrap();
+        j.append_label(0, 10, "clean", &[1.0]).unwrap();
+
+        let armed = Arc::new(AtomicBool::new(true));
+        let flag = armed.clone();
+        j.set_fault_hook(Arc::new(move |site: &str| {
+            (site == "journal.torn" && flag.swap(false, Ordering::SeqCst))
+                .then(|| std::io::Error::other("torn"))
+        }));
+        assert!(matches!(
+            j.append_label(1, 20, "doomed", &[2.0]),
+            Err(StoreError::TruncatedTail { .. })
+        ));
+
+        // The recovery path: reopen (truncates the half-record) and retry.
+        let (j2, replayed) = LabelJournal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "only the intact record survives");
+        assert_eq!(j2.append_label(1, 20, "retried", &[2.0]).unwrap(), 1);
+        let (_, all) = LabelJournal::open(&path).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].label, "retried");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -30,6 +30,7 @@
 pub mod codec;
 pub mod crc;
 pub mod error;
+pub mod fault;
 pub mod features;
 pub mod journal;
 pub mod keys;
@@ -42,6 +43,7 @@ pub mod window;
 pub use codec::{decode_column, encode_column};
 pub use crc::crc32;
 pub use error::{Result, StoreError};
+pub use fault::FaultHook;
 pub use features::{FeatureCache, FeatureKey};
 pub use journal::{JournalRecord, LabelJournal, KIND_LABEL, KIND_RETRAIN};
 pub use keys::{fnv1a64, key_of};

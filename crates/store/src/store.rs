@@ -18,6 +18,7 @@
 //! consultations bump `store_cache_hits_total` / `store_cache_misses_total`.
 
 use crate::error::{Result, StoreError};
+use crate::fault::FaultHook;
 use crate::keys::key_of;
 use crate::segment::{SegmentReader, SegmentWriter};
 use alba_obs::Obs;
@@ -40,10 +41,20 @@ struct Manifest {
 }
 
 /// Handle on one store directory. Cheap to clone; all state is on disk.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct TelemetryStore {
     root: PathBuf,
     obs: Obs,
+    fault: Option<FaultHook>,
+}
+
+impl std::fmt::Debug for TelemetryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryStore")
+            .field("root", &self.root)
+            .field("fault_hook", &self.fault.is_some())
+            .finish()
+    }
 }
 
 impl TelemetryStore {
@@ -59,7 +70,14 @@ impl TelemetryStore {
         for sub in ["campaigns", "fleets", "features", "journals"] {
             std::fs::create_dir_all(root.join(sub))?;
         }
-        Ok(Self { root, obs })
+        Ok(Self { root, obs, fault: None })
+    }
+
+    /// Installs a fault-injection hook consulted at every I/O boundary
+    /// (see [`crate::fault`]). Test/chaos machinery only; production
+    /// stores never set one.
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault = Some(hook);
     }
 
     /// The store's root directory.
@@ -112,6 +130,7 @@ impl TelemetryStore {
         samples: &[NodeTelemetry],
     ) -> Result<()> {
         let _span = self.obs.span("store_write_ns", &[("kind", kind)]);
+        crate::fault::check(&self.fault, "store.write")?;
         let final_dir = self.entry_dir(kind, key);
         let stage = final_dir.with_extension(format!("tmp-{}", std::process::id()));
         std::fs::remove_dir_all(&stage).ok();
@@ -139,6 +158,9 @@ impl TelemetryStore {
             serde_json::to_string_pretty(&manifest)
                 .map_err(|e| StoreError::corrupt(&stage, format!("manifest: {e:?}")))?,
         )?;
+        // Simulated fsync failure: the staged entry never gets published,
+        // exactly as if the final flush-and-rename died with the process.
+        crate::fault::check(&self.fault, "store.fsync")?;
         std::fs::remove_dir_all(&final_dir).ok();
         std::fs::rename(&stage, &final_dir)?;
         self.obs
@@ -157,6 +179,7 @@ impl TelemetryStore {
             return Ok(None);
         }
         let _span = self.obs.span("store_read_ns", &[("kind", kind)]);
+        crate::fault::check(&self.fault, "store.read")?;
         let manifest: Manifest = serde_json::from_str(&std::fs::read_to_string(&manifest_path)?)
             .map_err(|e| StoreError::corrupt(&manifest_path, format!("manifest parse: {e:?}")))?;
         if manifest.key != key {
@@ -274,6 +297,41 @@ mod tests {
         // And the rewritten entry now hits.
         store.get_or_generate_campaign(&cfg).unwrap();
         assert_eq!(obs.counter("store_cache_hits_total", &[("kind", "campaign")]).get(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_hook_fails_reads_writes_and_publication() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let dir = tmpdir("store-fault");
+        let mut store = TelemetryStore::with_obs(&dir, Obs::disabled()).unwrap();
+        let cfg = CampaignConfig::volta(Scale::Smoke, 44);
+        store.get_or_generate_campaign(&cfg).unwrap();
+
+        let armed: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+        let flag = armed.clone();
+        store.set_fault_hook(Arc::new(move |site: &str| {
+            let want = match flag.load(Ordering::SeqCst) {
+                1 => "store.read",
+                2 => "store.write",
+                3 => "store.fsync",
+                _ => return None,
+            };
+            (site == want).then(|| std::io::Error::other(format!("injected at {site}")))
+        }));
+
+        let key = TelemetryStore::campaign_key(&cfg);
+        armed.store(1, Ordering::SeqCst);
+        assert!(matches!(store.read_samples("campaign", &key), Err(StoreError::Io(_))));
+        armed.store(2, Ordering::SeqCst);
+        assert!(matches!(store.write_samples("campaign", &key, "{}", &[]), Err(StoreError::Io(_))));
+        armed.store(3, Ordering::SeqCst);
+        assert!(matches!(store.write_samples("campaign", &key, "{}", &[]), Err(StoreError::Io(_))));
+        // A failed fsync never publishes: the original entry survives.
+        armed.store(0, Ordering::SeqCst);
+        assert!(store.read_samples("campaign", &key).unwrap().is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

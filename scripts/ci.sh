@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # Repository CI gate: formatting, lints, build, tests.
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh [--full]
 # Runs everything the tree must pass before a merge; exits non-zero on
-# the first failure.
+# the first failure. --full additionally runs the #[ignore]d slow
+# suites (exhaustive store byte-flip sweep, long chaos cases).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FULL=0
+for arg in "$@"; do
+    case "$arg" in
+        --full) FULL=1 ;;
+        *) echo "unknown argument: $arg (usage: scripts/ci.sh [--full])" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -19,6 +28,11 @@ cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+if [ "$FULL" = "1" ]; then
+    echo "==> slow suites (--full: #[ignore]d tests)"
+    cargo test --workspace -q -- --ignored
+fi
 
 echo "==> observability smoke (fleet_monitor example + artifact checks)"
 cargo run --release --example fleet_monitor >/dev/null
@@ -83,6 +97,48 @@ for run, expect_hits in (("cold", False), ("warm", True)):
     else:
         assert misses > 0, f"cold run must populate the store: {stats}"
 print(f"  fig3 byte-identical across cold/warm store runs, {hits} warm cache hits: OK")
+EOF
+
+echo "==> chaos smoke (seeded drill: recovery counters > 0, log replay byte-identical)"
+OUT_CHAOS_A=$(mktemp -d)
+OUT_CHAOS_B=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR" "$OUT_COLD" "$OUT_WARM" "$OUT_CHAOS_A" "$OUT_CHAOS_B"' EXIT
+# The drill itself exits non-zero unless faults were injected *and*
+# recovered from; two runs of one seeded plan must log identically.
+cargo run --release -p alba-bench --bin repro -- \
+    --chaos --seed 42 --out "$OUT_CHAOS_A" >/dev/null
+cargo run --release -p alba-bench --bin repro -- \
+    --chaos --seed 42 --chaos-plan "$OUT_CHAOS_A/chaos_plan_42.json" \
+    --out "$OUT_CHAOS_B" >/dev/null
+cmp "$OUT_CHAOS_A/chaos_events_42.jsonl" "$OUT_CHAOS_B/chaos_events_42.jsonl" \
+    || { echo "chaos event logs diverged across an identical plan" >&2; exit 1; }
+python3 - "$OUT_CHAOS_A" <<'EOF'
+import json
+import pathlib
+import sys
+
+out = pathlib.Path(sys.argv[1])
+stats = json.loads((out / "chaos_stats_42.json").read_text())
+chaos = stats["chaos"]
+assert chaos is not None, "chaotic run must export chaos stats"
+injected = (
+    sum(chaos["injected"].values()) + chaos["store_faults_fired"] + chaos["shard_restarts"]
+)
+recovered = (
+    chaos["quarantines_released"]
+    + chaos["shard_restarts"]
+    + chaos["oracle_recoveries"]
+    + chaos["journal_recoveries"]
+)
+assert chaos["faults_started"] > 0, chaos
+assert injected > 0, f"no faults injected: {chaos}"
+assert recovered > 0, f"nothing recovered: {chaos}"
+plan = json.loads((out / "chaos_plan_42.json").read_text())
+assert plan["events"], "the saved plan must be replayable"
+events = (out / "chaos_events_42.jsonl").read_text().splitlines()
+kinds = {json.loads(line)["kind"] for line in events}
+assert "fault_injected" in kinds, kinds
+print(f"  {injected} injected, {recovered} recoveries, {len(events)} events: OK")
 EOF
 
 echo "==> store I/O bench (warm reads must be >= 10x faster than cold)"

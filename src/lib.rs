@@ -5,6 +5,7 @@
 //! stack through a single dependency.
 
 pub use alba_active as active;
+pub use alba_chaos as chaos;
 pub use alba_data as data;
 pub use alba_features as features;
 pub use alba_ml as ml;

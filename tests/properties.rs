@@ -3,6 +3,7 @@
 //! the unit-test examples.
 
 use albadross_repro::active::{entropy_score, margin_score, uncertainty_score};
+use albadross_repro::chaos::{Backoff, QuarantineConfig, QuarantineGate, Transition};
 use albadross_repro::data::Matrix;
 use albadross_repro::data::MetricKind;
 use albadross_repro::features::stats;
@@ -245,6 +246,95 @@ proptest! {
         if let Ok(decoded) = decode_column(&bytes, n, kind) {
             prop_assert_eq!(decoded.len(), n);
         }
+    }
+
+    // ---- chaos: backoff ------------------------------------------------
+
+    #[test]
+    fn backoff_is_bounded_monotone_and_deterministic(
+        base in 1u64..10_000_000,
+        cap_mult in 1u64..1_000,
+        max_attempts in 1u32..32,
+        seed in 0u64..10_000,
+    ) {
+        let cap = base.saturating_mul(cap_mult);
+        let b = Backoff::new(base, cap, max_attempts, seed);
+        let mut prev = 0u64;
+        for a in 0..max_attempts {
+            let d = b.delay_ns(a).expect("attempt inside the budget");
+            prop_assert!(d <= cap, "attempt {a}: delay {d} exceeds cap {cap}");
+            prop_assert!(d >= base.min(cap), "attempt {a}: delay {d} below floor");
+            prop_assert!(d >= prev, "attempt {a}: schedule dipped {prev} -> {d}");
+            prev = d;
+        }
+        // The budget is a hard edge, not a taper.
+        prop_assert_eq!(b.delay_ns(max_attempts), None);
+        prop_assert_eq!(b.delay_ns(max_attempts.saturating_add(7)), None);
+        // Determinism: an identically-parameterised policy replays the
+        // exact schedule.
+        let twin = Backoff::new(base, cap, max_attempts, seed);
+        for a in 0..max_attempts {
+            prop_assert_eq!(b.delay_ns(a), twin.delay_ns(a));
+        }
+        prop_assert!(b.worst_case_total_ns() >= prev, "total covers the largest step");
+    }
+
+    // ---- chaos: quarantine hysteresis ----------------------------------
+
+    #[test]
+    fn quarantine_never_flaps_under_sub_threshold_alternation(
+        bad_windows in 1u32..6,
+        good_windows in 1u32..8,
+        bad_run in 1u32..10,
+        good_run in 1u32..10,
+        cycles in 1usize..40,
+    ) {
+        let mut gate = QuarantineGate::new(QuarantineConfig { bad_windows, good_windows });
+        let mut transitions = 0u64;
+        for _ in 0..cycles {
+            for _ in 0..bad_run {
+                if gate.observe(0, true) != Transition::None {
+                    transitions += 1;
+                }
+            }
+            for _ in 0..good_run {
+                if gate.observe(0, false) != Transition::None {
+                    transitions += 1;
+                }
+            }
+        }
+        if bad_run < bad_windows {
+            // Bad runs too short to cross the enter threshold: the gate
+            // must sit perfectly still, whatever the good runs do.
+            prop_assert_eq!(transitions, 0, "hysteresis must absorb sub-threshold flapping");
+            prop_assert!(!gate.is_quarantined(0));
+        }
+        // Transitions strictly alternate enter/release, at most one
+        // enter per bad phase — bounded, never runaway.
+        prop_assert!(gate.entered() >= gate.released());
+        prop_assert!(gate.entered() - gate.released() <= 1);
+        prop_assert!(gate.entered() <= cycles as u64);
+        prop_assert_eq!(gate.entered() + gate.released(), transitions);
+        prop_assert_eq!(gate.is_quarantined(0), gate.entered() > gate.released());
+    }
+
+    #[test]
+    fn quarantine_thresholds_are_exact(bad_windows in 1u32..9, good_windows in 1u32..9) {
+        let mut gate = QuarantineGate::new(QuarantineConfig { bad_windows, good_windows });
+        // Exactly bad_windows consecutive garbage observations enter…
+        for k in 1..bad_windows {
+            prop_assert_eq!(gate.observe(5, true), Transition::None, "early enter at {k}");
+        }
+        prop_assert_eq!(gate.observe(5, true), Transition::Entered);
+        prop_assert!(gate.is_quarantined(5));
+        // …and exactly good_windows consecutive clean ones release.
+        for k in 1..good_windows {
+            prop_assert_eq!(gate.observe(5, false), Transition::None, "early release at {k}");
+        }
+        prop_assert_eq!(gate.observe(5, false), Transition::Released);
+        prop_assert!(!gate.is_quarantined(5));
+        prop_assert_eq!(gate.entered(), 1);
+        prop_assert_eq!(gate.released(), 1);
     }
 
     // ---- chi-square ----------------------------------------------------
