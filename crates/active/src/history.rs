@@ -117,18 +117,12 @@ impl QueryDrilldown {
 
     /// The most-queried label.
     pub fn top_label(&self) -> Option<(&str, f64)> {
-        self.label_counts
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite counts"))
-            .map(|(k, &v)| (k.as_str(), v))
+        self.label_counts.iter().max_by(|a, b| a.1.total_cmp(b.1)).map(|(k, &v)| (k.as_str(), v))
     }
 
     /// The most-queried application.
     pub fn top_app(&self) -> Option<(&str, f64)> {
-        self.app_counts
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite counts"))
-            .map(|(k, &v)| (k.as_str(), v))
+        self.app_counts.iter().max_by(|a, b| a.1.total_cmp(b.1)).map(|(k, &v)| (k.as_str(), v))
     }
 }
 

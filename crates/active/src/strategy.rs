@@ -162,7 +162,7 @@ pub fn select_batch(
             let mut scored: Vec<(usize, f64)> =
                 (0..ctx.remaining.len()).map(|i| (i, score(ctx.proba.row(i)))).collect();
             scored.sort_by(|a, b| {
-                let ord = a.1.partial_cmp(&b.1).expect("finite scores");
+                let ord = a.1.total_cmp(&b.1);
                 if maximize {
                     ord.reverse().then(a.0.cmp(&b.0))
                 } else {

@@ -39,13 +39,13 @@ impl Failpoints {
     /// Schedules the next `n` checks of `name` to fail (additive with
     /// any failures already pending).
     pub fn arm(&self, name: &str, n: u64) {
-        let mut map = self.points.lock().unwrap();
+        let mut map = self.points.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(name.to_string()).or_default().pending += n;
     }
 
     /// Clears any pending failures on `name` (counters are kept).
     pub fn disarm(&self, name: &str) {
-        let mut map = self.points.lock().unwrap();
+        let mut map = self.points.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(p) = map.get_mut(name) {
             p.pending = 0;
         }
@@ -54,7 +54,7 @@ impl Failpoints {
     /// Records one crossing of `name` and reports whether it should
     /// fail. Consumes one pending failure when it fires.
     pub fn check(&self, name: &str) -> bool {
-        let mut map = self.points.lock().unwrap();
+        let mut map = self.points.lock().unwrap_or_else(|e| e.into_inner());
         let p = map.entry(name.to_string()).or_default();
         p.checks += 1;
         if p.pending > 0 {
@@ -68,22 +68,37 @@ impl Failpoints {
 
     /// How many checks of `name` fired.
     pub fn fired(&self, name: &str) -> u64 {
-        self.points.lock().unwrap().get(name).map(|p| p.fired).unwrap_or(0)
+        self.points
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|p| p.fired)
+            .unwrap_or(0)
     }
 
     /// How many times `name` was checked (fired or not).
     pub fn checks(&self, name: &str) -> u64 {
-        self.points.lock().unwrap().get(name).map(|p| p.checks).unwrap_or(0)
+        self.points
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|p| p.checks)
+            .unwrap_or(0)
     }
 
     /// Failures still pending on `name`.
     pub fn pending(&self, name: &str) -> u64 {
-        self.points.lock().unwrap().get(name).map(|p| p.pending).unwrap_or(0)
+        self.points
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(|p| p.pending)
+            .unwrap_or(0)
     }
 
     /// Total fired failures across every point.
     pub fn total_fired(&self) -> u64 {
-        self.points.lock().unwrap().values().map(|p| p.fired).sum()
+        self.points.lock().unwrap_or_else(|e| e.into_inner()).values().map(|p| p.fired).sum()
     }
 
     /// An I/O-flavoured adapter for `name`: returns a closure that

@@ -71,7 +71,7 @@ impl CurvesResult {
         self.curves
             .iter()
             .filter(|c| Strategy::ALL.iter().any(|s| s.is_informative() && s.name() == c.name))
-            .max_by(|a, b| a.f1.last().partial_cmp(&b.f1.last()).expect("finite"))
+            .max_by(|a, b| a.f1.last().total_cmp(&b.f1.last()))
             .expect("informative strategies present")
     }
 

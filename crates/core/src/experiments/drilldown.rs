@@ -40,13 +40,13 @@ impl DrilldownResult {
             self.drilldown.first_n, self.strategy
         );
         let mut labels: Vec<(&String, &f64)> = self.drilldown.label_counts.iter().collect();
-        labels.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite"));
+        labels.sort_by(|a, b| b.1.total_cmp(a.1));
         out.push_str(&render_table(
             &["label", "mean queried"],
             &labels.iter().map(|(k, v)| vec![(*k).clone(), format!("{v:.1}")]).collect::<Vec<_>>(),
         ));
         let mut apps: Vec<(&String, &f64)> = self.drilldown.app_counts.iter().collect();
-        apps.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite"));
+        apps.sort_by(|a, b| b.1.total_cmp(a.1));
         out.push_str(&render_table(
             &["application", "mean queried"],
             &apps.iter().map(|(k, v)| vec![(*k).clone(), format!("{v:.1}")]).collect::<Vec<_>>(),

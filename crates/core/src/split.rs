@@ -231,8 +231,8 @@ mod tests {
         // Same multiset of rows (order may differ): compare sorted sums.
         let mut a: Vec<f64> = projected.x.rows_iter().map(|r| r.iter().sum()).collect();
         let mut b: Vec<f64> = split.test.x.rows_iter().map(|r| r.iter().sum()).collect();
-        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        a.sort_by(|x, y| x.total_cmp(y));
+        b.sort_by(|x, y| x.total_cmp(y));
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-9);
         }

@@ -25,9 +25,7 @@ impl ChiSquareScores {
     /// Ties break toward the lower column index for determinism.
     pub fn top_k(&self, k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.scores.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.scores[b].partial_cmp(&self.scores[a]).expect("scores are finite").then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]).then(a.cmp(&b)));
         idx.truncate(k);
         idx
     }

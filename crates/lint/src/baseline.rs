@@ -1,0 +1,204 @@
+//! The grandfathered-findings baseline.
+//!
+//! `lint-baseline.txt` at the workspace root records, per `(rule, path)`,
+//! how many findings are tolerated. CI semantics are shrink-only: a file
+//! may have *at most* its baselined count of findings for a rule — fewer
+//! is fine (and the baseline should then be tightened), more fails the
+//! gate, and findings in un-baselined locations always fail. The stale
+//! check (`--check-stale`, run by `scripts/ci.sh --full`) fails when a
+//! baseline entry no longer fires at all, so the file can only ever
+//! shrink toward empty.
+//!
+//! Format: one `rule<TAB>path<TAB>count` triple per line; `#` comments
+//! and blank lines ignored. The file is sorted on write so diffs stay
+//! reviewable.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Baseline key: (rule, workspace-relative path).
+pub type Key = (String, String);
+
+/// Parsed baseline: tolerated finding counts per (rule, path).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// Tolerated counts.
+    pub entries: BTreeMap<Key, u64>,
+}
+
+/// One baseline violation (more findings than tolerated).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Violation {
+    /// Rule name.
+    pub rule: String,
+    /// File path.
+    pub path: String,
+    /// Findings present now.
+    pub actual: u64,
+    /// Findings the baseline tolerates.
+    pub allowed: u64,
+}
+
+/// One stale baseline entry (tolerates findings that no longer exist).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct StaleEntry {
+    /// Rule name.
+    pub rule: String,
+    /// File path.
+    pub path: String,
+    /// Tolerated count that no longer fires in full.
+    pub allowed: u64,
+    /// Findings actually present now.
+    pub actual: u64,
+}
+
+impl Baseline {
+    /// Parses the baseline file format. Malformed lines are errors — a
+    /// typo must not silently tolerate findings.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (rule, path, count) = match (parts.next(), parts.next(), parts.next(), parts.next())
+            {
+                (Some(r), Some(p), Some(c), None) => (r, p, c),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected rule<TAB>path<TAB>count",
+                        n + 1
+                    ))
+                }
+            };
+            let count: u64 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", n + 1))?;
+            if entries.insert((rule.to_string(), path.to_string()), count).is_some() {
+                return Err(format!("baseline line {}: duplicate entry {rule} {path}", n + 1));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Renders the file format (sorted, with a header).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# alba-lint baseline: grandfathered findings, shrink-only.\n\
+             # Format: rule<TAB>path<TAB>count. CI fails when a (rule, path) exceeds\n\
+             # its count or appears here without firing (stale; checked by --check-stale).\n",
+        );
+        for ((rule, path), count) in &self.entries {
+            let _ = writeln!(out, "{rule}\t{path}\t{count}");
+        }
+        out
+    }
+
+    /// Builds a baseline that exactly tolerates `current` finding counts.
+    pub fn from_counts(current: &BTreeMap<Key, u64>) -> Self {
+        Self {
+            entries: current.iter().filter(|(_, &c)| c > 0).map(|(k, &c)| (k.clone(), c)).collect(),
+        }
+    }
+
+    /// Splits current findings into violations (over baseline) and the
+    /// number of findings the baseline absorbs.
+    pub fn compare(&self, current: &BTreeMap<Key, u64>) -> (Vec<Violation>, u64) {
+        let mut violations = Vec::new();
+        let mut absorbed = 0u64;
+        for ((rule, path), &actual) in current {
+            let allowed = self.entries.get(&(rule.clone(), path.clone())).copied().unwrap_or(0);
+            if actual > allowed {
+                violations.push(Violation {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    actual,
+                    allowed,
+                });
+            }
+            absorbed += actual.min(allowed);
+        }
+        (violations, absorbed)
+    }
+
+    /// Baseline entries that tolerate more findings than currently fire
+    /// (including entries that no longer fire at all).
+    pub fn stale(&self, current: &BTreeMap<Key, u64>) -> Vec<StaleEntry> {
+        self.entries
+            .iter()
+            .filter_map(|((rule, path), &allowed)| {
+                let actual = current.get(&(rule.clone(), path.clone())).copied().unwrap_or(0);
+                (actual < allowed).then(|| StaleEntry {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    allowed,
+                    actual,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(items: &[(&str, &str, u64)]) -> BTreeMap<Key, u64> {
+        items.iter().map(|(r, p, c)| ((r.to_string(), p.to_string()), *c)).collect()
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let b = Baseline::from_counts(&counts(&[
+            ("no-ambient-time", "crates/serve/src/x.rs", 2),
+            ("no-panic-in-fallible", "crates/store/src/y.rs", 1),
+        ]));
+        let back = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn empty_and_commented_baselines_parse() {
+        assert!(Baseline::parse("").unwrap().entries.is_empty());
+        assert!(Baseline::parse("# only comments\n\n").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Baseline::parse("rule only-two-fields").is_err());
+        assert!(Baseline::parse("r\tp\tnot-a-number").is_err());
+        assert!(Baseline::parse("r\tp\t1\nr\tp\t2").is_err(), "duplicates rejected");
+    }
+
+    #[test]
+    fn shrink_only_semantics() {
+        let b = Baseline::from_counts(&counts(&[("r", "a.rs", 2)]));
+        // Equal: absorbed, no violation.
+        let (v, absorbed) = b.compare(&counts(&[("r", "a.rs", 2)]));
+        assert!(v.is_empty());
+        assert_eq!(absorbed, 2);
+        // Fewer: fine (but stale reports the slack).
+        let (v, _) = b.compare(&counts(&[("r", "a.rs", 1)]));
+        assert!(v.is_empty());
+        assert_eq!(b.stale(&counts(&[("r", "a.rs", 1)]))[0].allowed, 2);
+        // More: violation.
+        let (v, _) = b.compare(&counts(&[("r", "a.rs", 3)]));
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].actual, v[0].allowed), (3, 2));
+        // Unbaselined location: violation with allowed = 0.
+        let (v, _) = b.compare(&counts(&[("r", "b.rs", 1)]));
+        assert_eq!(v[0].allowed, 0);
+    }
+
+    #[test]
+    fn stale_entries_are_detected() {
+        let b = Baseline::from_counts(&counts(&[("r", "a.rs", 1), ("r", "b.rs", 1)]));
+        let stale = b.stale(&counts(&[("r", "a.rs", 1)]));
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "b.rs");
+        assert_eq!(stale[0].actual, 0);
+    }
+}

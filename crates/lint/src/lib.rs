@@ -1,0 +1,235 @@
+//! `alba-lint` — workspace determinism & robustness lints.
+//!
+//! Every subsystem in this workspace leans on one invariant: *no
+//! ambient nondeterminism and no panics on fallible paths*, because
+//! serve's equal-seed event logs, store's bit-for-bit warm restarts and
+//! chaos's replayable fault drills are all byte-identity contracts. The
+//! end-to-end tests tell you when that invariant breaks; this crate
+//! tells you *where*, before anything runs.
+//!
+//! The tool is dependency-light by design: a hand-rolled lexer
+//! ([`lexer`]) that correctly skips comments, string/char/raw-string
+//! literals and lifetimes, a token-pattern rule engine ([`rules`]), a
+//! mandatory-reason suppression syntax ([`suppress`]), and a
+//! shrink-only baseline ([`baseline`]). Run it as
+//! `cargo run -p alba-lint`; `scripts/ci.sh` runs it as a hard gate.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+use baseline::{Baseline, Key, StaleEntry, Violation};
+use rules::FileContext;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One reportable finding (post-suppression).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Finding {
+    /// Rule that fired (or `bad-suppression`).
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// The outcome of linting a set of files.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Report {
+    /// Findings not silenced by a suppression (baseline not yet applied).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a reasoned suppression.
+    pub suppressed: u64,
+    /// Files scanned.
+    pub files_scanned: u64,
+}
+
+impl Report {
+    /// Finding counts per (rule, path) — the shape the baseline compares.
+    pub fn counts(&self) -> BTreeMap<Key, u64> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry((f.rule.clone(), f.path.clone())).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Lints one in-memory source file. `path` is the workspace-relative
+/// path (forward slashes) the rule scopes match against.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let ctx = FileContext::classify(path, &lexed);
+    let sup = suppress::extract(&lexed);
+    let mut out = Vec::new();
+    // Malformed suppressions are findings themselves, never silenceable.
+    for bad in &sup.bad {
+        out.push(Finding {
+            rule: suppress::BAD_SUPPRESSION.to_string(),
+            path: path.to_string(),
+            line: bad.line,
+            message: bad.detail.clone(),
+        });
+    }
+    // A suppression naming an unknown rule is a typo that would silently
+    // not protect anything — reject it loudly.
+    for s in &sup.active {
+        for r in &s.rules {
+            if !rules::is_known_rule(r) {
+                out.push(Finding {
+                    rule: suppress::BAD_SUPPRESSION.to_string(),
+                    path: path.to_string(),
+                    line: s.line,
+                    message: format!(
+                        "allow names unknown rule `{r}` (see --rules for the catalog)"
+                    ),
+                });
+            }
+        }
+    }
+    for raw in rules::check_file(&ctx, &lexed) {
+        if !sup.silences(raw.rule, raw.line) {
+            out.push(Finding {
+                rule: raw.rule.to_string(),
+                path: path.to_string(),
+                line: raw.line,
+                message: raw.message,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
+    out
+}
+
+/// Number of rule findings a reasoned suppression silenced in `src`.
+pub fn suppressed_count(path: &str, src: &str) -> u64 {
+    let lexed = lexer::lex(src);
+    let ctx = FileContext::classify(path, &lexed);
+    let sup = suppress::extract(&lexed);
+    rules::check_file(&ctx, &lexed)
+        .into_iter()
+        .filter(|raw| sup.silences(raw.rule, raw.line))
+        .count() as u64
+}
+
+/// Lints every workspace source under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for abs in walk::workspace_sources(root)? {
+        let rel = walk::relative_path(root, &abs);
+        let src = std::fs::read_to_string(&abs)?;
+        report.files_scanned += 1;
+        report.suppressed += suppressed_count(&rel, &src);
+        report.findings.extend(lint_source(&rel, &src));
+    }
+    report
+        .findings
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)).then(a.rule.cmp(&b.rule)));
+    Ok(report)
+}
+
+/// The result of applying a baseline to a report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Gated {
+    /// (rule, path) pairs exceeding their tolerated counts.
+    pub violations: Vec<Violation>,
+    /// Findings absorbed by baseline entries.
+    pub absorbed: u64,
+    /// Baseline entries tolerating more than currently fires.
+    pub stale: Vec<StaleEntry>,
+}
+
+/// Applies `baseline` to `report`.
+pub fn gate(report: &Report, baseline: &Baseline) -> Gated {
+    let counts = report.counts();
+    let (violations, absorbed) = baseline.compare(&counts);
+    let stale = baseline.stale(&counts);
+    Gated { violations, absorbed, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_findings_are_counted_not_reported() {
+        let src = "struct S { m: HashMap<u8, u8> } // alba-lint: allow(no-unordered-iteration) reason=\"lookup only\"\n";
+        let path = "crates/serve/src/x.rs";
+        assert!(lint_source(path, src).is_empty());
+        assert_eq!(suppressed_count(path, src), 1);
+    }
+
+    #[test]
+    fn reasonless_suppression_is_a_finding_and_does_not_silence() {
+        let src = "struct S { m: HashMap<u8, u8> } // alba-lint: allow(no-unordered-iteration)\n";
+        let found = lint_source("crates/serve/src/x.rs", src);
+        let rules: Vec<&str> = found.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"bad-suppression"));
+        assert!(rules.contains(&"no-unordered-iteration"), "unjustified allow must not silence");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_rejected() {
+        let src = "fn f() {} // alba-lint: allow(no-such-rule) reason=\"typo\"\n";
+        let found = lint_source("crates/serve/src/x.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "bad-suppression");
+        assert!(found[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn allow_file_silences_the_whole_file() {
+        let src = "// alba-lint: allow-file(no-ambient-time) reason=\"the one sanctioned wall clock\"\nfn f() { let t = Instant::now(); }\nfn g() { let u = Instant::now(); }\n";
+        assert!(lint_source("crates/obs/src/clock.rs", src).is_empty());
+        assert_eq!(suppressed_count("crates/obs/src/clock.rs", src), 2);
+    }
+
+    #[test]
+    fn gate_flags_new_findings_and_stale_entries() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "no-ambient-time".into(),
+                path: "crates/serve/src/x.rs".into(),
+                line: 3,
+                message: String::new(),
+            }],
+            suppressed: 0,
+            files_scanned: 1,
+        };
+        // Empty baseline: the finding is a violation.
+        let g = gate(&report, &Baseline::default());
+        assert_eq!(g.violations.len(), 1);
+        assert!(g.stale.is_empty());
+        // Baseline covering it: absorbed; a dead entry shows up stale.
+        let mut counts = report.counts();
+        counts.insert(("no-panic-in-fallible".into(), "gone.rs".into()), 2);
+        let b = Baseline::from_counts(&counts);
+        let g = gate(&report, &b);
+        assert!(g.violations.is_empty());
+        assert_eq!(g.absorbed, 1);
+        assert_eq!(g.stale.len(), 1);
+        assert_eq!(g.stale[0].path, "gone.rs");
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        // The real tree must lint clean with an empty baseline — this is
+        // the compile-time version of the CI gate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_workspace(&root).unwrap();
+        let msgs: Vec<String> = report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect();
+        assert!(report.findings.is_empty(), "workspace findings:\n{}", msgs.join("\n"));
+        assert!(report.files_scanned > 50);
+        assert!(report.suppressed > 0, "the justified suppressions must be exercised");
+    }
+}

@@ -1,0 +1,222 @@
+//! Parsing of `alba-lint` suppression comments.
+//!
+//! Two forms are recognised, both only in `//` line comments:
+//!
+//! ```text
+//! // alba-lint: allow(rule-a, rule-b) reason="why this is sound"
+//! // alba-lint: allow-file(rule-a) reason="why for the whole file"
+//! ```
+//!
+//! A *trailing* `allow` (code precedes it on the line) suppresses
+//! findings on its own line; a *standalone* `allow` suppresses findings
+//! on the next line that carries any code. `allow-file` suppresses the
+//! named rules everywhere in the file. The `reason` is mandatory and
+//! must be non-empty: a reason-less or malformed suppression is itself
+//! reported as a `bad-suppression` finding, so justifications can never
+//! silently rot away.
+//!
+//! Only comments that *begin* with the marker are treated as
+//! suppressions — prose that merely mentions the syntax mid-sentence
+//! (like this module's docs) is ignored.
+
+use crate::lexer::{Comment, LexFile};
+
+/// The marker every suppression comment must carry.
+pub const MARKER: &str = "alba-lint:";
+
+/// Rule name of the diagnostics produced for malformed suppressions.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// One parsed suppression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rules being allowed.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// True for `allow-file` (whole-file scope).
+    pub whole_file: bool,
+    /// Lines whose findings this suppression covers (line forms only).
+    pub covers: Vec<u32>,
+}
+
+impl Suppression {
+    /// Whether this suppression silences `rule` at `line`.
+    pub fn silences(&self, rule: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule) && (self.whole_file || self.covers.contains(&line))
+    }
+}
+
+/// A malformed suppression, to be surfaced as a finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BadSuppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// What is wrong with it.
+    pub detail: String,
+}
+
+/// Everything suppression-related extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct Suppressions {
+    /// Well-formed suppressions.
+    pub active: Vec<Suppression>,
+    /// Malformed ones (missing reason, unparseable rule list, ...).
+    pub bad: Vec<BadSuppression>,
+}
+
+impl Suppressions {
+    /// Whether any well-formed suppression silences `rule` at `line`.
+    pub fn silences(&self, rule: &str, line: u32) -> bool {
+        self.active.iter().any(|s| s.silences(rule, line))
+    }
+}
+
+/// Parses `allow(a, b)` / `allow-file(a)` plus `reason="..."` out of a
+/// single comment known to contain [`MARKER`].
+fn parse_one(
+    c: &Comment,
+    next_code_line: impl Fn(u32) -> Option<u32>,
+) -> Result<Suppression, String> {
+    let after = c.text.trim_start().strip_prefix(MARKER).unwrap_or("").trim_start();
+    let whole_file = after.starts_with("allow-file");
+    let keyword = if whole_file { "allow-file" } else { "allow" };
+    if !after.starts_with(keyword) {
+        return Err(format!("expected `allow(...)` or `allow-file(...)` after `{MARKER}`"));
+    }
+    let rest = after[keyword.len()..].trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Err(format!("expected `(` after `{keyword}`"));
+    };
+    let Some(close) = body.find(')') else {
+        return Err("unclosed rule list".to_string());
+    };
+    let rules: Vec<String> =
+        body[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return Err("empty rule list".to_string());
+    }
+    let tail = body[close + 1..].trim_start();
+    let Some(reason_body) = tail.strip_prefix("reason=\"") else {
+        return Err("missing `reason=\"...\"` — every suppression must be justified".to_string());
+    };
+    let Some(end) = reason_body.find('"') else {
+        return Err("unterminated reason string".to_string());
+    };
+    let reason = reason_body[..end].trim().to_string();
+    if reason.is_empty() {
+        return Err("empty reason — every suppression must be justified".to_string());
+    }
+    let covers = if whole_file {
+        Vec::new()
+    } else if c.trailing {
+        vec![c.line]
+    } else {
+        // A standalone allow covers the next line that carries code (and
+        // its own line, in case of a mid-expression comment).
+        let mut v = vec![c.line];
+        if let Some(l) = next_code_line(c.line) {
+            v.push(l);
+        }
+        v
+    };
+    Ok(Suppression { line: c.line, rules, reason, whole_file, covers })
+}
+
+/// Extracts all suppressions from a lexed file.
+pub fn extract(file: &LexFile) -> Suppressions {
+    let mut out = Suppressions::default();
+    for c in &file.comments {
+        if !c.text.trim_start().starts_with(MARKER) {
+            continue;
+        }
+        let next_code_line = |after: u32| file.tokens.iter().map(|t| t.line).find(|&l| l > after);
+        match parse_one(c, next_code_line) {
+            Ok(s) => out.active.push(s),
+            Err(detail) => out.bad.push(BadSuppression { line: c.line, detail }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let f = lex("let t = now(); // alba-lint: allow(no-ambient-time) reason=\"wall stats\"\n");
+        let s = extract(&f);
+        assert!(s.bad.is_empty());
+        assert!(s.active[0].silences("no-ambient-time", 1));
+        assert!(!s.active[0].silences("no-ambient-time", 2));
+        assert!(!s.active[0].silences("no-ambient-entropy", 1));
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_next_code_line() {
+        let src = "// alba-lint: allow(no-panic-in-fallible) reason=\"slice len checked\"\n\nlet x = v.unwrap();\n";
+        let s = extract(&lex(src));
+        assert!(s.active[0].silences("no-panic-in-fallible", 3));
+    }
+
+    #[test]
+    fn allow_file_covers_every_line() {
+        let src =
+            "// alba-lint: allow-file(no-ambient-time) reason=\"the clock seam\"\nfn f() {}\n";
+        let s = extract(&lex(src));
+        assert!(s.active[0].whole_file);
+        assert!(s.silences("no-ambient-time", 999));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_allow() {
+        let src = "let x = 1; // alba-lint: allow(rule-a, rule-b) reason=\"both fine here\"\n";
+        let s = extract(&lex(src));
+        assert!(s.active[0].silences("rule-a", 1) && s.active[0].silences("rule-b", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_reported() {
+        let s = extract(&lex("// alba-lint: allow(no-ambient-time)\n"));
+        assert!(s.active.is_empty());
+        assert_eq!(s.bad.len(), 1);
+        assert!(s.bad[0].detail.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_reported() {
+        let s = extract(&lex("// alba-lint: allow(r) reason=\"  \"\n"));
+        assert_eq!(s.bad.len(), 1);
+    }
+
+    #[test]
+    fn malformed_forms_are_reported_not_ignored() {
+        for src in [
+            "// alba-lint: deny(x) reason=\"y\"\n",
+            "// alba-lint: allow() reason=\"y\"\n",
+            "// alba-lint: allow(x reason=\"y\"\n",
+            "// alba-lint: allow(x) reason=unquoted\n",
+        ] {
+            let s = extract(&lex(src));
+            assert_eq!(s.bad.len(), 1, "src: {src}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_suppressions() {
+        // The marker mid-sentence is prose, not a suppression.
+        let s = extract(&lex(
+            "// docs may mention the alba-lint: allow(x) syntax freely\nlet x = 1;\n",
+        ));
+        assert!(s.active.is_empty() && s.bad.is_empty());
+        // A comment that *begins* with the marker but is junk is
+        // rejected loudly — better a false bad-suppression than a
+        // silently ignored one.
+        let s = extract(&lex("// alba-lint: please ignore this line\n"));
+        assert_eq!(s.bad.len(), 1);
+    }
+}

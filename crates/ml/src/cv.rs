@@ -77,7 +77,7 @@ impl GridSearch {
                 cv_f1: cross_val_f1(spec, x, y, n_classes, k, seed),
             })
             .collect();
-        results.sort_by(|a, b| b.cv_f1.partial_cmp(&a.cv_f1).expect("finite scores"));
+        results.sort_by(|a, b| b.cv_f1.total_cmp(&a.cv_f1));
         Self { results }
     }
 

@@ -94,7 +94,7 @@ impl Binning {
         for c in 0..cols {
             col.clear();
             col.extend((0..rows).map(|r| x.get(r, c)));
-            col.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            col.sort_by(|a, b| a.total_cmp(b));
             col.dedup();
             let mut e: Vec<f64> = if col.len() <= max_bins {
                 // One bin per distinct value: edge at each value.

@@ -168,7 +168,7 @@ impl DecisionTree {
         for &f in features {
             scratch.clear();
             scratch.extend(idx.iter().map(|&i| (x.get(i, f), y[i])));
-            scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
+            scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
             if scratch[0].0 == scratch[scratch.len() - 1].0 {
                 continue; // constant within the node
             }

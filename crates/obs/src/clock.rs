@@ -1,3 +1,4 @@
+// alba-lint: allow-file(no-ambient-time) reason="the one sanctioned wall-clock seam; everything else must inject a Clock"
 //! The injectable time source behind spans and event timestamps.
 //!
 //! Production uses [`WallClock`] (monotonic nanoseconds since the clock

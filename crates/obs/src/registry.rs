@@ -412,6 +412,24 @@ mod tests {
     }
 
     #[test]
+    fn exposition_is_independent_of_insertion_order() {
+        // Two registries built in opposite orders must expose byte-identical
+        // text — the Prometheus page is a replay artifact, so map iteration
+        // order can never leak into it.
+        let fwd = Obs::wall();
+        fwd.counter("a_total", &[("x", "1")]).add(4);
+        fwd.counter("b_total", &[]).inc();
+        fwd.gauge("depth", &[]).set(-3);
+        fwd.histogram("lat", &[]).record(5);
+        let rev = Obs::wall();
+        rev.histogram("lat", &[]).record(5);
+        rev.gauge("depth", &[]).set(-3);
+        rev.counter("b_total", &[]).inc();
+        rev.counter("a_total", &[("x", "1")]).add(4);
+        assert_eq!(fwd.expose(), rev.expose(), "exposition must not depend on insertion order");
+    }
+
+    #[test]
     fn clones_share_the_registry() {
         let obs = Obs::wall();
         let c = obs.clone().counter("shared", &[]);

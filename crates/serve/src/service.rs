@@ -433,6 +433,7 @@ impl FleetService {
     /// Advances the service by one second of fleet time. Returns `false`
     /// once the replay is exhausted and every queue has drained.
     pub fn tick(&mut self) -> bool {
+        // alba-lint: allow(no-ambient-time) reason="wall busy-time measurement only; excluded from replay-identity artifacts"
         let start = Instant::now();
         let now = self.tick;
 

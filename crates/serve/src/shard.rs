@@ -84,6 +84,7 @@ pub struct ShardStats {
 pub struct Shard {
     id: usize,
     nodes: Vec<usize>,
+    // alba-lint: allow(no-unordered-iteration) reason="lookup-only map (node id -> slot); never iterated, so ordering cannot leak into outputs"
     local: HashMap<usize, usize>,
     monitors: Vec<NodeMonitor>,
     model: Arc<DiagnosisModel>,
@@ -235,6 +236,7 @@ impl Shard {
             self.panic_armed = false;
             std::panic::panic_any(crate::chaos::InjectedPanic);
         }
+        // alba-lint: allow(no-ambient-time) reason="wall busy-time measurement only; excluded from replay-identity artifacts"
         let start = Instant::now();
         let mut report = ShardReport::default();
 

@@ -55,6 +55,23 @@ fn event_logs_are_identical_across_equal_seeds() {
     assert_ne!(a, c, "different seeds should diverge");
 }
 
+/// The Prometheus exposition is part of the replay contract too: two
+/// equally-seeded runs on a tick clock must expose *byte-identical*
+/// metric pages, which fails if any map iteration order leaks through.
+#[test]
+fn exposition_is_identical_across_equal_seeds() {
+    let expose = |seed| {
+        let clock = Arc::new(TickClock::new());
+        let obs = Obs::with_clock(clock);
+        FleetService::with_obs(test_config(seed), obs.clone()).run_to_completion();
+        obs.expose()
+    };
+    let a = expose(77);
+    let b = expose(77);
+    assert!(!a.is_empty(), "an observed run must expose metrics");
+    assert_eq!(a, b, "equally-seeded runs must expose byte-identical metric pages");
+}
+
 #[test]
 fn misrouted_sample_is_counted_not_fatal() {
     let sd = SystemData::generate(System::Volta, albadross::FeatureMethod::Mvts, Scale::Smoke, 61);

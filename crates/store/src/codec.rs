@@ -31,6 +31,15 @@ pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
     buf.push(v as u8);
 }
 
+/// Reads a little-endian `u32` at `pos`, if four bytes are available.
+///
+/// Never panics: short or overflowing ranges yield `None`, so framing
+/// readers can surface typed errors instead of indexing past the end.
+pub fn read_u32_le(bytes: &[u8], pos: usize) -> Option<u32> {
+    let b = bytes.get(pos..pos.checked_add(4)?)?;
+    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
 /// Reads a LEB128 varint at `*pos`, advancing it.
 pub fn get_uvarint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;

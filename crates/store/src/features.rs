@@ -19,6 +19,7 @@
 //! reproduces the cold extraction's dataset down to the last ulp — the
 //! CI gate re-runs an experiment from cache and asserts identical output.
 
+use crate::codec::read_u32_le;
 use crate::error::{Result, StoreError};
 use crate::keys::key_of;
 use crate::store::TelemetryStore;
@@ -107,13 +108,16 @@ impl FeatureCache {
         if bytes.len() < 16 || &bytes[..8] != FMAT_MAGIC {
             return Err(StoreError::corrupt(&path, "missing ALBAFMT1 magic"));
         }
-        let header_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let header_len = read_u32_le(&bytes, 8)
+            .ok_or_else(|| StoreError::corrupt(&path, "truncated header length"))?
+            as usize;
         let header_end = 12usize
             .checked_add(header_len)
             .filter(|&e| e + 4 <= bytes.len())
             .ok_or(StoreError::TruncatedTail { path: path.display().to_string(), offset: 12 })?;
         let header_bytes = &bytes[12..header_end];
-        let stored = u32::from_le_bytes(bytes[header_end..header_end + 4].try_into().unwrap());
+        let stored = read_u32_le(&bytes, header_end)
+            .ok_or_else(|| StoreError::corrupt(&path, "truncated header CRC"))?;
         if crate::crc::crc32(header_bytes) != stored {
             return Err(StoreError::corrupt(&path, "header CRC mismatch"));
         }
@@ -139,12 +143,15 @@ impl FeatureCache {
             });
         }
         let payload = &bytes[matrix_start..matrix_end];
-        let stored = u32::from_le_bytes(bytes[matrix_end..matrix_end + 4].try_into().unwrap());
+        let stored = read_u32_le(&bytes, matrix_end)
+            .ok_or_else(|| StoreError::corrupt(&path, "truncated matrix CRC"))?;
         if crate::crc::crc32(payload) != stored {
             return Err(StoreError::corrupt(&path, "matrix CRC mismatch"));
         }
-        let data: Vec<f64> =
-            payload.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        let data: Vec<f64> = payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect();
         let ds = Dataset::new(
             Matrix::from_vec(rows, cols, data),
             header.y,

@@ -25,6 +25,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Panics if `value` fails to serialise (config types are plain data and
 /// always serialise).
 pub fn key_of<T: Serialize>(tag: &str, value: &T) -> String {
+    // alba-lint: allow(no-panic-in-fallible) reason="documented # Panics contract; config types are plain data and always serialise"
     let json = serde_json::to_string(value).expect("store key config must serialise");
     let mut bytes = Vec::with_capacity(tag.len() + 1 + json.len());
     bytes.extend_from_slice(tag.as_bytes());

@@ -31,7 +31,7 @@
 //! [`StoreError::TruncatedTail`]; a block whose CRC disagrees is
 //! [`StoreError::Corrupt`]. Readers never panic on hostile bytes.
 
-use crate::codec::{decode_column, encode_column};
+use crate::codec::{decode_column, encode_column, read_u32_le};
 use crate::crc::crc32;
 use crate::error::{Result, StoreError};
 use alba_data::{MetricDef, MultiSeries, SampleMeta};
@@ -59,10 +59,6 @@ struct BlockHead {
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn get_u32(bytes: &[u8], pos: usize) -> Option<u32> {
-    bytes.get(pos..pos + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
 }
 
 /// Streams [`NodeTelemetry`] blocks into one segment file.
@@ -151,17 +147,21 @@ impl SegmentReader {
         if bytes.len() < 16 || &bytes[..8] != SEGMENT_MAGIC {
             return Err(StoreError::corrupt(&path, "missing ALBASEG1 magic"));
         }
-        let version = get_u32(&bytes, 8).unwrap();
+        let version = read_u32_le(&bytes, 8)
+            .ok_or_else(|| StoreError::corrupt(&path, "truncated version field"))?;
         if version != SEGMENT_VERSION {
             return Err(StoreError::schema(&path, format!("unsupported version {version}")));
         }
-        let schema_len = get_u32(&bytes, 12).unwrap() as usize;
+        let schema_len = read_u32_le(&bytes, 12)
+            .ok_or_else(|| StoreError::corrupt(&path, "truncated schema length"))?
+            as usize;
         let schema_end = 16usize.checked_add(schema_len).filter(|&e| e + 4 <= bytes.len());
         let Some(schema_end) = schema_end else {
             return Err(StoreError::TruncatedTail { path: path.display().to_string(), offset: 16 });
         };
         let schema_bytes = &bytes[16..schema_end];
-        let stored_crc = get_u32(&bytes, schema_end).unwrap();
+        let stored_crc = read_u32_le(&bytes, schema_end)
+            .ok_or_else(|| StoreError::corrupt(&path, "truncated schema CRC"))?;
         if crc32(schema_bytes) != stored_crc {
             return Err(StoreError::corrupt(&path, "schema CRC mismatch"));
         }
@@ -187,18 +187,18 @@ impl SegmentReader {
             let offset = pos as u64;
             let torn =
                 || StoreError::TruncatedTail { path: self.path.display().to_string(), offset };
-            let magic = get_u32(&self.bytes, pos).ok_or_else(torn)?;
+            let magic = read_u32_le(&self.bytes, pos).ok_or_else(torn)?;
             if magic != BLOCK_MAGIC {
                 return Err(StoreError::corrupt(&self.path, format!("bad block magic at {pos}")));
             }
-            let payload_len = get_u32(&self.bytes, pos + 4).ok_or_else(torn)? as usize;
+            let payload_len = read_u32_le(&self.bytes, pos + 4).ok_or_else(torn)? as usize;
             let payload_start = pos + 8;
             let payload_end = payload_start.checked_add(payload_len).ok_or_else(torn)?;
             if payload_end + 4 > self.bytes.len() {
                 return Err(torn());
             }
             let payload = &self.bytes[payload_start..payload_end];
-            let stored_crc = get_u32(&self.bytes, payload_end).unwrap();
+            let stored_crc = read_u32_le(&self.bytes, payload_end).ok_or_else(torn)?;
             if crc32(payload) != stored_crc {
                 return Err(StoreError::corrupt(
                     &self.path,
@@ -213,8 +213,9 @@ impl SegmentReader {
 
     fn decode_block(&self, payload: &[u8], at: usize) -> Result<NodeTelemetry> {
         let bad = |detail: String| StoreError::corrupt(&self.path, detail);
-        let head_len =
-            get_u32(payload, 0).ok_or_else(|| bad(format!("block at {at} too short")))? as usize;
+        let head_len = read_u32_le(payload, 0)
+            .ok_or_else(|| bad(format!("block at {at} too short")))?
+            as usize;
         let head_end = 4usize
             .checked_add(head_len)
             .filter(|&e| e <= payload.len())
@@ -228,7 +229,7 @@ impl SegmentReader {
         let mut values = Vec::with_capacity(self.metrics.len());
         let mut pos = head_end;
         for def in &self.metrics {
-            let col_len = get_u32(payload, pos)
+            let col_len = read_u32_le(payload, pos)
                 .ok_or_else(|| bad(format!("column frame at {at} torn")))?
                 as usize;
             let col_end = pos

@@ -95,13 +95,18 @@ impl TelemetryStore {
         key_of("campaign", cfg)
     }
 
-    fn entry_dir(&self, kind: &str, key: &str) -> PathBuf {
+    fn entry_dir(&self, kind: &str, key: &str) -> Result<PathBuf> {
         let ns = match kind {
             "campaign" => "campaigns",
             "fleet" => "fleets",
-            other => panic!("unknown segment namespace {other}"),
+            other => {
+                return Err(StoreError::schema(
+                    &self.root,
+                    format!("unknown segment namespace {other:?}"),
+                ))
+            }
         };
-        self.root.join(ns).join(key)
+        Ok(self.root.join(ns).join(key))
     }
 
     /// Path of the feature-cache file for `key` (used by
@@ -117,7 +122,7 @@ impl TelemetryStore {
 
     /// True when the store already holds an entry for `(kind, key)`.
     pub fn contains(&self, kind: &str, key: &str) -> bool {
-        self.entry_dir(kind, key).join("manifest.json").exists()
+        self.entry_dir(kind, key).map(|d| d.join("manifest.json").exists()).unwrap_or(false)
     }
 
     /// Persists `samples` as the `(kind, key)` entry, atomically replacing
@@ -131,7 +136,7 @@ impl TelemetryStore {
     ) -> Result<()> {
         let _span = self.obs.span("store_write_ns", &[("kind", kind)]);
         crate::fault::check(&self.fault, "store.write")?;
-        let final_dir = self.entry_dir(kind, key);
+        let final_dir = self.entry_dir(kind, key)?;
         let stage = final_dir.with_extension(format!("tmp-{}", std::process::id()));
         std::fs::remove_dir_all(&stage).ok();
         std::fs::create_dir_all(&stage)?;
@@ -173,7 +178,7 @@ impl TelemetryStore {
     /// miss); corrupt or torn entries surface as errors for the caller to
     /// heal (usually by regenerating and rewriting).
     pub fn read_samples(&self, kind: &str, key: &str) -> Result<Option<Vec<NodeTelemetry>>> {
-        let dir = self.entry_dir(kind, key);
+        let dir = self.entry_dir(kind, key)?;
         let manifest_path = dir.join("manifest.json");
         if !manifest_path.exists() {
             return Ok(None);

@@ -23,6 +23,15 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> alba-lint (determinism & robustness rules)"
+if [ "$FULL" = "1" ]; then
+    # --check-stale additionally fails on baseline entries that no
+    # longer fire, forcing the grandfathered-findings file to shrink.
+    cargo run --release -q -p alba-lint -- --check-stale
+else
+    cargo run --release -q -p alba-lint
+fi
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

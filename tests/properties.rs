@@ -8,6 +8,8 @@ use albadross_repro::data::Matrix;
 use albadross_repro::data::MetricKind;
 use albadross_repro::features::stats;
 use albadross_repro::features::{chi_square_scores, interpolate_gaps, MinMaxScaler};
+use albadross_repro::lint::lexer::lex;
+use albadross_repro::lint::lint_source;
 use albadross_repro::ml::{softmax_row, ConfusionMatrix};
 use albadross_repro::store::codec::{get_uvarint, put_uvarint};
 use albadross_repro::store::{decode_column, encode_column};
@@ -358,5 +360,84 @@ proptest! {
         for &v in &scores.scores {
             prop_assert!(v.is_finite() && v >= 0.0, "chi2 {v}");
         }
+    }
+}
+
+// ---- alba-lint: the linter itself ----------------------------------
+
+/// Forbidden patterns and the rule each fires when it appears as real
+/// code in serve runtime scope (`crates/serve/src/`).
+const LINT_CASES: &[(&str, &str)] = &[
+    ("thread_rng()", "no-ambient-entropy"),
+    ("rng.from_entropy()", "no-ambient-entropy"),
+    ("Instant::now()", "no-ambient-time"),
+    ("SystemTime::now()", "no-ambient-time"),
+    ("a.partial_cmp(&b).unwrap()", "no-float-partial-cmp"),
+    ("v.unwrap()", "no-panic-in-fallible"),
+    ("v.expect(0)", "no-panic-in-fallible"),
+    ("std::fs::read(p)", "no-direct-failpoint-bypass"),
+    ("File::open(p)", "no-direct-failpoint-bypass"),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forbidden patterns inside line comments, block comments (plain and
+    /// nested), strings, and raw strings with any hash-guard depth must
+    /// never produce a finding: rules match the token stream, and the
+    /// lexer strips all of these.
+    #[test]
+    fn lint_never_fires_on_commented_or_quoted_patterns(
+        case in 0..LINT_CASES.len(),
+        wrap in 0usize..5,
+        hashes in 0usize..4,
+    ) {
+        let snippet = LINT_CASES[case].0;
+        let guard = "#".repeat(hashes);
+        let src = match wrap {
+            0 => format!("fn ok() {{}}\n// {snippet}\n"),
+            1 => format!("/* {snippet}\n   spanning lines */\nfn ok() {{}}\n"),
+            2 => format!("fn ok() -> &'static str {{ \"{snippet}\" }}\n"),
+            3 => format!("fn ok() -> &'static str {{ r{guard}\"{snippet}\"{guard} }}\n"),
+            _ => format!("fn ok() {{}} /* nested /* {snippet} */ still a comment */\n"),
+        };
+        let findings = lint_source("crates/serve/src/generated.rs", &src);
+        prop_assert!(findings.is_empty(), "{snippet:?} wrapped via {wrap} fired: {findings:?}");
+    }
+
+    /// The same patterns as live code fire their rule (so the property
+    /// above is not vacuous).
+    #[test]
+    fn lint_fires_on_the_bare_patterns(case in 0..LINT_CASES.len()) {
+        let (snippet, rule) = LINT_CASES[case];
+        let src = format!("fn f(a: f64, b: f64, v: X, p: &str) {{ let _ = {snippet}; }}");
+        let findings = lint_source("crates/serve/src/generated.rs", &src);
+        prop_assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "{snippet:?} should fire {rule}, got {findings:?}"
+        );
+    }
+
+    /// The lexer and linter are total: hostile input — unterminated
+    /// strings and comments, stray hash guards, multi-byte unicode,
+    /// control bytes — never panics, and tokens never overlap.
+    #[test]
+    fn lint_is_total_on_arbitrary_input(seed in 0u64..5000, len in 0usize..400) {
+        // Alphabet weighted towards lexer-relevant characters.
+        const ALPHABET: &[char] = &[
+            '"', '\'', '#', 'r', 'b', 'c', '/', '*', '\\', '\n', '\t', '\0',
+            'x', '_', '0', '9', '.', ':', '(', ')', '{', '}', '!', '&',
+            'é', '\u{1F600}', '\u{7F}', ' ',
+        ];
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(99);
+        let src: String = (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ALPHABET[(s >> 33) as usize % ALPHABET.len()]
+            })
+            .collect();
+        let lexed = lex(&src);
+        prop_assert!(lexed.tokens.len() <= src.chars().count().max(1));
+        let _ = lint_source("crates/serve/src/generated.rs", &src);
     }
 }
