@@ -1,0 +1,139 @@
+//! Network frontier throughput: wire-codec decode rate and a full
+//! lockstep gateway session, ingest to diagnosis.
+//!
+//! Two measured regions:
+//!
+//! * `codec` — [`alba_net::frame::decode_frame`] over a representative
+//!   telemetry frame (24 readings): the per-frame floor of the wire
+//!   path, no I/O, one core.
+//! * `gateway` — a complete live session at smoke scale: deterministic
+//!   wire client → gateway (MemPipe transport) → admission → credits →
+//!   ingest journal → `FleetService` diagnosis. Frames/sec is accepted
+//!   telemetry frames over wall time; p99 ingest→diagnosis latency is
+//!   read back from the gateway's `net_ingest_latency_ticks` histogram
+//!   (service ticks between a sample's source tick and its delivery
+//!   into the diagnosis pipeline).
+//!
+//! Writes `results/BENCH_net.json` — the machine-readable trajectory
+//! point `scripts/ci.sh` smoke-checks — and prints the same numbers.
+//!
+//! Environment knobs:
+//!
+//! * `ALBA_BENCH_QUICK=1` — fewer codec repetitions, shorter session.
+//!
+//! Run with: `cargo bench -p alba-bench --bench net_throughput`
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use alba_net::frame::decode_frame;
+use alba_net::{Frame, Gateway, GatewayConfig, Lockstep, MemListener, TenantConfig, WireClient};
+use alba_obs::{Obs, TickClock};
+use alba_serve::{FleetService, ServeConfig};
+use alba_telemetry::Scale;
+use albadross::{MonitorConfig, System};
+
+fn bench_codec(reps: usize) -> f64 {
+    let frame =
+        Frame::Telemetry { node: 7, at: 99, values: (0..24).map(|i| i as f64 * 0.37).collect() };
+    let encoded = frame.encode();
+    let t = Instant::now();
+    for _ in 0..reps {
+        let decoded = decode_frame(black_box(&encoded)).expect("bench frame is valid");
+        black_box(decoded);
+    }
+    reps as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+struct GatewayRun {
+    frames_per_sec: f64,
+    frames_accepted: u64,
+    samples_delivered: u64,
+    latency_p50_ticks: u64,
+    latency_p99_ticks: u64,
+}
+
+fn bench_gateway(quick: bool) -> GatewayRun {
+    let mut cfg = ServeConfig::new(System::Volta, Scale::Smoke, if quick { 16 } else { 32 }, 42);
+    cfg.fleet.duration_override_s = Some(if quick { 120 } else { 240 });
+    cfg.monitor = MonitorConfig { window: 60, stride: 10, confirm: 2, min_confidence: 0.5 };
+    // Keep the measured region pure ingest + diagnosis: no retraining.
+    cfg.max_retrains = 0;
+    let mut svc = FleetService::new(cfg);
+
+    let obs = Obs::with_clock(Arc::new(TickClock::new()));
+    let (listener, dialer) = MemListener::new(1 << 20);
+    let gateway = Gateway::with_obs(
+        GatewayConfig::new(vec![TenantConfig::new("volta", "tok")]),
+        Box::new(listener),
+        obs.clone(),
+    );
+    let client = WireClient::new(
+        Box::new(move || Box::new(dialer.dial())),
+        "volta",
+        "tok",
+        svc.fleet_batches(),
+    );
+    let mut harness = Lockstep { client, gateway };
+
+    let max_ticks = svc.fleet_batches().len() + 60;
+    let t = Instant::now();
+    let stats = svc.run_frontier(&mut harness, max_ticks);
+    let elapsed = t.elapsed().as_secs_f64().max(1e-9);
+
+    let tenant = stats.tenants.first().expect("gateway run reports tenant stats");
+    assert!(tenant.samples_delivered > 0, "bench session must deliver samples");
+    let latency = obs
+        .histogram("net_ingest_latency_ticks", &[])
+        .snapshot()
+        .expect("gateway records ingest latency");
+    GatewayRun {
+        frames_per_sec: tenant.frames_accepted as f64 / elapsed,
+        frames_accepted: tenant.frames_accepted,
+        samples_delivered: tenant.samples_delivered,
+        latency_p50_ticks: latency.quantile(0.50),
+        latency_p99_ticks: latency.quantile(0.99),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("ALBA_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let codec_reps = if quick { 50_000 } else { 500_000 };
+
+    let codec_fps = bench_codec(codec_reps);
+    let run = bench_gateway(quick);
+
+    println!("net/codec    decode                {:>14.0} frames/s/core", codec_fps);
+    println!(
+        "net/gateway  ingest->diagnosis     {:>14.0} frames/s/core  ({} frames)",
+        run.frames_per_sec, run.frames_accepted
+    );
+    println!(
+        "net/latency  ingest->diagnosis     p50 {} ticks, p99 {} ticks",
+        run.latency_p50_ticks, run.latency_p99_ticks
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"net_throughput\",\n  \"quick\": {},\n  \
+         \"codec_decode_frames_per_sec_per_core\": {:.0},\n  \
+         \"gateway_frames_per_sec_per_core\": {:.0},\n  \
+         \"gateway_frames_accepted\": {},\n  \
+         \"gateway_samples_delivered\": {},\n  \
+         \"ingest_to_diagnosis_latency_p50_ticks\": {},\n  \
+         \"ingest_to_diagnosis_latency_p99_ticks\": {}\n}}\n",
+        quick,
+        codec_fps,
+        run.frames_per_sec,
+        run.frames_accepted,
+        run.samples_delivered,
+        run.latency_p50_ticks,
+        run.latency_p99_ticks,
+    );
+    // `cargo bench` runs the binary with cwd = the package dir, so
+    // anchor the artifact at the workspace root explicitly.
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    std::fs::write(results.join("BENCH_net.json"), json).expect("write results/BENCH_net.json");
+    println!("net/json     wrote results/BENCH_net.json");
+}

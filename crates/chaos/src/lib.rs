@@ -18,7 +18,10 @@
 //! * [`quarantine`] — the [`QuarantineGate`]: hysteresis-guarded
 //!   quarantine of nodes emitting sustained garbage,
 //! * [`failpoint`] — call-indexed [`Failpoints`] that store and serve
-//!   consult to inject I/O failures at exact, replayable call counts.
+//!   consult to inject I/O failures at exact, replayable call counts,
+//! * [`net`] — the [`NetFaultPlan`]: connection-level faults (corrupt
+//!   CRCs, partial frames, slowloris pacing, reconnect storms) the
+//!   deterministic wire client replays against the gateway.
 //!
 //! ## Determinism contract
 //!
@@ -35,12 +38,14 @@
 pub mod backoff;
 pub mod failpoint;
 pub mod inject;
+pub mod net;
 pub mod plan;
 pub mod quarantine;
 
 pub use backoff::Backoff;
 pub use failpoint::Failpoints;
 pub use inject::{InjectAction, InjectStats, TelemetryInjector};
+pub use net::{NetChaosConfig, NetFaultEvent, NetFaultKind, NetFaultPlan};
 pub use plan::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
 pub use quarantine::{QuarantineConfig, QuarantineGate, Transition};
 

@@ -13,8 +13,9 @@
 //! | `no-ambient-time` | `Instant::now`/`SystemTime::now` outside the obs clock seam |
 //! | `no-ambient-entropy` | `thread_rng`/`from_entropy`/`OsRng`/`getrandom` — all RNGs must be seeded |
 //! | `no-unordered-iteration` | `HashMap`/`HashSet` in crates that serialise ordered output |
-//! | `no-panic-in-fallible` | `unwrap`/`expect`/`panic!`-family on non-test runtime paths of serve/store/chaos |
+//! | `no-panic-in-fallible` | `unwrap`/`expect`/`panic!`-family on non-test runtime paths of serve/store/chaos/net |
 //! | `no-direct-failpoint-bypass` | direct `std::fs`/`File`/`OpenOptions` I/O in serve, bypassing the store's `set_fault_hook` seam |
+//! | `no-unbounded-channel` | `VecDeque::new`/`LinkedList::new`/`mpsc::channel` queues on the network ingest path — every buffer a peer can fill must be born bounded |
 
 use crate::lexer::{LexFile, Tok, Token};
 
@@ -63,6 +64,10 @@ pub const CATALOG: &[RuleInfo] = &[
     RuleInfo {
         name: "no-direct-failpoint-bypass",
         summary: "serve must not do filesystem I/O directly; store I/O routes through alba-store and its set_fault_hook seam",
+    },
+    RuleInfo {
+        name: "no-unbounded-channel",
+        summary: "VecDeque::new/LinkedList::new/mpsc::channel forbidden on the network ingest path; queues a peer can fill must use with_capacity plus an enforced bound",
     },
 ];
 
@@ -205,6 +210,7 @@ fn in_ordered_output_scope(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
         || path.starts_with("crates/store/src/")
         || path.starts_with("crates/obs/src/")
+        || path.starts_with("crates/net/src/")
         || path == "crates/bench/src/bin/repro.rs"
 }
 
@@ -212,6 +218,13 @@ fn in_no_panic_scope(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
         || path.starts_with("crates/store/src/")
         || path.starts_with("crates/chaos/src/")
+        || path.starts_with("crates/net/src/")
+}
+
+/// The network ingest path: buffers here are fillable by a remote peer,
+/// so every queue must be born with an explicit capacity.
+fn in_net_ingest_scope(path: &str) -> bool {
+    path.starts_with("crates/net/src/") || path == "crates/serve/src/ingest.rs"
 }
 
 fn in_serve_io_scope(path: &str) -> bool {
@@ -383,6 +396,43 @@ pub fn check_file(ctx: &FileContext, lexed: &LexFile) -> Vec<RawFinding> {
         }
     }
 
+    // no-unbounded-channel: growable queues born without a capacity on
+    // the network ingest path. `with_capacity` alone is only half the
+    // contract (the bound must also be enforced), but `new()` is the
+    // reliably-lintable half: a queue that never states its capacity
+    // certainly never checks it.
+    if in_net_ingest_scope(&ctx.path) {
+        for i in 0..toks.len() {
+            let line = match toks.get(i) {
+                Some(t) => t.line,
+                None => continue,
+            };
+            if ctx.is_test_line(line) {
+                continue;
+            }
+            let hit = if is_path_pair(toks, i, "VecDeque", "new") {
+                Some("VecDeque::new")
+            } else if is_path_pair(toks, i, "LinkedList", "new") {
+                Some("LinkedList::new")
+            } else if is_path_pair(toks, i, "mpsc", "channel") {
+                Some("mpsc::channel")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push(RawFinding {
+                    rule: "no-unbounded-channel",
+                    line,
+                    message: format!(
+                        "`{what}` creates an unbounded queue on the network ingest path; a \
+                         hostile or bursty peer can grow it without limit — use with_capacity \
+                         and shed (BUSY) past the bound, or justify with an allow"
+                    ),
+                });
+            }
+        }
+    }
+
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     out
 }
@@ -542,6 +592,33 @@ mod tests {
         let src = "fn f() { let _ = std::fs::read(\"x\"); }";
         assert!(rules_fired("crates/store/src/x.rs", src).is_empty());
         assert!(rules_fired("crates/serve/tests/t.rs", src).is_empty());
+    }
+
+    // ---- no-unbounded-channel ---------------------------------------
+
+    #[test]
+    fn unbounded_queues_fire_on_the_net_ingest_path() {
+        let src = "fn f() { let q: VecDeque<u8> = VecDeque::new(); }";
+        assert_eq!(rules_fired("crates/net/src/conn.rs", src), vec!["no-unbounded-channel"]);
+        assert_eq!(rules_fired("crates/serve/src/ingest.rs", src), vec!["no-unbounded-channel"]);
+        let src2 = "fn g() { let (tx, rx) = mpsc::channel(); }";
+        assert_eq!(rules_fired("crates/net/src/gateway.rs", src2), vec!["no-unbounded-channel"]);
+        let src3 = "fn h() { let l = LinkedList::new(); }";
+        assert_eq!(rules_fired("crates/net/src/client.rs", src3), vec!["no-unbounded-channel"]);
+    }
+
+    #[test]
+    fn bounded_queues_and_out_of_scope_paths_are_fine() {
+        let bounded = "fn f(cap: usize) { let q: VecDeque<u8> = VecDeque::with_capacity(cap); }";
+        assert!(rules_fired("crates/net/src/conn.rs", bounded).is_empty());
+        // Outside the ingest path, unbounded queues are not this rule's
+        // business (other crates are not peer-fillable).
+        let unbounded = "fn f() { let q: VecDeque<u8> = VecDeque::new(); }";
+        assert!(rules_fired("crates/serve/src/service.rs", unbounded).is_empty());
+        assert!(rules_fired("crates/store/src/wal.rs", unbounded).is_empty());
+        // Test modules on the ingest path are exempt.
+        let test_src = "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { let q: VecDeque<u8> = VecDeque::new(); } }";
+        assert!(rules_fired("crates/net/src/conn.rs", test_src).is_empty());
     }
 
     // ---- context classification -------------------------------------

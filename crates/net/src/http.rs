@@ -1,0 +1,296 @@
+//! The HTTP/1.1 control + query plane, multiplexed onto the gateway's
+//! listener by protocol sniffing (a first byte of `0xA1` is the wire
+//! protocol's magic; every HTTP method starts with an ASCII letter).
+//!
+//! Hand-rolled on purpose: the workspace vendors no HTTP stack, the
+//! routes are few, and request parsing is bounded (method must be GET,
+//! head capped at [`MAX_HEAD`]) so a hostile peer cannot make the
+//! gateway buffer unbounded header bytes. Responses always close the
+//! connection — the control plane is a scrape/debug surface, not a
+//! high-throughput API; keep-alive complexity buys nothing here.
+//!
+//! | route | body |
+//! |-------|------|
+//! | `GET /healthz` | `ok` |
+//! | `GET /stats` | full [`ServiceStats`](alba_serve::ServiceStats) JSON |
+//! | `GET /alarms` | confirmed alarms, confirmation order |
+//! | `GET /labels` | pending label requests (the analyst work queue) |
+//! | `GET /nodes/<id>` | one node's diagnosis view |
+//! | `GET /tenants` | per-tenant admission/flow-control stats |
+//! | `GET /metrics` | Prometheus text exposition via `alba-obs` |
+
+use alba_ml::Diagnosis;
+use alba_serve::{FleetService, NodeAlarm};
+use serde::{Deserialize, Serialize};
+
+/// Maximum bytes of request head (request line + headers) buffered
+/// before the request is rejected outright.
+pub const MAX_HEAD: usize = 8 * 1024;
+
+/// What the HTTP plane can ask the running service. Implemented by
+/// [`FleetService`]; the gateway takes `Option<&dyn ControlPlane>` so
+/// pure-ingest deployments can run without a query surface.
+pub trait ControlPlane {
+    /// Full service statistics as JSON.
+    fn stats_json(&self) -> String;
+    /// Confirmed alarms (confirmation order) as a JSON array.
+    fn alarms_json(&self) -> String;
+    /// One node's diagnosis view; `None` for out-of-fleet nodes.
+    fn node_json(&self, node: usize) -> Option<String>;
+    /// Pending label requests as a JSON array.
+    fn labels_json(&self) -> String;
+    /// Prometheus text exposition.
+    fn prometheus(&self) -> String;
+}
+
+/// One node's control-plane view.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeView {
+    /// Fleet node index.
+    pub node: usize,
+    /// Ground-truth label of the node's stream (the replay oracle — a
+    /// real deployment would omit this).
+    pub truth: String,
+    /// Confirmed alarms for this node, confirmation order.
+    pub alarms: Vec<NodeAlarm>,
+}
+
+/// One pending label request as served to the analyst.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LabelView {
+    /// Fleet node the window came from.
+    pub node: usize,
+    /// Tick of the window's last sample.
+    pub at: usize,
+    /// The uncertainty that triggered the request.
+    pub uncertainty: f64,
+    /// What the deployed model thought.
+    pub predicted: Diagnosis,
+}
+
+impl ControlPlane for FleetService {
+    fn stats_json(&self) -> String {
+        self.stats().to_json().unwrap_or_else(|_| "{}".to_string())
+    }
+
+    fn alarms_json(&self) -> String {
+        serde_json::to_string(&self.alarms().to_vec()).unwrap_or_else(|_| "[]".to_string())
+    }
+
+    fn node_json(&self, node: usize) -> Option<String> {
+        if node >= self.n_nodes() {
+            return None;
+        }
+        let view = NodeView {
+            node,
+            truth: self.truth(node).to_string(),
+            alarms: self.alarms().iter().filter(|a| a.node == node).cloned().collect(),
+        };
+        Some(serde_json::to_string(&view).unwrap_or_else(|_| "{}".to_string()))
+    }
+
+    fn labels_json(&self) -> String {
+        let views: Vec<LabelView> = self
+            .label_requests()
+            .into_iter()
+            .map(|r| LabelView {
+                node: r.node,
+                at: r.at,
+                uncertainty: r.uncertainty,
+                predicted: r.predicted,
+            })
+            .collect();
+        serde_json::to_string(&views).unwrap_or_else(|_| "[]".to_string())
+    }
+
+    fn prometheus(&self) -> String {
+        // Explicit call: the inherent method, not this trait method.
+        FleetService::prometheus(self)
+    }
+}
+
+/// A parsed request head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, ...).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+}
+
+/// Outcome of trying to parse a request head from buffered bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HttpParse {
+    /// A full head was present, spanning `.1` bytes.
+    Request(HttpRequest, usize),
+    /// No blank line yet — buffer more (bounded by [`MAX_HEAD`]).
+    Incomplete,
+    /// The head is malformed or oversized; answer 400 and close.
+    Bad(&'static str),
+}
+
+/// Attempts to parse one request head from the front of `buf`.
+pub fn parse_request(buf: &[u8]) -> HttpParse {
+    let Some(head_end) = find_head_end(buf) else {
+        return if buf.len() > MAX_HEAD {
+            HttpParse::Bad("request head exceeds size cap")
+        } else {
+            HttpParse::Incomplete
+        };
+    };
+    if head_end > MAX_HEAD {
+        return HttpParse::Bad("request head exceeds size cap");
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return HttpParse::Bad("request head is not utf-8");
+    };
+    let Some(request_line) = head.lines().next() else {
+        return HttpParse::Bad("empty request head");
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return HttpParse::Bad("malformed request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return HttpParse::Bad("unsupported http version");
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    HttpParse::Request(HttpRequest { method: method.to_string(), path }, head_end)
+}
+
+/// Finds the end of the head (the bytes through the blank line).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// A response ready for the wire.
+pub fn response(status: u16, content_type: &str, body: &str) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Routes one request against the control plane. `tenants_json` is the
+/// gateway's own per-tenant stats (the one route the service cannot
+/// answer); `ctl` is `None` for ingest-only deployments.
+pub fn route(req: &HttpRequest, ctl: Option<&dyn ControlPlane>, tenants_json: &str) -> Vec<u8> {
+    if req.method != "GET" {
+        return response(405, "text/plain", "only GET is supported\n");
+    }
+    if req.path == "/healthz" {
+        return response(200, "text/plain", "ok\n");
+    }
+    if req.path == "/tenants" {
+        return response(200, "application/json", tenants_json);
+    }
+    let Some(ctl) = ctl else {
+        return response(503, "text/plain", "no control plane attached\n");
+    };
+    match req.path.as_str() {
+        "/stats" => response(200, "application/json", &ctl.stats_json()),
+        "/alarms" => response(200, "application/json", &ctl.alarms_json()),
+        "/labels" => response(200, "application/json", &ctl.labels_json()),
+        "/metrics" => response(200, "text/plain; version=0.0.4", &ctl.prometheus()),
+        path => match path.strip_prefix("/nodes/").and_then(|id| id.parse::<usize>().ok()) {
+            Some(node) => match ctl.node_json(node) {
+                Some(body) => response(200, "application/json", &body),
+                None => response(404, "text/plain", "no such node\n"),
+            },
+            None => response(404, "text/plain", "no such route\n"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakePlane;
+    impl ControlPlane for FakePlane {
+        fn stats_json(&self) -> String {
+            r#"{"ticks":3}"#.into()
+        }
+        fn alarms_json(&self) -> String {
+            "[]".into()
+        }
+        fn node_json(&self, node: usize) -> Option<String> {
+            (node < 2).then(|| format!(r#"{{"node":{node}}}"#))
+        }
+        fn labels_json(&self) -> String {
+            "[]".into()
+        }
+        fn prometheus(&self) -> String {
+            "up 1\n".into()
+        }
+    }
+
+    fn parse_ok(raw: &str) -> HttpRequest {
+        match parse_request(raw.as_bytes()) {
+            HttpParse::Request(r, consumed) => {
+                assert_eq!(consumed, raw.len());
+                r
+            }
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_parsing_handles_the_usual_shapes() {
+        let r = parse_ok("GET /stats HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/stats"));
+        let r = parse_ok("GET /nodes/7?verbose=1 HTTP/1.0\r\n\r\n");
+        assert_eq!(r.path, "/nodes/7", "query strings are stripped");
+        assert_eq!(parse_request(b"GET /st"), HttpParse::Incomplete);
+        assert!(matches!(parse_request(b"NONSENSE\r\n\r\n"), HttpParse::Bad(_)));
+        assert!(matches!(parse_request(b"GET / SPDY/3\r\n\r\n"), HttpParse::Bad(_)));
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_not_buffered_forever() {
+        let huge = vec![b'A'; MAX_HEAD + 1];
+        assert!(matches!(parse_request(&huge), HttpParse::Bad(_)));
+    }
+
+    #[test]
+    fn routes_answer_with_the_right_bodies() {
+        let plane = FakePlane;
+        let get = |path: &str| {
+            let req = HttpRequest { method: "GET".into(), path: path.into() };
+            String::from_utf8(route(&req, Some(&plane), "[]")).unwrap()
+        };
+        assert!(get("/healthz").contains("200 OK"));
+        assert!(get("/stats").contains(r#"{"ticks":3}"#));
+        assert!(get("/metrics").contains("up 1"));
+        assert!(get("/nodes/1").contains(r#"{"node":1}"#));
+        assert!(get("/nodes/99").contains("404"));
+        assert!(get("/nodes/zzz").contains("404"));
+        assert!(get("/nowhere").contains("404"));
+        assert!(get("/tenants").contains("200 OK"));
+    }
+
+    #[test]
+    fn method_and_missing_plane_are_typed_refusals() {
+        let req = HttpRequest { method: "POST".into(), path: "/stats".into() };
+        assert!(String::from_utf8(route(&req, Some(&FakePlane), "[]")).unwrap().contains("405"));
+        let req = HttpRequest { method: "GET".into(), path: "/stats".into() };
+        assert!(String::from_utf8(route(&req, None, "[]")).unwrap().contains("503"));
+    }
+
+    #[test]
+    fn responses_carry_exact_content_length() {
+        let raw = String::from_utf8(response(200, "text/plain", "abc")).unwrap();
+        assert!(raw.contains("Content-Length: 3\r\n"));
+        assert!(raw.ends_with("abc"));
+    }
+}

@@ -1,0 +1,69 @@
+//! # alba-net
+//!
+//! The deterministic network frontier for the ALBADross fleet service:
+//! wire ingest, an HTTP control plane and multi-tenant admission on a
+//! single listener — with every accepted frame journaled so a captured
+//! network session replays byte-identically offline.
+//!
+//! ALBADross's serving story (RUAD §6) assumes telemetry *arrives*; a
+//! production deployment needs the arriving part: framing, corruption
+//! handling, backpressure against bursty compute-node collectors, and a
+//! scrape/debug surface for operators. This crate supplies that edge
+//! without surrendering the workspace's replay invariant:
+//!
+//! * [`frame`] — the length-prefixed, CRC-checked binary wire protocol
+//!   for 1 Hz telemetry (varint + XOR-column codec shared with
+//!   `alba-store`); corruption with known extent is skipped, desync is
+//!   fatal,
+//! * [`transport`] — non-blocking byte-stream abstraction: real TCP
+//!   (`std::net`, no async runtime) and an in-memory pipe with the same
+//!   `WouldBlock` semantics for deterministic single-threaded tests,
+//! * [`tenant`] — admission control: shared-secret tokens, concurrent
+//!   connection quotas, per-connection flow-control parameters,
+//! * [`conn`] — per-connection state machines with explicitly bounded
+//!   read/write/ingest buffers,
+//! * [`gateway`] — the poll loop tying it together; implements
+//!   [`NetFrontier`](alba_serve::NetFrontier) so
+//!   [`FleetService::tick_from`](alba_serve::FleetService::tick_from)
+//!   can drink from the network exactly as it drinks from a replay,
+//! * [`http`] — the GET-only HTTP/1.1 control plane (stats, alarms,
+//!   labels, per-node views, tenant stats, Prometheus scrape),
+//!   multiplexed by protocol sniffing,
+//! * [`journal`] — the replayable ingest log and its
+//!   [`IngestLogReplay`] frontier,
+//! * [`client`] — a deterministic wire client for tests, benches and
+//!   the `fleet_gateway` example, with `alba-chaos` fault injection
+//!   (corrupt CRCs, partial frames, slowloris, reconnect storms).
+//!
+//! ## Determinism contract
+//!
+//! The gateway emits obs counters/gauges/histograms only — never obs
+//! *events*, which are the replay-identity artifact. Connections are
+//! advanced and drained in accept order; under the lockstep harness
+//! (client step → gateway pump → service tick) the full stack is
+//! reproducible, and under free-running TCP the ingest journal is the
+//! authoritative capture: replaying it yields a byte-identical event
+//! log and a bit-identical model, asserted in `crates/net/tests/`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod conn;
+pub mod error;
+pub mod frame;
+pub mod gateway;
+pub mod http;
+pub mod journal;
+pub mod tenant;
+pub mod transport;
+
+pub use client::{ClientStats, Lockstep, WireClient};
+pub use error::{FrameError, NetError};
+pub use frame::{Decoded, Frame};
+pub use gateway::{Gateway, GatewayConfig};
+pub use http::{ControlPlane, LabelView, NodeView};
+pub use journal::{IngestLog, IngestLogReplay, LogRecord};
+pub use tenant::{Admission, Reject, TenantConfig};
+pub use transport::{
+    ByteStream, Listener, MemDialer, MemListener, MemPipe, TcpByteStream, TcpDoor,
+};

@@ -1,0 +1,178 @@
+//! Multi-tenant admission control: who may connect, with how many
+//! concurrent sessions, and how much in-flight telemetry each session
+//! may hold.
+//!
+//! A *tenant* is a telemetry-producing campaign (one instrumented
+//! application, one sub-fleet) with a shared-secret token. Admission is
+//! deliberately boring: exact token match, a concurrent-connection
+//! quota, and per-connection flow-control parameters. Rejections are
+//! typed ([`Reject`]) so the gateway can answer with a machine-readable
+//! error frame and count the rejection in the tenant's stats row —
+//! an over-quota connect is the tenant's capacity problem, a bad token
+//! is a misconfiguration (or an intruder), and the operator response
+//! differs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One tenant's static configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    /// Stable tenant name (metric label, stats key).
+    pub name: String,
+    /// Shared-secret token a connection must present in its HELLO.
+    pub token: String,
+    /// Concurrent connections the tenant may hold open.
+    pub max_connections: usize,
+    /// Flow-control credits granted in the WELCOME frame.
+    pub initial_credits: u32,
+    /// Per-connection ingest queue capacity (telemetry frames buffered
+    /// between gateway polls).
+    pub queue_capacity: usize,
+}
+
+impl TenantConfig {
+    /// A tenant with sensible defaults: 4 connections, credits sized to
+    /// the queue so a well-behaved client never sees BUSY.
+    pub fn new(name: &str, token: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            token: token.to_string(),
+            max_connections: 4,
+            initial_credits: 64,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Why a connection was refused admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// No tenant of that name is configured.
+    UnknownTenant,
+    /// The token does not match the tenant's secret.
+    BadToken,
+    /// The tenant is at its concurrent-connection quota.
+    OverQuota,
+}
+
+impl Reject {
+    /// Wire error code carried in the ERROR frame.
+    pub fn code(&self) -> u16 {
+        match self {
+            Reject::UnknownTenant => 404,
+            Reject::BadToken => 401,
+            Reject::OverQuota => 429,
+        }
+    }
+
+    /// Stable short name (metric label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Reject::UnknownTenant => "unknown_tenant",
+            Reject::BadToken => "bad_token",
+            Reject::OverQuota => "over_quota",
+        }
+    }
+}
+
+/// Tracks configured tenants and their live connection counts.
+#[derive(Clone, Debug, Default)]
+pub struct Admission {
+    tenants: BTreeMap<String, TenantConfig>,
+    active: BTreeMap<String, usize>,
+}
+
+impl Admission {
+    /// Admission control over the given tenant set.
+    pub fn new(tenants: Vec<TenantConfig>) -> Self {
+        let tenants = tenants.into_iter().map(|t| (t.name.clone(), t)).collect();
+        Self { tenants, active: BTreeMap::new() }
+    }
+
+    /// Configured tenant names, sorted (deterministic stats order).
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenants.keys().cloned().collect()
+    }
+
+    /// Attempts to admit a connection presenting `(tenant, token)`.
+    /// Success reserves a connection slot — pair with [`Admission::release`].
+    pub fn admit(&mut self, tenant: &str, token: &str) -> Result<TenantConfig, Reject> {
+        let Some(cfg) = self.tenants.get(tenant) else { return Err(Reject::UnknownTenant) };
+        // Comparison of configured secrets; constant-time comparison is
+        // out of scope for a reproduction (no real secrets here).
+        if cfg.token != token {
+            return Err(Reject::BadToken);
+        }
+        let active = self.active.entry(tenant.to_string()).or_insert(0);
+        if *active >= cfg.max_connections {
+            return Err(Reject::OverQuota);
+        }
+        *active += 1;
+        Ok(cfg.clone())
+    }
+
+    /// Returns a tenant's connection slot (on close or handshake fail).
+    pub fn release(&mut self, tenant: &str) {
+        if let Some(n) = self.active.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Live connection count for one tenant.
+    pub fn active(&self, tenant: &str) -> usize {
+        self.active.get(tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tenants() -> Admission {
+        let mut volta = TenantConfig::new("volta", "v-token");
+        volta.max_connections = 2;
+        let eclipse = TenantConfig::new("eclipse", "e-token");
+        Admission::new(vec![volta, eclipse])
+    }
+
+    #[test]
+    fn happy_path_admits_and_releases() {
+        let mut adm = two_tenants();
+        assert_eq!(adm.admit("volta", "v-token").unwrap().name, "volta");
+        assert_eq!(adm.active("volta"), 1);
+        adm.release("volta");
+        assert_eq!(adm.active("volta"), 0);
+    }
+
+    #[test]
+    fn rejections_are_typed_and_coded() {
+        let mut adm = two_tenants();
+        assert_eq!(adm.admit("nobody", "x"), Err(Reject::UnknownTenant));
+        assert_eq!(adm.admit("volta", "wrong"), Err(Reject::BadToken));
+        adm.admit("volta", "v-token").unwrap();
+        adm.admit("volta", "v-token").unwrap();
+        let rej = adm.admit("volta", "v-token").unwrap_err();
+        assert_eq!(rej, Reject::OverQuota);
+        assert_eq!(rej.code(), 429);
+        assert_eq!(rej.name(), "over_quota");
+        // A failed admit holds no slot.
+        assert_eq!(adm.active("volta"), 2);
+        // Another tenant is unaffected by volta's quota exhaustion.
+        assert!(adm.admit("eclipse", "e-token").is_ok());
+    }
+
+    #[test]
+    fn release_below_zero_saturates() {
+        let mut adm = two_tenants();
+        adm.release("volta");
+        adm.release("ghost");
+        assert_eq!(adm.active("volta"), 0);
+        assert!(adm.admit("volta", "v-token").is_ok());
+    }
+
+    #[test]
+    fn tenant_names_are_sorted_for_deterministic_stats() {
+        assert_eq!(two_tenants().tenant_names(), vec!["eclipse", "volta"]);
+    }
+}

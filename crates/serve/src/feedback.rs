@@ -98,6 +98,12 @@ impl LabelQueue {
         self.buf.len()
     }
 
+    /// Read-only view of the pending requests, oldest first — the
+    /// control plane's "what does the analyst owe us" query.
+    pub fn pending(&self) -> impl Iterator<Item = &LabelRequest> + '_ {
+        self.buf.iter()
+    }
+
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()

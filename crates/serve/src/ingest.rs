@@ -7,6 +7,14 @@
 //! paused) and the loss is counted — the service stats expose per-fleet
 //! drop totals and peak queue depth so saturation is observable instead
 //! of silent.
+//!
+//! Drop accounting distinguishes *why* a sample was lost: a queue-full
+//! drop is backpressure (the fleet outran diagnosis), a malformed drop
+//! is corruption (the reading vector disagrees with the metric catalog),
+//! and an unroutable drop is misaddressing. The three surface as
+//! separate [`ErrorStats`](crate::ErrorStats) counters, because the
+//! operator responses differ: add capacity, fix the feed, fix the
+//! routing.
 
 use crate::replay::TelemetrySample;
 use alba_obs::{Counter, Obs, Value};
@@ -27,7 +35,13 @@ impl SampleQueue {
     /// An empty queue holding at most `capacity` samples.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be positive");
-        Self { buf: VecDeque::new(), capacity, pushed: 0, dropped: 0, peak_depth: 0 }
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            pushed: 0,
+            dropped: 0,
+            peak_depth: 0,
+        }
     }
 
     /// Enqueues one sample; returns `false` (and counts a drop) when the
@@ -74,6 +88,9 @@ pub struct IngestStats {
     /// Samples addressed to a node outside the fleet — a corrupt or
     /// misconfigured feed must be counted, never an index panic.
     pub unroutable: u64,
+    /// Samples rejected because their reading vector's width disagreed
+    /// with the metric catalog — corruption, *not* backpressure.
+    pub malformed: u64,
     /// Deepest any single queue ever got.
     pub peak_depth: usize,
 }
@@ -83,6 +100,9 @@ pub struct IngestStats {
 pub struct IngestLayer {
     queues: Vec<SampleQueue>,
     unroutable: u64,
+    malformed: u64,
+    /// Required reading-vector width (`None` disables the check).
+    expected_width: Option<usize>,
     obs: Obs,
     accepted_c: Counter,
     dropped_c: Counter,
@@ -100,17 +120,29 @@ impl IngestLayer {
         Self {
             queues: (0..n_nodes).map(|_| SampleQueue::new(capacity)).collect(),
             unroutable: 0,
+            malformed: 0,
+            expected_width: None,
             accepted_c: obs.counter("ingest_accepted_total", &[]),
             dropped_c: obs.counter("ingest_dropped_total", &[]),
             obs,
         }
     }
 
+    /// Enables reading-vector validation: samples whose value count is
+    /// not `width` are rejected as malformed before they reach a queue.
+    pub fn expect_width(mut self, width: usize) -> Self {
+        self.expected_width = Some(width);
+        self
+    }
+
     /// Routes one sample to its node's queue; returns `false` on drop.
     /// Backpressure losses are structured events, not silence: a shed
     /// sample emits `sample_drop` with the node, tick and queue depth.
     /// A sample addressed outside the fleet is counted unroutable (and
-    /// emits `sample_unroutable`), never an index panic.
+    /// emits `sample_unroutable`); one whose reading vector disagrees
+    /// with the catalog is counted malformed (and emits
+    /// `sample_malformed`) — never an index panic, and never lumped in
+    /// with queue-full backpressure.
     pub fn offer(&mut self, sample: TelemetrySample) -> bool {
         let (node, at) = (sample.node, sample.at);
         if node >= self.queues.len() {
@@ -121,6 +153,22 @@ impl IngestLayer {
                 &[("node", Value::from(node)), ("at", Value::from(at))],
             );
             return false;
+        }
+        if let Some(width) = self.expected_width {
+            if sample.values.len() != width {
+                self.malformed += 1;
+                self.obs.counter("ingest_malformed_total", &[]).inc();
+                self.obs.event(
+                    "sample_malformed",
+                    &[
+                        ("node", Value::from(node)),
+                        ("at", Value::from(at)),
+                        ("width", Value::from(sample.values.len())),
+                        ("expected", Value::from(width)),
+                    ],
+                );
+                return false;
+            }
         }
         if self.queues[node].push(sample) {
             self.accepted_c.inc();
@@ -159,6 +207,7 @@ impl IngestLayer {
             pushed: self.queues.iter().map(|q| q.pushed).sum(),
             dropped: self.queues.iter().map(|q| q.dropped).sum(),
             unroutable: self.unroutable,
+            malformed: self.malformed,
             peak_depth: self.queues.iter().map(|q| q.peak_depth).max().unwrap_or(0),
         }
     }
@@ -271,6 +320,43 @@ mod tests {
         assert_eq!(st.pushed, 0);
         assert!(layer.drain_node(99).is_empty(), "draining unknown nodes is safe");
         assert_eq!(layer.depth(99), 0);
+    }
+
+    #[test]
+    fn malformed_and_queue_full_drops_are_distinct_buckets() {
+        let obs = alba_obs::Obs::wall();
+        let sink = std::sync::Arc::new(alba_obs::MemorySink::new());
+        obs.set_sink(sink.clone());
+        let mut layer = IngestLayer::with_obs(1, 2, obs.clone()).expect_width(3);
+        let wide = TelemetrySample { node: 0, at: 0, values: vec![1.0; 4] };
+        let narrow = TelemetrySample { node: 0, at: 1, values: vec![1.0] };
+        assert!(!layer.offer(wide), "over-wide readings are rejected");
+        assert!(!layer.offer(narrow), "under-wide readings are rejected");
+        for t in 0..3 {
+            layer.offer(TelemetrySample { node: 0, at: 2 + t, values: vec![0.0; 3] });
+        }
+        let st = layer.stats();
+        assert_eq!(st.malformed, 2, "corruption counted separately");
+        assert_eq!(st.dropped, 1, "backpressure counted separately");
+        assert_eq!(st.pushed, 2);
+        assert_eq!(obs.counter("ingest_malformed_total", &[]).get(), 2);
+        assert_eq!(obs.counter("ingest_dropped_total", &[]).get(), 1);
+        let kinds: Vec<String> = sink
+            .lines()
+            .iter()
+            .filter_map(|l| {
+                l.split(r#""kind":""#).nth(1).map(|s| s.split('"').next().unwrap_or("").to_string())
+            })
+            .collect();
+        assert_eq!(kinds, vec!["sample_malformed", "sample_malformed", "sample_drop"]);
+    }
+
+    #[test]
+    fn width_check_is_off_by_default() {
+        let mut layer = IngestLayer::new(1, 4);
+        assert!(layer.offer(TelemetrySample { node: 0, at: 0, values: vec![1.0; 7] }));
+        assert!(layer.offer(TelemetrySample { node: 0, at: 1, values: Vec::new() }));
+        assert_eq!(layer.stats().malformed, 0);
     }
 
     #[test]

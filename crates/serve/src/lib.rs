@@ -8,6 +8,9 @@
 //!   held-out campaign as a fleet of 1 Hz node feeds,
 //! * [`ingest`] — bounded per-node queues with backpressure (drop)
 //!   accounting,
+//! * [`frontier`] — the [`NetFrontier`] seam through which samples
+//!   produced *outside* the process (the `alba-net` wire gateway, or
+//!   its journaled ingest log replayed offline) feed the service,
 //! * [`shard`] — worker shards running *batched* feature extraction and
 //!   inference over their nodes' due windows, reusing the
 //!   [`NodeMonitor`](albadross::NodeMonitor) hysteresis logic,
@@ -49,6 +52,7 @@
 
 pub mod chaos;
 pub mod feedback;
+pub mod frontier;
 pub mod ingest;
 pub mod replay;
 pub mod service;
@@ -57,6 +61,7 @@ pub mod stats;
 
 pub use chaos::{plan_for, ChaosRuntime, ChaosStats, InjectedPanic};
 pub use feedback::{FeedbackStats, LabelQueue, LabelRequest, Retrainer};
+pub use frontier::{BatchFrontier, NetFrontier, TenantStats};
 pub use ingest::{IngestLayer, IngestStats, SampleQueue};
 pub use replay::{FleetConfig, NodeStream, ReplaySource, TelemetrySample};
 pub use service::{FleetService, ServeConfig};

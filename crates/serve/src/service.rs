@@ -18,6 +18,7 @@
 
 use crate::chaos::{plan_for, ChaosRuntime, ChaosStats};
 use crate::feedback::{LabelQueue, LabelRequest, Retrainer};
+use crate::frontier::NetFrontier;
 use crate::ingest::IngestLayer;
 use crate::replay::{FleetConfig, NodeStream, ReplaySource, TelemetrySample};
 use crate::shard::{NodeAlarm, Shard, ShardReport};
@@ -245,7 +246,8 @@ impl FleetService {
             None => ReplaySource::build(&replay_cfg),
         };
         let oracle = replay.truth_labels();
-        let ingest = IngestLayer::with_obs(replay.n_nodes(), cfg.queue_capacity, obs.clone());
+        let ingest = IngestLayer::with_obs(replay.n_nodes(), cfg.queue_capacity, obs.clone())
+            .expect_width(replay.metrics().len());
 
         // Seeded node→shard assignment: shuffle, then round-robin.
         let mut nodes: Vec<usize> = (0..replay.n_nodes()).collect();
@@ -449,6 +451,46 @@ impl FleetService {
         //    the quarantine gate.
         let ingest_span = self.obs.span("stage_ns", &[("stage", "ingest")]);
         let emitted = self.replay.tick();
+        self.offer_batch(emitted, now);
+        ingest_span.finish();
+
+        self.tick_core(now);
+        self.tick += 1;
+        self.wall_ns += start.elapsed().as_nanos() as u64;
+        !(self.replay.is_exhausted() && self.ingest.is_empty())
+    }
+
+    /// Advances the service by one tick fed from a [`NetFrontier`]
+    /// instead of the in-process replay source — the entry point the
+    /// `alba-net` gateway (and its ingest-log replay) drives. Everything
+    /// downstream of ingest is identical to [`FleetService::tick`]:
+    /// because the frontier hands over the *same samples at the same
+    /// ticks* whether live or replayed, the event log, alarms and model
+    /// evolution are byte-identical across the network boundary.
+    ///
+    /// Returns `false` once the frontier is done and every queue has
+    /// drained.
+    pub fn tick_from(&mut self, frontier: &mut dyn NetFrontier) -> bool {
+        // alba-lint: allow(no-ambient-time) reason="wall busy-time measurement only; excluded from replay-identity artifacts"
+        let start = Instant::now();
+        let now = self.tick;
+        if self.chaos.is_some() {
+            self.open_fault_windows(now);
+        }
+        let ingest_span = self.obs.span("stage_ns", &[("stage", "ingest")]);
+        let emitted = frontier.poll(now);
+        self.offer_batch(emitted, now);
+        ingest_span.finish();
+
+        self.tick_core(now);
+        self.tick += 1;
+        self.wall_ns += start.elapsed().as_nanos() as u64;
+        !(frontier.is_done(self.tick) && self.ingest.is_empty())
+    }
+
+    /// Offers one tick's emitted samples into ingest, through the chaos
+    /// injector/quarantine gate when the run is chaotic.
+    fn offer_batch(&mut self, emitted: Vec<TelemetrySample>, now: usize) {
         self.samples_emitted += emitted.len() as u64;
         if self.chaos.is_some() {
             for s in emitted {
@@ -459,8 +501,11 @@ impl FleetService {
                 self.ingest.offer(s);
             }
         }
-        ingest_span.finish();
+    }
 
+    /// Stages 2–5 of a tick (drain → process → alarm bus → feedback),
+    /// shared by the replay-driven and frontier-driven entry points.
+    fn tick_core(&mut self, now: usize) {
         // 2. Each shard drains its nodes' queues into one tick batch.
         let drain_span = self.obs.span("stage_ns", &[("stage", "drain")]);
         let batches: Vec<Vec<TelemetrySample>> = self
@@ -563,10 +608,6 @@ impl FleetService {
             }
         }
         feedback_span.finish();
-
-        self.tick += 1;
-        self.wall_ns += start.elapsed().as_nanos() as u64;
-        !(self.replay.is_exhausted() && self.ingest.is_empty())
     }
 
     /// Services one batch of label requests through the oracle, refits
@@ -828,6 +869,49 @@ impl FleetService {
         self.stats()
     }
 
+    /// Runs the service to completion fed from a [`NetFrontier`] (at
+    /// most `max_ticks` ticks, a liveness bound for frontiers whose
+    /// senders never close). Leftover label requests get a final retrain
+    /// round if the budget allows, exactly as
+    /// [`FleetService::run_to_completion`] does; the returned stats
+    /// carry the frontier's per-tenant accounting.
+    pub fn run_frontier(
+        &mut self,
+        frontier: &mut dyn NetFrontier,
+        max_ticks: usize,
+    ) -> ServiceStats {
+        let mut ran = 0;
+        while ran < max_ticks {
+            let more = self.tick_from(frontier);
+            ran += 1;
+            if !more {
+                break;
+            }
+        }
+        if !self.label_queue.is_empty() && self.swap_ticks.len() < self.cfg.max_retrains {
+            self.retrain_round();
+        }
+        let mut stats = self.stats();
+        stats.tenants = frontier.tenant_stats();
+        stats
+    }
+
+    /// The full per-tick batch schedule of this service's (held-out)
+    /// replay fleet: `batches[t]` is what [`FleetService::tick`] would
+    /// ingest at tick `t`. The service's own replay cursor is untouched.
+    ///
+    /// This is the deterministic client's feed: a gateway client streams
+    /// these exact samples over the wire, so a frontier-driven run can be
+    /// compared 1:1 against the in-process replay path.
+    pub fn fleet_batches(&self) -> Vec<Vec<TelemetrySample>> {
+        let mut replay = self.replay.clone();
+        let mut batches = Vec::new();
+        while !replay.is_exhausted() {
+            batches.push(replay.tick());
+        }
+        batches
+    }
+
     /// Snapshot of the service statistics.
     pub fn stats(&self) -> ServiceStats {
         let shards: Vec<ShardSnapshot> = self
@@ -853,8 +937,11 @@ impl FleetService {
         let wall_s = self.wall_ns as f64 / 1e9;
         let mut feedback = self.label_queue.stats();
         feedback.retrains = self.swap_ticks.len() as u64;
+        let ingest_stats = self.ingest.stats();
         let errors = ErrorStats {
-            unroutable_samples: self.ingest.stats().unroutable,
+            unroutable_samples: ingest_stats.unroutable,
+            queue_full_drops: ingest_stats.dropped,
+            malformed_ingest_drops: ingest_stats.malformed,
             malformed_samples: self.shards.iter().map(|sh| sh.stats().malformed).sum(),
             oracle_misses: self.oracle_misses,
             journal_reopens: self.journal_reopens,
@@ -863,7 +950,7 @@ impl FleetService {
         ServiceStats {
             ticks: self.tick,
             samples_emitted: self.samples_emitted,
-            ingest: self.ingest.stats(),
+            ingest: ingest_stats,
             shards,
             windows,
             latency: LatencySummary::from_histogram(&merged),
@@ -872,6 +959,7 @@ impl FleetService {
             feedback,
             errors,
             chaos: self.chaos.as_ref().map(ChaosRuntime::snapshot),
+            tenants: Vec::new(),
             swap_ticks: self.swap_ticks.clone(),
             wall_ms: self.wall_ns / 1_000_000,
             windows_per_s: if wall_s > 0.0 { windows as f64 / wall_s } else { 0.0 },
@@ -934,6 +1022,12 @@ impl FleetService {
     /// Pending label requests.
     pub fn pending_label_requests(&self) -> usize {
         self.label_queue.len()
+    }
+
+    /// Snapshot of the pending label requests, oldest first — what the
+    /// control plane's label-queue endpoint serves.
+    pub fn label_requests(&self) -> Vec<LabelRequest> {
+        self.label_queue.pending().cloned().collect()
     }
 
     /// The fault plan driving this run, when it is chaotic. Serialise it

@@ -8,6 +8,7 @@
 
 use crate::chaos::ChaosStats;
 use crate::feedback::FeedbackStats;
+use crate::frontier::TenantStats;
 use crate::ingest::IngestStats;
 use crate::shard::ShardStats;
 use alba_obs::{Histogram, HistogramSnapshot};
@@ -102,7 +103,17 @@ impl ShardSnapshot {
 pub struct ErrorStats {
     /// Samples addressed outside the fleet (ingest routing guard).
     pub unroutable_samples: u64,
-    /// Samples whose readings disagreed with the metric catalog.
+    /// Samples shed on full ingest queues — *backpressure*: the fleet
+    /// outran diagnosis. Distinct from the malformed counters, which are
+    /// corruption; conflating the two hides whether the fix is capacity
+    /// or feed integrity.
+    pub queue_full_drops: u64,
+    /// Samples the ingest layer rejected because their reading vector's
+    /// width disagreed with the metric catalog — corruption at the
+    /// boundary, before any queue was consulted.
+    pub malformed_ingest_drops: u64,
+    /// Samples whose readings disagreed with the metric catalog at the
+    /// shard (defence in depth behind the ingest-layer width check).
     pub malformed_samples: u64,
     /// Label requests whose node had no oracle truth entry.
     pub oracle_misses: u64,
@@ -117,6 +128,8 @@ impl ErrorStats {
     /// Sum of every error counter.
     pub fn total(&self) -> u64 {
         self.unroutable_samples
+            + self.queue_full_drops
+            + self.malformed_ingest_drops
             + self.malformed_samples
             + self.oracle_misses
             + self.journal_reopens
@@ -150,6 +163,10 @@ pub struct ServiceStats {
     /// Chaos injection/recovery counters (present iff the run was
     /// driven by a fault plan).
     pub chaos: Option<ChaosStats>,
+    /// Per-tenant network-frontier accounting (populated iff the run was
+    /// driven through a [`NetFrontier`](crate::NetFrontier); empty for
+    /// in-process replay). Sorted by tenant name by the frontier.
+    pub tenants: Vec<TenantStats>,
     /// Model hot-swaps performed (ticks at which they happened).
     pub swap_ticks: Vec<usize>,
     /// Wall-clock run time in milliseconds.

@@ -154,4 +154,84 @@ echo "==> store I/O bench (warm reads must be >= 10x faster than cold)"
 ALBA_BENCH_QUICK=1 ALBA_STORE_IO_ASSERT=10 \
     cargo bench -p alba-bench --bench store_io
 
+echo "==> gateway smoke (two equal-seed TCP runs byte-identical, Prometheus scrape parses)"
+OUT_GW_A=$(mktemp -d)
+OUT_GW_B=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR" "$OUT_COLD" "$OUT_WARM" "$OUT_CHAOS_A" "$OUT_CHAOS_B" "$OUT_GW_A" "$OUT_GW_B"' EXIT
+# The example itself asserts that the captured wire session replays
+# byte-identically offline; CI additionally pins down that two
+# independent live TCP runs with equal seeds agree byte-for-byte.
+ALBA_GATEWAY_OUT="$OUT_GW_A" cargo run --release --example fleet_gateway >/dev/null
+ALBA_GATEWAY_OUT="$OUT_GW_B" cargo run --release --example fleet_gateway >/dev/null
+cmp "$OUT_GW_A/fleet_gateway_events.jsonl" "$OUT_GW_B/fleet_gateway_events.jsonl" \
+    || { echo "gateway event logs diverged across equal-seed runs" >&2; exit 1; }
+cmp "$OUT_GW_A/fleet_gateway_capture.bin" "$OUT_GW_B/fleet_gateway_capture.bin" \
+    || { echo "gateway ingest journals diverged across equal-seed runs" >&2; exit 1; }
+python3 - "$OUT_GW_A" <<'EOF'
+import json
+import pathlib
+import sys
+
+out = pathlib.Path(sys.argv[1])
+# The scrape came over the gateway's own HTTP control plane; it must be
+# well-formed text exposition with the frontier's metric families.
+names = set()
+for line in (out / "fleet_gateway_metrics.prom").read_text().splitlines():
+    if not line.strip():
+        continue
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split()
+        assert kind in ("counter", "gauge", "histogram"), line
+        names.add(name)
+        continue
+    name, value = line.rsplit(" ", 1)
+    float(value)
+    assert any(name.startswith(n) for n in names), f"sample before TYPE: {line}"
+for expected in ("net_frames_total", "net_samples_delivered_total", "ingest_accepted_total"):
+    assert expected in names, f"missing metric family {expected}: {sorted(names)}"
+events = (out / "fleet_gateway_events.jsonl").read_text().splitlines()
+assert events and all(json.loads(e)["ts"] >= 0 for e in events)
+assert (out / "fleet_gateway_capture.bin").stat().st_size > 0
+print(f"  {len(events)} events, {len(names)} metric families, capture present: OK")
+EOF
+if [ "$FULL" = "1" ]; then
+    echo "==> gateway chaos smoke (--full: reconnect storm, replay identity must hold)"
+    # The example itself asserts the storm run's capture replays
+    # byte-identically; CI pins down that the storm is deterministic
+    # too — two equal-seed storm runs agree byte-for-byte. (The storm
+    # capture legitimately differs from the clean one: reconnect pauses
+    # shift sample *arrival* ticks, which the journal records.)
+    OUT_GW_S1=$(mktemp -d)
+    OUT_GW_S2=$(mktemp -d)
+    ALBA_GATEWAY_OUT="$OUT_GW_S1" ALBA_GATEWAY_CHAOS=storm \
+        cargo run --release --example fleet_gateway >/dev/null
+    ALBA_GATEWAY_OUT="$OUT_GW_S2" ALBA_GATEWAY_CHAOS=storm \
+        cargo run --release --example fleet_gateway >/dev/null
+    cmp "$OUT_GW_S1/fleet_gateway_events.jsonl" "$OUT_GW_S2/fleet_gateway_events.jsonl" \
+        || { echo "storm event logs diverged across equal-seed runs" >&2; exit 1; }
+    cmp "$OUT_GW_S1/fleet_gateway_capture.bin" "$OUT_GW_S2/fleet_gateway_capture.bin" \
+        || { echo "storm ingest journals diverged across equal-seed runs" >&2; exit 1; }
+    rm -rf "$OUT_GW_S1" "$OUT_GW_S2"
+    echo "  equal-seed storm runs byte-identical (events + capture): OK"
+fi
+
+echo "==> net throughput bench (BENCH_net.json exists and parses)"
+ALBA_BENCH_QUICK=1 cargo bench -p alba-bench --bench net_throughput
+python3 - <<'EOF'
+import json
+
+bench = json.load(open("results/BENCH_net.json"))
+assert bench["bench"] == "net_throughput"
+for key in (
+    "codec_decode_frames_per_sec_per_core",
+    "gateway_frames_per_sec_per_core",
+    "ingest_to_diagnosis_latency_p99_ticks",
+):
+    assert isinstance(bench[key], (int, float)) and bench[key] >= 0, key
+assert bench["gateway_frames_accepted"] > 0
+print(f"  codec {bench['codec_decode_frames_per_sec_per_core']:.0f} f/s, "
+      f"gateway {bench['gateway_frames_per_sec_per_core']:.0f} f/s, "
+      f"p99 {bench['ingest_to_diagnosis_latency_p99_ticks']} ticks: OK")
+EOF
+
 echo "CI green."

@@ -10,6 +10,7 @@ pub use alba_data as data;
 pub use alba_features as features;
 pub use alba_lint as lint;
 pub use alba_ml as ml;
+pub use alba_net as net;
 pub use alba_obs as obs;
 pub use alba_serve as serve;
 pub use alba_store as store;

@@ -441,3 +441,180 @@ proptest! {
         let _ = lint_source("crates/serve/src/generated.rs", &src);
     }
 }
+
+// ---- alba-net: the wire codec ---------------------------------------
+
+use albadross_repro::net::frame::{decode_frame, HEADER_LEN, MAGIC};
+use albadross_repro::net::journal::{parse_log, IngestLog};
+use albadross_repro::net::{Decoded, Frame};
+use albadross_repro::serve::TelemetrySample;
+
+/// Lowercase ASCII names of bounded length (tenant names, tokens,
+/// error messages — content is irrelevant to framing).
+fn wire_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 0..24)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// Metric vectors over arbitrary IEEE-754 bit patterns.
+fn wire_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(any_bits().prop_map(f64::from_bits), 0..32)
+}
+
+/// Any frame of any type, hostile float payloads included.
+fn any_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (wire_name(), wire_name()).prop_map(|(tenant, token)| Frame::Hello { tenant, token }),
+        (0u64..u64::MAX, 0u32..u32::MAX)
+            .prop_map(|(session, credits)| Frame::Welcome { session, credits }),
+        (0u64..1 << 48, 0u64..1 << 48, wire_values())
+            .prop_map(|(node, at, values)| Frame::Telemetry { node, at, values }),
+        (0u32..u32::MAX).prop_map(|credits| Frame::Credit { credits }),
+        (0u64..u64::MAX).prop_map(|dropped| Frame::Busy { dropped }),
+        Just(Frame::Bye),
+        (0u16..u16::MAX, wire_name()).prop_map(|(code, message)| Frame::Error { code, message }),
+    ]
+}
+
+/// Bit-exact value equality up to NaN canonicalization: the store
+/// column codec represents NaN as a gap and restores the canonical
+/// `f64::NAN`, so NaN payload bits are (by documented design) not
+/// preserved; everything else must round-trip bit-for-bit.
+fn values_codec_equal(x: f64, y: f64) -> bool {
+    (x.is_nan() && y.is_nan()) || x.to_bits() == y.to_bits()
+}
+
+/// Frames equal bit-for-bit (plain `==` is false for NaN payloads).
+fn frames_bit_equal(a: &Frame, b: &Frame) -> bool {
+    match (a, b) {
+        (
+            Frame::Telemetry { node: n1, at: a1, values: v1 },
+            Frame::Telemetry { node: n2, at: a2, values: v2 },
+        ) => {
+            n1 == n2
+                && a1 == a2
+                && v1.len() == v2.len()
+                && v1.iter().zip(v2).all(|(x, y)| values_codec_equal(*x, *y))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any frame round-trips bit-exactly through encode/decode, and the
+    /// decoder consumes exactly the encoded length.
+    #[test]
+    fn wire_frames_round_trip_bit_exactly(frame in any_frame()) {
+        let bytes = frame.encode();
+        match decode_frame(&bytes) {
+            Ok(Decoded::Frame(out, consumed)) => {
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert!(frames_bit_equal(&frame, &out), "decoded {:?} from {:?}", out, frame);
+            }
+            other => prop_assert!(false, "expected a frame, got {:?}", other),
+        }
+    }
+
+    /// Every strict prefix of a valid frame is Incomplete — truncation
+    /// never panics, never errors, never yields a frame.
+    #[test]
+    fn wire_truncation_is_always_incomplete(frame in any_frame(), cut in 0usize..4096) {
+        let bytes = frame.encode();
+        let cut = cut % bytes.len().max(1);
+        match decode_frame(&bytes[..cut]) {
+            Ok(Decoded::Incomplete) => {}
+            other => prop_assert!(false, "prefix of {} decoded as {:?}", cut, other),
+        }
+    }
+
+    /// A single flipped byte can never decode as a valid frame: the CRC
+    /// (or the magic/version check) always catches it, with a typed
+    /// outcome — corrupt-and-skip, incomplete, or a fatal desync error.
+    #[test]
+    fn wire_byte_flips_never_yield_a_frame(frame in any_frame(), pos in 0usize..4096, bit in 0usize..8) {
+        let mut bytes = frame.encode();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match decode_frame(&bytes) {
+            Ok(Decoded::Frame(_, _)) => {
+                prop_assert!(false, "flipped byte {} decoded as a valid frame", pos)
+            }
+            Ok(Decoded::Corrupt(_, skip)) => prop_assert!(skip > 0 && skip <= bytes.len()),
+            Ok(Decoded::Incomplete) => {
+                // A corrupted length field can inflate the frame past the
+                // buffer; the partial-frame timeout reaps this in practice.
+            }
+            Err(_) => {
+                // Fatal desync: only from damage to the fixed prelude —
+                // magic (0..2), version (2), or a length byte (4..8)
+                // inflated past the payload cap (Oversize).
+                prop_assert!(pos < 8, "fatal error from byte {} past the prelude", pos);
+            }
+        }
+    }
+
+    /// A two-frame stream resyncs past arbitrary corruption of the first
+    /// frame's interior: the second frame always decodes intact.
+    #[test]
+    fn wire_stream_resyncs_after_skippable_corruption(
+        a in any_frame(),
+        b in any_frame(),
+        pos in 0usize..4096,
+    ) {
+        let mut bytes = a.encode();
+        let first_len = bytes.len();
+        // Corrupt strictly inside the CRC-covered region (past magic,
+        // version, and the length field) so the damage is skippable.
+        let lo = HEADER_LEN.min(first_len.saturating_sub(1));
+        let pos = lo + pos % (first_len - lo).max(1);
+        bytes[pos.min(first_len - 1)] ^= 0xFF;
+        bytes.extend_from_slice(&b.encode());
+        prop_assert_eq!(&bytes[..2], &MAGIC[..]);
+        let mut cursor = 0usize;
+        let mut decoded = Vec::new();
+        loop {
+            match decode_frame(&bytes[cursor..]) {
+                Ok(Decoded::Frame(f, n)) => { decoded.push(f); cursor += n; }
+                Ok(Decoded::Corrupt(_, n)) => cursor += n,
+                Ok(Decoded::Incomplete) => break,
+                Err(e) => prop_assert!(false, "desync at {}: {}", cursor, e),
+            }
+            if cursor >= bytes.len() { break; }
+        }
+        prop_assert_eq!(decoded.len(), 1, "exactly the second frame survives");
+        prop_assert!(frames_bit_equal(&decoded[0], &b));
+    }
+
+    /// The ingest journal round-trips hostile float payloads bit-exactly
+    /// and tolerates any torn tail without panicking.
+    #[test]
+    fn ingest_log_round_trips_and_tolerates_torn_tails(
+        samples in prop::collection::vec((0usize..64, 0usize..4096, wire_values()), 1..16),
+        cut in 0usize..4096,
+    ) {
+        let mut log = IngestLog::new();
+        for (i, (node, at, values)) in samples.iter().enumerate() {
+            log.append(i, &TelemetrySample { node: *node, at: *at, values: values.clone() });
+        }
+        let full = parse_log(log.as_bytes()).expect("a clean log parses");
+        prop_assert_eq!(full.len(), samples.len());
+        for (rec, (node, at, values)) in full.iter().zip(&samples) {
+            prop_assert_eq!(rec.sample.node, *node);
+            prop_assert_eq!(rec.sample.at, *at);
+            prop_assert_eq!(rec.sample.values.len(), values.len());
+            for (x, y) in rec.sample.values.iter().zip(values) {
+                prop_assert!(values_codec_equal(*x, *y), "{:?} vs {:?}", x, y);
+            }
+        }
+        // A torn tail drops at most the trailing record, never panics.
+        let cut = cut % log.as_bytes().len().max(1);
+        if let Ok(records) = parse_log(&log.as_bytes()[..cut]) {
+            prop_assert!(records.len() < samples.len());
+            for (rec, (node, _, _)) in records.iter().zip(&samples) {
+                prop_assert_eq!(rec.sample.node, *node);
+            }
+        }
+    }
+}
