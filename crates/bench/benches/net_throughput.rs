@@ -92,8 +92,8 @@ fn bench_gateway(quick: bool) -> GatewayRun {
         frames_per_sec: tenant.frames_accepted as f64 / elapsed,
         frames_accepted: tenant.frames_accepted,
         samples_delivered: tenant.samples_delivered,
-        latency_p50_ticks: latency.quantile(0.50),
-        latency_p99_ticks: latency.quantile(0.99),
+        latency_p50_ticks: latency.quantile(0.50).unwrap_or(0),
+        latency_p99_ticks: latency.quantile(0.99).unwrap_or(0),
     }
 }
 

@@ -303,8 +303,8 @@ fn stage_timings(obs: &alba_obs::Obs) -> Vec<TimingEntry> {
             count: snap.count,
             total_ms: ms(snap.sum),
             mean_ms: snap.mean() / 1e6,
-            p50_ms: ms(snap.quantile(0.5)),
-            p99_ms: ms(snap.quantile(0.99)),
+            p50_ms: ms(snap.quantile(0.5).unwrap_or(0)),
+            p99_ms: ms(snap.quantile(0.99).unwrap_or(0)),
             max_ms: ms(snap.max),
         })
         .collect()

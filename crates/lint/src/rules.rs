@@ -16,6 +16,7 @@
 //! | `no-panic-in-fallible` | `unwrap`/`expect`/`panic!`-family on non-test runtime paths of serve/store/chaos/net |
 //! | `no-direct-failpoint-bypass` | direct `std::fs`/`File`/`OpenOptions` I/O in serve, bypassing the store's `set_fault_hook` seam |
 //! | `no-unbounded-channel` | `VecDeque::new`/`LinkedList::new`/`mpsc::channel` queues on the network ingest path — every buffer a peer can fill must be born bounded |
+//! | `no-untraced-stage` | stage functions in serve's service.rs that open an obs span without touching the causal tracer — metrics and traces must cover the same stages |
 
 use crate::lexer::{LexFile, Tok, Token};
 
@@ -68,6 +69,10 @@ pub const CATALOG: &[RuleInfo] = &[
     RuleInfo {
         name: "no-unbounded-channel",
         summary: "VecDeque::new/LinkedList::new/mpsc::channel forbidden on the network ingest path; queues a peer can fill must use with_capacity plus an enforced bound",
+    },
+    RuleInfo {
+        name: "no-untraced-stage",
+        summary: "a serve service.rs function that opens an obs stage span must also record alba-trace hops, so causal traces cover every stage the metrics cover",
     },
 ];
 
@@ -211,6 +216,7 @@ fn in_ordered_output_scope(path: &str) -> bool {
         || path.starts_with("crates/store/src/")
         || path.starts_with("crates/obs/src/")
         || path.starts_with("crates/net/src/")
+        || path.starts_with("crates/trace/src/")
         || path == "crates/bench/src/bin/repro.rs"
 }
 
@@ -219,6 +225,7 @@ fn in_no_panic_scope(path: &str) -> bool {
         || path.starts_with("crates/store/src/")
         || path.starts_with("crates/chaos/src/")
         || path.starts_with("crates/net/src/")
+        || path.starts_with("crates/trace/src/")
 }
 
 /// The network ingest path: buffers here are fillable by a remote peer,
@@ -229,6 +236,12 @@ fn in_net_ingest_scope(path: &str) -> bool {
 
 fn in_serve_io_scope(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
+}
+
+/// The serve tick pipeline: the one file where obs stage spans and
+/// alba-trace hops must move in lockstep.
+fn in_traced_stage_scope(path: &str) -> bool {
+    path == "crates/serve/src/service.rs"
 }
 
 // ---- the engine -----------------------------------------------------
@@ -433,6 +446,80 @@ pub fn check_file(ctx: &FileContext, lexed: &LexFile) -> Vec<RawFinding> {
         }
     }
 
+    // no-untraced-stage: a service.rs fn that opens an obs stage span
+    // (`.span(`) must also touch the causal tracer (a `tracer`, `hop`,
+    // or `trace_*` ident) somewhere in its body — otherwise the stage
+    // is visible to metrics but invisible to trace replay. The lexer
+    // drops string literals, so the check is identifier-shaped: find
+    // each fn body by brace matching and compare what it calls.
+    if in_traced_stage_scope(&ctx.path) {
+        let mut i = 0;
+        while i < toks.len() {
+            if !is_ident(toks, i, "fn") {
+                i += 1;
+                continue;
+            }
+            let fn_line = toks[i].line;
+            let fn_name = ident_at(toks, i + 1).unwrap_or("?").to_string();
+            // The body's opening brace; a `;` first means no body
+            // (trait method signature).
+            let mut j = i + 1;
+            let mut open = None;
+            while j < toks.len() {
+                match toks[j].tok {
+                    Tok::Punct('{') => {
+                        open = Some(j);
+                        break;
+                    }
+                    Tok::Punct(';') => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = open else {
+                i = j.max(i + 1);
+                continue;
+            };
+            let mut depth = 0i32;
+            let mut end = toks.len();
+            for (k, t) in toks.iter().enumerate().skip(open) {
+                match t.tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let body = &toks[open..end];
+            let opens_span = (0..body.len()).any(|k| {
+                is_punct(body, k, '.')
+                    && is_ident(body, k + 1, "span")
+                    && is_punct(body, k + 2, '(')
+            });
+            let traced = body.iter().any(|t| {
+                matches!(&t.tok, Tok::Ident(s)
+                    if s == "tracer" || s == "hop" || s.starts_with("trace_"))
+            });
+            if opens_span && !traced && !ctx.is_test_line(fn_line) {
+                out.push(RawFinding {
+                    rule: "no-untraced-stage",
+                    line: fn_line,
+                    message: format!(
+                        "`{fn_name}` opens an obs stage span but never records an alba-trace hop; \
+                         every pipeline stage must appear in the causal trace (record a hop, or \
+                         justify a metrics-only stage with an allow)"
+                    ),
+                });
+            }
+            i = open + 1;
+        }
+    }
+
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     out
 }
@@ -619,6 +706,32 @@ mod tests {
         // Test modules on the ingest path are exempt.
         let test_src = "fn f() {}\n#[cfg(test)]\nmod tests { fn g() { let q: VecDeque<u8> = VecDeque::new(); } }";
         assert!(rules_fired("crates/net/src/conn.rs", test_src).is_empty());
+    }
+
+    // ---- no-untraced-stage ------------------------------------------
+
+    #[test]
+    fn span_without_tracer_fires_only_in_service_rs() {
+        let src =
+            "impl S { fn tick(&self) { let s = self.obs.span(\"stage_ns\", &[]); s.finish(); } }";
+        assert_eq!(rules_fired("crates/serve/src/service.rs", src), vec!["no-untraced-stage"]);
+        assert!(rules_fired("crates/serve/src/shard.rs", src).is_empty(), "only service.rs");
+    }
+
+    #[test]
+    fn stage_fns_touching_the_tracer_are_fine() {
+        let hopped = "impl S { fn tick(&self) { let s = self.obs.span(\"stage_ns\", &[]); s.finish(); self.tracer.hop(); } }";
+        assert!(rules_fired("crates/serve/src/service.rs", hopped).is_empty());
+        let helper = "impl S { fn tick(&self) { let s = self.obs.span(\"x\", &[]); self.trace_stage(0); s.finish(); } }";
+        assert!(rules_fired("crates/serve/src/service.rs", helper).is_empty());
+        let spanless = "impl S { fn stats(&self) -> u8 { 1 } }";
+        assert!(rules_fired("crates/serve/src/service.rs", spanless).is_empty());
+    }
+
+    #[test]
+    fn untraced_spans_in_test_modules_are_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests { fn t(o: &Obs) { let s = o.span(\"x\", &[]); s.finish(); } }";
+        assert!(rules_fired("crates/serve/src/service.rs", src).is_empty());
     }
 
     // ---- context classification -------------------------------------

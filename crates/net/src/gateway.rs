@@ -27,8 +27,9 @@ use crate::http::{self, ControlPlane, HttpParse};
 use crate::journal::IngestLog;
 use crate::tenant::{Admission, Reject, TenantConfig};
 use crate::transport::Listener;
-use alba_obs::Obs;
+use alba_obs::{Obs, Value};
 use alba_serve::{NetFrontier, TelemetrySample, TenantStats};
+use alba_trace::{Lane, Tracer};
 use std::collections::BTreeMap;
 
 /// Wire error code for protocol-sequence violations.
@@ -69,6 +70,11 @@ pub struct Gateway {
     /// gateway is not "done" before anyone ever connected.
     saw_session: bool,
     obs: Obs,
+    /// Causal tracing: the gateway mints each telemetry chain's trace
+    /// id at frame decode. Hops are recorded from the pump, which runs
+    /// on the lockstep thread — the same determinism discipline as the
+    /// counters above.
+    tracer: Tracer,
 }
 
 impl Gateway {
@@ -81,6 +87,20 @@ impl Gateway {
     /// latency histograms into `obs`. No obs *events* are ever emitted
     /// (see the module docs' determinism contract).
     pub fn with_obs(cfg: GatewayConfig, listener: Box<dyn Listener>, obs: Obs) -> Self {
+        Self::with_tracer(cfg, listener, obs, Tracer::disabled())
+    }
+
+    /// [`Gateway::with_obs`] with causal tracing: every decoded
+    /// telemetry frame records a `decode` hop on the net lane, keyed by
+    /// the deterministic `(seed, node, at)` trace id that the service's
+    /// downstream stages re-derive. The tracer's seed must equal the
+    /// service's `cfg.fleet.seed` for the chains to join up.
+    pub fn with_tracer(
+        cfg: GatewayConfig,
+        listener: Box<dyn Listener>,
+        obs: Obs,
+        tracer: Tracer,
+    ) -> Self {
         let admission = Admission::new(cfg.tenants.clone());
         let stats = admission
             .tenant_names()
@@ -97,6 +117,7 @@ impl Gateway {
             next_session: 0,
             saw_session: false,
             obs,
+            tracer,
         }
     }
 
@@ -266,11 +287,25 @@ impl Gateway {
                     conn.dropped += 1;
                     self.tenant_row(&name).frames_no_credit += 1;
                     self.obs.counter("net_sheds_total", &[("reason", "no_credit")]).inc();
+                    self.obs
+                        .counter(
+                            "net_tenant_sheds_total",
+                            &[("tenant", name.as_str()), ("reason", "no_credit")],
+                        )
+                        .inc();
+                    self.trace_decode(&name, node, at, "shed_no_credit");
                     conn.send(&Frame::Busy { dropped: conn.dropped });
                 } else if conn.queue.len() >= cap {
                     conn.dropped += 1;
                     self.tenant_row(&name).frames_queue_full += 1;
                     self.obs.counter("net_sheds_total", &[("reason", "queue_full")]).inc();
+                    self.obs
+                        .counter(
+                            "net_tenant_sheds_total",
+                            &[("tenant", name.as_str()), ("reason", "queue_full")],
+                        )
+                        .inc();
+                    self.trace_decode(&name, node, at, "shed_queue_full");
                     conn.send(&Frame::Busy { dropped: conn.dropped });
                 } else {
                     conn.credits -= 1;
@@ -280,6 +315,10 @@ impl Gateway {
                         values,
                     });
                     self.tenant_row(&name).frames_accepted += 1;
+                    self.obs
+                        .counter("net_tenant_frames_accepted_total", &[("tenant", name.as_str())])
+                        .inc();
+                    self.trace_decode(&name, node, at, "accepted");
                 }
             }
             (ConnPhase::Open | ConnPhase::AwaitHello, Frame::Bye) => {
@@ -356,6 +395,22 @@ impl Gateway {
     fn tenant_row(&mut self, tenant: &str) -> &mut TenantStats {
         self.stats.entry(tenant.to_string()).or_insert_with(|| TenantStats::new(tenant))
     }
+
+    /// Mints the causal chain for one telemetry frame: the net lane's
+    /// `decode` hop carries the same `(seed, node, at)` trace id every
+    /// downstream service stage re-derives, so chains join up across
+    /// the wire without the frame carrying an id.
+    fn trace_decode(&self, tenant: &str, node: u64, at: u64, outcome: &str) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.hop(
+            Lane::Net,
+            &self.tracer.ctx(node as usize, at as usize),
+            "decode",
+            &[("tenant", Value::from(tenant)), ("outcome", Value::from(outcome))],
+        );
+    }
 }
 
 /// Collapses node-specific paths so the per-path counter stays bounded.
@@ -367,7 +422,9 @@ fn route_label(path: &str) -> &'static str {
         "/labels" => "/labels",
         "/metrics" => "/metrics",
         "/tenants" => "/tenants",
+        "/flightrec" => "/flightrec",
         p if p.starts_with("/nodes/") => "/nodes",
+        p if p.starts_with("/trace/") => "/trace",
         _ => "other",
     }
 }

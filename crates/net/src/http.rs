@@ -18,6 +18,8 @@
 //! | `GET /nodes/<id>` | one node's diagnosis view |
 //! | `GET /tenants` | per-tenant admission/flow-control stats |
 //! | `GET /metrics` | Prometheus text exposition via `alba-obs` |
+//! | `GET /trace/<id>` | one node's recent trace events (`alba-trace`) |
+//! | `GET /flightrec` | full flight-recorder contents as JSONL |
 
 use alba_ml::Diagnosis;
 use alba_serve::{FleetService, NodeAlarm};
@@ -41,6 +43,12 @@ pub trait ControlPlane {
     fn labels_json(&self) -> String;
     /// Prometheus text exposition.
     fn prometheus(&self) -> String;
+    /// One node's recent trace events as a JSON array; `None` for
+    /// out-of-fleet nodes. `[]` when tracing is disabled.
+    fn trace_json(&self, node: usize) -> Option<String>;
+    /// Full flight-recorder contents as JSONL (empty when tracing is
+    /// disabled).
+    fn flightrec(&self) -> String;
 }
 
 /// One node's control-plane view.
@@ -106,6 +114,15 @@ impl ControlPlane for FleetService {
     fn prometheus(&self) -> String {
         // Explicit call: the inherent method, not this trait method.
         FleetService::prometheus(self)
+    }
+
+    fn trace_json(&self, node: usize) -> Option<String> {
+        self.trace_recent_json(node)
+    }
+
+    fn flightrec(&self) -> String {
+        // Explicit call: the inherent method, not this trait method.
+        FleetService::flightrec(self)
     }
 }
 
@@ -202,13 +219,22 @@ pub fn route(req: &HttpRequest, ctl: Option<&dyn ControlPlane>, tenants_json: &s
         "/alarms" => response(200, "application/json", &ctl.alarms_json()),
         "/labels" => response(200, "application/json", &ctl.labels_json()),
         "/metrics" => response(200, "text/plain; version=0.0.4", &ctl.prometheus()),
-        path => match path.strip_prefix("/nodes/").and_then(|id| id.parse::<usize>().ok()) {
-            Some(node) => match ctl.node_json(node) {
-                Some(body) => response(200, "application/json", &body),
-                None => response(404, "text/plain", "no such node\n"),
-            },
-            None => response(404, "text/plain", "no such route\n"),
-        },
+        "/flightrec" => response(200, "application/jsonl", &ctl.flightrec()),
+        path => {
+            if let Some(node) = path.strip_prefix("/trace/").and_then(|id| id.parse().ok()) {
+                return match ctl.trace_json(node) {
+                    Some(body) => response(200, "application/json", &body),
+                    None => response(404, "text/plain", "no such node\n"),
+                };
+            }
+            match path.strip_prefix("/nodes/").and_then(|id| id.parse::<usize>().ok()) {
+                Some(node) => match ctl.node_json(node) {
+                    Some(body) => response(200, "application/json", &body),
+                    None => response(404, "text/plain", "no such node\n"),
+                },
+                None => response(404, "text/plain", "no such route\n"),
+            }
+        }
     }
 }
 
@@ -232,6 +258,12 @@ mod tests {
         }
         fn prometheus(&self) -> String {
             "up 1\n".into()
+        }
+        fn trace_json(&self, node: usize) -> Option<String> {
+            (node < 2).then(|| format!(r#"[{{"node":{node},"stage":"decode"}}]"#))
+        }
+        fn flightrec(&self) -> String {
+            "{\"kind\":\"flightrec\"}\n".into()
         }
     }
 
@@ -277,6 +309,10 @@ mod tests {
         assert!(get("/nodes/zzz").contains("404"));
         assert!(get("/nowhere").contains("404"));
         assert!(get("/tenants").contains("200 OK"));
+        assert!(get("/trace/1").contains(r#""stage":"decode""#));
+        assert!(get("/trace/99").contains("404"));
+        assert!(get("/trace/x").contains("404"));
+        assert!(get("/flightrec").contains(r#""kind":"flightrec""#));
     }
 
     #[test]

@@ -116,9 +116,9 @@ impl Histogram {
         }
     }
 
-    /// Estimated `q`-quantile (`0.0 ..= 1.0`); see
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`), `None` when empty; see
     /// [`HistogramSnapshot::quantile`].
-    pub fn quantile(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         self.snapshot().quantile(q)
     }
 }
@@ -152,20 +152,21 @@ impl HistogramSnapshot {
     /// Estimated `q`-quantile (`0.0 ..= 1.0`): the lower bound of the
     /// first bucket whose cumulative count reaches `q * count`, clamped
     /// to the observed min/max. Exact for values below 8; within 12.5 %
-    /// above.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// above. A percentile of an empty histogram is undefined, so the
+    /// empty case is `None` — never a fabricated 0 and never a panic.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for &(lo, c) in &self.buckets {
             seen += c;
             if seen >= rank {
-                return lo.clamp(self.min, self.max);
+                return Some(lo.clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Appends this histogram in Prometheus text-exposition format:
@@ -213,9 +214,9 @@ mod tests {
         for v in [0u64, 1, 2, 3, 3, 5, 7] {
             h.record(v);
         }
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(0.5), 3);
-        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(7));
         assert_eq!(h.count(), 7);
         assert_eq!(h.sum(), 21);
         assert_eq!(h.max(), 7);
@@ -228,10 +229,10 @@ mod tests {
             h.record(v);
         }
         for (q, exact) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
-            let est = h.quantile(q) as f64;
+            let est = h.quantile(q).unwrap() as f64;
             assert!((est - exact).abs() / exact < 0.125, "q{q}: {est} vs {exact}");
         }
-        assert_eq!(h.quantile(1.0), h.snapshot().buckets.last().unwrap().0.max(1));
+        assert_eq!(h.quantile(1.0), Some(h.snapshot().buckets.last().unwrap().0.max(1)));
     }
 
     #[test]
@@ -248,13 +249,29 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_benign() {
+    fn empty_histogram_percentiles_are_none() {
         let h = Histogram::new();
-        assert_eq!(h.quantile(0.99), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q{q} of an empty histogram");
+        }
         assert_eq!(h.max(), 0);
         let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), None);
         assert_eq!((s.count, s.min, s.max), (0, 0, 0));
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_every_percentile_is_the_sample() {
+        // Including values whose bucket lower bound sits below the
+        // sample: the min/max clamp must pull the estimate back.
+        for v in [0u64, 1, 7, 9, 1_000, 123_456_789] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), Some(v), "q{q} of single sample {v}");
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,13 @@
 //! With a [`TickClock`](alba_obs::TickClock) two equally-seeded runs
 //! emit identical event logs (see the integration suite).
 //!
+//! Causal tracing rides the same discipline: build with
+//! [`FleetService::with_tracer`] and every pipeline hop (ingest →
+//! drain → diagnose → alarm → AL gate → oracle → retrain) records a
+//! trace event keyed by the deterministic `(seed, node, tick)` id from
+//! [`alba_trace`], while the bounded flight recorder captures the
+//! causal window around shard panics, chaos faults and shutdown.
+//!
 //! ```no_run
 //! use alba_serve::{FleetService, ServeConfig};
 //! use albadross::System;
@@ -59,6 +66,7 @@ pub mod service;
 pub mod shard;
 pub mod stats;
 
+pub use alba_trace::{Lane, TraceCtx, Tracer};
 pub use chaos::{plan_for, ChaosRuntime, ChaosStats, InjectedPanic};
 pub use feedback::{FeedbackStats, LabelQueue, LabelRequest, Retrainer};
 pub use frontier::{BatchFrontier, NetFrontier, TenantStats};

@@ -28,6 +28,7 @@ use alba_features::{FeatureExtractor, Mvts, TsFresh};
 use alba_ml::{DiagnosisModel, ForestParams};
 use alba_obs::{Histogram, Obs, Value};
 use alba_store::{key_of, LabelJournal, StoreError, TelemetryStore, KIND_LABEL, KIND_RETRAIN};
+use alba_trace::{Lane, Tracer};
 use albadross::{
     prepare_split, FeatureMethod, MonitorConfig, NodeMonitor, SplitConfig, SystemData,
 };
@@ -150,6 +151,11 @@ pub struct FleetService {
     journal_reopens: u64,
     journal_failures: u64,
     obs: Obs,
+    /// Causal tracing + flight recorder (disabled unless built with
+    /// [`FleetService::with_tracer`]). Hops are recorded on the tick
+    /// thread only, in shard order — the same discipline obs events
+    /// follow — so trace logs are replay-deterministic.
+    tracer: Tracer,
 }
 
 impl FleetService {
@@ -169,6 +175,17 @@ impl FleetService {
     /// it (deterministically in `cfg.fleet.seed`) and the service runs
     /// under fault injection.
     pub fn with_obs(cfg: ServeConfig, obs: Obs) -> Self {
+        Self::with_tracer(cfg, obs, Tracer::disabled())
+    }
+
+    /// [`FleetService::with_obs`] with causal tracing: every pipeline
+    /// hop (ingest → windowing → diagnosis → alarm → AL gate → oracle →
+    /// retrain) records a trace event keyed by the deterministic
+    /// `(seed, node, tick)` trace id, and the bounded flight recorder
+    /// captures the causal window around shard panics, chaos faults and
+    /// shutdown. The tracer's seed should equal `cfg.fleet.seed` so ids
+    /// minted at the net gateway match the ones derived here.
+    pub fn with_tracer(cfg: ServeConfig, obs: Obs, tracer: Tracer) -> Self {
         let plan = cfg.chaos.as_ref().map(|cz| {
             plan_for(
                 cz,
@@ -178,7 +195,7 @@ impl FleetService {
                 cfg.n_shards,
             )
         });
-        Self::build(cfg, plan, obs)
+        Self::build(cfg, plan, obs, tracer)
     }
 
     /// Builds the service under an *explicit* fault plan — the replay
@@ -186,10 +203,10 @@ impl FleetService {
     /// as-is; `cfg.chaos` is ignored for scheduling (it still shapes
     /// nothing else).
     pub fn with_chaos_plan(cfg: ServeConfig, plan: FaultPlan, obs: Obs) -> Self {
-        Self::build(cfg, Some(plan), obs)
+        Self::build(cfg, Some(plan), obs, Tracer::disabled())
     }
 
-    fn build(cfg: ServeConfig, plan: Option<FaultPlan>, obs: Obs) -> Self {
+    fn build(cfg: ServeConfig, plan: Option<FaultPlan>, obs: Obs, tracer: Tracer) -> Self {
         assert!(cfg.n_shards >= 1, "need at least one shard");
         assert!(cfg.retrain_batch >= 1, "retrain batch must be positive");
 
@@ -232,7 +249,15 @@ impl FleetService {
         // re-spending the labelling budget.
         let mut swap_ticks = Vec::new();
         let journal = store.as_ref().and_then(|s| {
-            Self::restore_from_journal(s, &cfg, &obs, &mut retrainer, &mut model, &mut swap_ticks)
+            Self::restore_from_journal(
+                s,
+                &cfg,
+                &obs,
+                &tracer,
+                &mut retrainer,
+                &mut model,
+                &mut swap_ticks,
+            )
         });
         if let (Some(j), Some(cz)) = (&journal, &chaos) {
             j.set_fault_hook(Arc::new(cz.failpoints.io_hook("journal")));
@@ -245,6 +270,19 @@ impl FleetService {
             Some(s) => Self::replay_via_store(s, &replay_cfg, &obs),
             None => ReplaySource::build(&replay_cfg),
         };
+        // Root hop of every causal chain this run will mint: where the
+        // fleet's telemetry came from (store-memoised or generated) and
+        // how much journaled history the warm restart folded back in.
+        tracer.hop(
+            Lane::Service,
+            &tracer.service_ctx(0),
+            "store_read",
+            &[
+                ("stored", Value::from(store.is_some())),
+                ("nodes", Value::from(replay.n_nodes())),
+                ("restored_rounds", Value::from(swap_ticks.len())),
+            ],
+        );
         let oracle = replay.truth_labels();
         let ingest = IngestLayer::with_obs(replay.n_nodes(), cfg.queue_capacity, obs.clone())
             .expect_width(replay.metrics().len());
@@ -308,6 +346,7 @@ impl FleetService {
             journal_reopens: 0,
             journal_failures: 0,
             obs,
+            tracer,
         }
     }
 
@@ -338,10 +377,12 @@ impl FleetService {
     /// are followed by a retrain marker; trailing unmarked labels (a
     /// crash mid-round) are dropped. Restored rounds land in
     /// `swap_ticks`, so they count against `max_retrains`.
+    #[allow(clippy::too_many_arguments)]
     fn restore_from_journal(
         store: &TelemetryStore,
         cfg: &ServeConfig,
         obs: &Obs,
+        tracer: &Tracer,
         retrainer: &mut Retrainer,
         model: &mut Arc<DiagnosisModel>,
         swap_ticks: &mut Vec<usize>,
@@ -384,6 +425,15 @@ impl FleetService {
                     ("rounds", Value::from(swap_ticks.len())),
                     ("records", Value::from(records.len())),
                     ("uncommitted", Value::from(batch.len())),
+                ],
+            );
+            tracer.hop(
+                Lane::Service,
+                &tracer.service_ctx(0),
+                "journal_replay",
+                &[
+                    ("rounds", Value::from(swap_ticks.len())),
+                    ("records", Value::from(records.len())),
                 ],
             );
         }
@@ -449,10 +499,13 @@ impl FleetService {
         // 1. Replay emits; the ingest layer buffers (or sheds). Under
         //    chaos every sample first passes the telemetry injector and
         //    the quarantine gate.
+        let trace_t0 = self.tracer.now_ns();
         let ingest_span = self.obs.span("stage_ns", &[("stage", "ingest")]);
         let emitted = self.replay.tick();
+        let n_emitted = emitted.len();
         self.offer_batch(emitted, now);
         ingest_span.finish();
+        self.trace_stage(now, "ingest", trace_t0, n_emitted as u64);
 
         self.tick_core(now);
         self.tick += 1;
@@ -477,10 +530,13 @@ impl FleetService {
         if self.chaos.is_some() {
             self.open_fault_windows(now);
         }
+        let trace_t0 = self.tracer.now_ns();
         let ingest_span = self.obs.span("stage_ns", &[("stage", "ingest")]);
         let emitted = frontier.poll(now);
+        let n_emitted = emitted.len();
         self.offer_batch(emitted, now);
         ingest_span.finish();
+        self.trace_stage(now, "ingest", trace_t0, n_emitted as u64);
 
         self.tick_core(now);
         self.tick += 1;
@@ -496,6 +552,18 @@ impl FleetService {
             for s in emitted {
                 self.offer_through_chaos(s, now);
             }
+        } else if self.tracer.is_enabled() {
+            for s in emitted {
+                let (node, at) = (s.node, s.at);
+                let accepted = self.ingest.offer(s);
+                Self::trace_ingest(
+                    &self.tracer,
+                    &self.shard_of,
+                    node,
+                    at,
+                    if accepted { "accepted" } else { "shed" },
+                );
+            }
         } else {
             for s in emitted {
                 self.ingest.offer(s);
@@ -503,10 +571,47 @@ impl FleetService {
         }
     }
 
+    /// Records one per-sample ingest hop on the owning shard's lane.
+    /// The hop's trace id is derived from `(seed, node, at)` — the same
+    /// id the net gateway minted when it decoded the sample's frame, so
+    /// the chain is causal across the wire without carrying an id in it.
+    /// (Associated fn over disjoint fields: callers hold `&mut
+    /// self.chaos` while tracing.)
+    fn trace_ingest(tracer: &Tracer, shard_of: &[usize], node: usize, at: usize, outcome: &str) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        let lane = shard_of.get(node).map_or(Lane::Service, |&s| Lane::Shard(s as u32));
+        tracer.hop(
+            lane,
+            &tracer.ctx(node, at),
+            "ingest_offer",
+            &[("outcome", Value::from(outcome))],
+        );
+    }
+
+    /// Records one per-tick pipeline-stage hop on the service lane with
+    /// its duration against the tracer's clock.
+    fn trace_stage(&self, now: usize, stage: &str, t0: u64, items: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.hop(
+            Lane::Service,
+            &self.tracer.service_ctx(now),
+            stage,
+            &[
+                ("dur_ns", Value::from(self.tracer.now_ns().saturating_sub(t0))),
+                ("items", Value::from(items)),
+            ],
+        );
+    }
+
     /// Stages 2–5 of a tick (drain → process → alarm bus → feedback),
     /// shared by the replay-driven and frontier-driven entry points.
     fn tick_core(&mut self, now: usize) {
         // 2. Each shard drains its nodes' queues into one tick batch.
+        let trace_t0 = self.tracer.now_ns();
         let drain_span = self.obs.span("stage_ns", &[("stage", "drain")]);
         let batches: Vec<Vec<TelemetrySample>> = self
             .shards
@@ -520,12 +625,19 @@ impl FleetService {
             })
             .collect();
         drain_span.finish();
+        self.trace_stage(
+            now,
+            "drain",
+            trace_t0,
+            batches.iter().map(Vec::len).sum::<usize>() as u64,
+        );
 
         // 3. Shards process in parallel; reports come back in shard
         //    order, so the merge below is deterministic. Each shard runs
         //    under its supervisor: a panicking shard is caught here and
         //    restarted below (on the tick thread) with the current —
         //    i.e. last-journaled — model re-installed.
+        let trace_t0 = self.tracer.now_ns();
         let process_span = self.obs.span("stage_ns", &[("stage", "process")]);
         let outcomes: Vec<std::thread::Result<ShardReport>> = self
             .shards
@@ -552,18 +664,47 @@ impl FleetService {
                         "shard_restart",
                         &[("shard", Value::from(id)), ("tick", Value::from(now))],
                     );
+                    // The flight recorder's raison d'être: capture the
+                    // causal window around the crash before the respawned
+                    // shard starts overwriting ring history.
+                    self.tracer.hop(
+                        Lane::Shard(id as u32),
+                        &self.tracer.service_ctx(now),
+                        "shard_panic",
+                        &[("shard", Value::from(id))],
+                    );
+                    self.tracer.dump(&format!("panic_shard{id}"));
                     reports.push(ShardReport::default());
                 }
             }
         }
         process_span.finish();
+        self.trace_stage(now, "process", trace_t0, self.shards.len() as u64);
 
         // 4. Alarm bus + uncertainty gate. Events are emitted here, on
         //    the tick thread in shard order — never from the parallel
         //    section above — so event logs are deterministic.
+        let trace_t0 = self.tracer.now_ns();
         let alarm_span = self.obs.span("stage_ns", &[("stage", "alarm")]);
         let gating_open = self.swap_ticks.len() < self.cfg.max_retrains;
-        for report in reports {
+        let mut n_windows = 0u64;
+        for (sid, report) in reports.into_iter().enumerate() {
+            let lane = Lane::Shard(sid as u32);
+            n_windows += report.windows.len() as u64;
+            if self.tracer.is_enabled() {
+                for w in &report.windows {
+                    self.tracer.hop(
+                        lane,
+                        &self.tracer.ctx(w.node, w.at),
+                        "diagnose",
+                        &[
+                            ("label", Value::from(w.diagnosis.label.as_str())),
+                            ("uncertainty", Value::from(w.uncertainty)),
+                            ("latency_ticks", Value::from(now.saturating_sub(w.at))),
+                        ],
+                    );
+                }
+            }
             for na in report.alarms {
                 self.obs.event(
                     "alarm",
@@ -572,6 +713,15 @@ impl FleetService {
                         ("label", Value::from(na.alarm.label.as_str())),
                         ("confidence", Value::from(na.alarm.confidence)),
                         ("tick", Value::from(now)),
+                    ],
+                );
+                self.tracer.hop(
+                    lane,
+                    &self.tracer.ctx(na.node, now),
+                    "alarm",
+                    &[
+                        ("label", Value::from(na.alarm.label.as_str())),
+                        ("confidence", Value::from(na.alarm.confidence)),
                     ],
                 );
                 *self.alarms_by_label.entry(na.alarm.label.clone()).or_insert(0) += 1;
@@ -590,15 +740,27 @@ impl FleetService {
                                 ("accepted", Value::from(accepted)),
                             ],
                         );
+                        self.tracer.hop(
+                            lane,
+                            &self.tracer.ctx(w.node, w.at),
+                            "al_gate",
+                            &[
+                                ("uncertainty", Value::from(w.uncertainty)),
+                                ("accepted", Value::from(accepted)),
+                            ],
+                        );
                     }
                 }
             }
         }
         alarm_span.finish();
+        self.trace_stage(now, "alarm", trace_t0, n_windows);
 
         // 5. Feedback: enough pending requests → label, retrain, swap.
         //    A deferred round (oracle down) breaks out; the requests stay
         //    queued and the next tick retries after (simulated) backoff.
+        let trace_t0 = self.tracer.now_ns();
+        let rounds_before = self.swap_ticks.len();
         let feedback_span = self.obs.span("stage_ns", &[("stage", "feedback")]);
         while self.label_queue.len() >= self.cfg.retrain_batch
             && self.swap_ticks.len() < self.cfg.max_retrains
@@ -608,6 +770,7 @@ impl FleetService {
             }
         }
         feedback_span.finish();
+        self.trace_stage(now, "feedback", trace_t0, (self.swap_ticks.len() - rounds_before) as u64);
     }
 
     /// Services one batch of label requests through the oracle, refits
@@ -631,6 +794,15 @@ impl FleetService {
                     "oracle_timeout",
                     &[
                         ("tick", Value::from(now)),
+                        ("attempt", Value::from(cz.oracle_attempt as u64)),
+                        ("backoff_ns", Value::from(wait)),
+                    ],
+                );
+                self.tracer.hop(
+                    Lane::Service,
+                    &self.tracer.service_ctx(now),
+                    "oracle_defer",
+                    &[
                         ("attempt", Value::from(cz.oracle_attempt as u64)),
                         ("backoff_ns", Value::from(wait)),
                     ],
@@ -669,11 +841,23 @@ impl FleetService {
             // retrainer ever sees it (retried under bounded backoff; a
             // torn append heals by reopening the journal).
             self.journal_append_retrying(|j| j.append_label(r.node, r.at, &truth, &r.row));
+            let lane = self.shard_of.get(r.node).map_or(Lane::Service, |&s| Lane::Shard(s as u32));
+            self.tracer.hop(
+                lane,
+                &self.tracer.ctx(r.node, r.at),
+                "oracle_label",
+                &[
+                    ("truth", Value::from(truth.as_str())),
+                    ("predicted", Value::from(r.predicted.label.as_str())),
+                    ("uncertainty", Value::from(r.uncertainty)),
+                ],
+            );
             labelled.push((r.row, truth));
         }
         if labelled.is_empty() {
             return true;
         }
+        let trace_t0 = self.tracer.now_ns();
         let retrain_span = self.obs.span("retrain_ns", &[]);
         let model = self.retrainer.fold_in(labelled);
         retrain_span.finish();
@@ -692,6 +876,16 @@ impl FleetService {
                 ("tick", Value::from(self.tick)),
                 ("round", Value::from(self.swap_ticks.len() + 1)),
                 ("train_samples", Value::from(self.retrainer.n_samples())),
+            ],
+        );
+        self.tracer.hop(
+            Lane::Service,
+            &self.tracer.service_ctx(now),
+            "retrain",
+            &[
+                ("round", Value::from(self.swap_ticks.len() + 1)),
+                ("train_samples", Value::from(self.retrainer.n_samples())),
+                ("dur_ns", Value::from(self.tracer.now_ns().saturating_sub(trace_t0))),
             ],
         );
         self.swap_ticks.push(self.tick);
@@ -716,6 +910,20 @@ impl FleetService {
                     ("magnitude", Value::from(e.magnitude)),
                 ],
             );
+            self.tracer.hop(
+                Lane::Service,
+                &self.tracer.service_ctx(now),
+                "fault",
+                &[
+                    ("fault", Value::from(e.kind.name())),
+                    ("target", Value::from(e.target)),
+                    ("duration", Value::from(e.duration)),
+                ],
+            );
+            // Every injected fault captures the causal window around it:
+            // one bounded dump per fault kind, overwritten on re-fire so
+            // a storm cannot flood the dump directory.
+            self.tracer.dump(&format!("fault_{}", e.kind.name()));
             match e.kind {
                 FaultKind::ShardPanic => {
                     if let Some(sh) = self.shards.get_mut(e.target) {
@@ -743,7 +951,9 @@ impl FleetService {
         };
         let node = s.node;
         match cz.injector.apply(node, now, &mut s.at, &mut s.values) {
-            InjectAction::Drop => {}
+            InjectAction::Drop => {
+                Self::trace_ingest(&self.tracer, &self.shard_of, node, s.at, "blackout_drop");
+            }
             InjectAction::Deliver { duplicates } => {
                 let bad = TelemetryInjector::looks_garbage(&s.values);
                 match cz.gate.observe(node, bad) {
@@ -763,9 +973,18 @@ impl FleetService {
                 }
                 if cz.gate.is_quarantined(node) {
                     cz.stats.quarantine_drops += 1;
+                    Self::trace_ingest(&self.tracer, &self.shard_of, node, s.at, "quarantined");
                     return;
                 }
-                self.ingest.offer(s.clone());
+                let at = s.at;
+                let accepted = self.ingest.offer(s.clone());
+                Self::trace_ingest(
+                    &self.tracer,
+                    &self.shard_of,
+                    node,
+                    at,
+                    if accepted { "accepted" } else { "shed" },
+                );
                 for _ in 0..duplicates {
                     self.ingest.offer(s.clone());
                 }
@@ -866,6 +1085,7 @@ impl FleetService {
         if !self.label_queue.is_empty() && self.swap_ticks.len() < self.cfg.max_retrains {
             self.retrain_round();
         }
+        self.tracer.dump("shutdown");
         self.stats()
     }
 
@@ -891,6 +1111,7 @@ impl FleetService {
         if !self.label_queue.is_empty() && self.swap_ticks.len() < self.cfg.max_retrains {
             self.retrain_round();
         }
+        self.tracer.dump("shutdown");
         let mut stats = self.stats();
         stats.tenants = frontier.tenant_stats();
         stats
@@ -970,6 +1191,25 @@ impl FleetService {
     /// unless [`FleetService::with_obs`] was used).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// The causal tracer (disabled unless [`FleetService::with_tracer`]
+    /// was used).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Full flight-recorder contents as JSONL — what the control
+    /// plane's `/flightrec` endpoint serves. Empty when tracing is off.
+    pub fn flightrec(&self) -> String {
+        self.tracer.flightrec("endpoint")
+    }
+
+    /// Recent trace events for `node` as a JSON array (what
+    /// `/trace/<node>` serves), or `None` when the node id is out of
+    /// range.
+    pub fn trace_recent_json(&self, node: usize) -> Option<String> {
+        (node < self.n_nodes()).then(|| self.tracer.trace_json(node))
     }
 
     /// Prometheus-style text exposition: every metric in the obs

@@ -41,10 +41,10 @@ impl LatencySummary {
         Self {
             count: s.count,
             mean: s.mean(),
-            p50: s.quantile(0.50),
-            p90: s.quantile(0.90),
-            p95: s.quantile(0.95),
-            p99: s.quantile(0.99),
+            p50: s.quantile(0.50).unwrap_or(0),
+            p90: s.quantile(0.90).unwrap_or(0),
+            p95: s.quantile(0.95).unwrap_or(0),
+            p99: s.quantile(0.99).unwrap_or(0),
             max: s.max,
         }
     }

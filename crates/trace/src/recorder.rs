@@ -1,0 +1,140 @@
+//! The flight recorder: one bounded ring of recent trace events per
+//! lane, with deterministic (strictly oldest-first) eviction. Always
+//! on, always cheap — the ring holds pre-rendered JSONL lines, so a
+//! dump is pure concatenation with no serialisation at crash time.
+
+/// Where a hop happened. Lanes order deterministically — net first,
+/// then shards ascending, then the service lane — which fixes the
+/// layout of every flight-recorder dump.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    /// The network gateway (frame decode).
+    Net,
+    /// One worker shard.
+    Shard(u32),
+    /// The service tick loop (stage timings, retrain, faults).
+    Service,
+}
+
+impl Lane {
+    /// Stable lane label used in rendered trace lines.
+    pub fn label(&self) -> String {
+        let mut s = String::new();
+        self.write_label(&mut s);
+        s
+    }
+
+    /// Appends the label to `out` without an intermediate allocation —
+    /// the hop hot path renders straight into the line buffer. Labels
+    /// are plain ASCII identifiers, so no JSON escaping is needed.
+    pub fn write_label(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Lane::Net => out.push_str("net"),
+            Lane::Shard(i) => {
+                let _ = write!(out, "shard{i}");
+            }
+            Lane::Service => out.push_str("service"),
+        }
+    }
+}
+
+/// One recorded trace event: the source node (for `/trace/<node>`
+/// filtering) plus the pre-rendered JSONL line.
+#[derive(Clone, Debug)]
+pub struct RingEntry {
+    /// Source node of the hop, `None` for fleet-wide hops.
+    pub node: Option<usize>,
+    /// The rendered JSON object, no trailing newline.
+    pub line: String,
+}
+
+/// Fixed-capacity ring of recent trace events. Eviction is
+/// deterministic: once full, each push overwrites the single oldest
+/// entry — no timers, no sampling, no randomness.
+#[derive(Clone, Debug)]
+pub struct FlightRing {
+    cap: usize,
+    buf: Vec<RingEntry>,
+    /// Index of the oldest entry once the ring is full.
+    head: usize,
+    evicted: u64,
+}
+
+impl FlightRing {
+    /// An empty ring holding at most `cap` entries (min 1).
+    pub fn new(cap: usize) -> Self {
+        Self { cap: cap.max(1), buf: Vec::new(), head: 0, evicted: 0 }
+    }
+
+    /// Records one entry, evicting the oldest when full.
+    pub fn push(&mut self, entry: RingEntry) {
+        if self.buf.len() < self.cap {
+            self.buf.push(entry);
+        } else {
+            self.buf[self.head] = entry;
+            self.head = (self.head + 1) % self.cap;
+            self.evicted += 1;
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Entries evicted so far (how much history the ring has forgotten).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates the retained entries oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &RingEntry> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: usize) -> RingEntry {
+        RingEntry { node: Some(i), line: format!("{{\"n\":{i}}}") }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let mut r = FlightRing::new(3);
+        for i in 0..5 {
+            r.push(entry(i));
+        }
+        let kept: Vec<usize> = r.iter().map(|e| e.node.unwrap()).collect();
+        assert_eq!(kept, vec![2, 3, 4], "strictly oldest-first eviction");
+        assert_eq!(r.evicted(), 2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything_in_order() {
+        let mut r = FlightRing::new(8);
+        for i in 0..3 {
+            r.push(entry(i));
+        }
+        let kept: Vec<usize> = r.iter().map(|e| e.node.unwrap()).collect();
+        assert_eq!(kept, vec![0, 1, 2]);
+        assert_eq!(r.evicted(), 0);
+    }
+
+    #[test]
+    fn lanes_order_net_shards_service() {
+        let mut lanes = vec![Lane::Service, Lane::Shard(2), Lane::Net, Lane::Shard(0)];
+        lanes.sort();
+        assert_eq!(lanes, vec![Lane::Net, Lane::Shard(0), Lane::Shard(2), Lane::Service]);
+        assert_eq!(Lane::Shard(3).label(), "shard3");
+    }
+}

@@ -1,0 +1,358 @@
+//! The [`Tracer`] handle: renders causal hops into a JSONL trace log,
+//! feeds the per-lane flight recorder, and dumps the recorder on
+//! demand (shard panic, chaos fault, shutdown).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use alba_obs::{json_escape, Clock, EventSink, Value};
+
+use crate::ctx::TraceCtx;
+use crate::recorder::{FlightRing, Lane, RingEntry};
+
+struct Inner {
+    seed: u64,
+    clock: Arc<dyn Clock>,
+    ring_capacity: usize,
+    sink: Mutex<Option<Arc<dyn EventSink>>>,
+    rings: Mutex<BTreeMap<Lane, FlightRing>>,
+    dump_dir: Mutex<Option<PathBuf>>,
+    hops: AtomicU64,
+    dumps: AtomicU64,
+    dump_failures: AtomicU64,
+}
+
+/// Cloneable causal-tracing handle. A disabled tracer
+/// ([`Tracer::disabled`]) turns every operation into a no-op, so
+/// traced hot paths cost (almost) nothing when tracing is off — the
+/// `trace_overhead` bench holds the enabled path within a few percent.
+///
+/// ## Determinism contract
+///
+/// Hops must be recorded from deterministic single-threaded contexts
+/// (the service tick thread, in shard order; the lockstep gateway pump)
+/// and timestamps come from the injectable [`Clock`] — so equal seeds
+/// produce byte-identical trace logs and flight-recorder dumps.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// Default flight-recorder ring capacity per lane.
+    pub const DEFAULT_RING: usize = 256;
+
+    /// A tracer whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled tracer deriving trace ids from `seed`, stamping hops
+    /// from `clock`, holding `ring_capacity` recent events per lane.
+    pub fn new(seed: u64, clock: Arc<dyn Clock>, ring_capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                seed,
+                clock,
+                ring_capacity: ring_capacity.max(1),
+                sink: Mutex::new(None),
+                rings: Mutex::new(BTreeMap::new()),
+                dump_dir: Mutex::new(None),
+                hops: AtomicU64::new(0),
+                dumps: AtomicU64::new(0),
+                dump_failures: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// True when hops are actually recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The seed trace ids derive from (0 when disabled).
+    pub fn seed(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.seed)
+    }
+
+    /// Current clock reading in nanoseconds (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_ns())
+    }
+
+    /// Attaches the JSONL trace-log sink; every hop line goes both here
+    /// and into the flight recorder.
+    pub fn set_sink(&self, sink: Arc<dyn EventSink>) {
+        if let Some(inner) = &self.inner {
+            *inner.sink.lock().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+        }
+    }
+
+    /// Directory flight-recorder dumps are written into
+    /// (`flightrec_<reason>.jsonl`). Unset by default: dumps are then
+    /// only available through [`Tracer::flightrec`].
+    pub fn set_dump_dir(&self, dir: impl Into<PathBuf>) {
+        if let Some(inner) = &self.inner {
+            *inner.dump_dir.lock().unwrap_or_else(PoisonError::into_inner) = Some(dir.into());
+        }
+    }
+
+    /// Derives the [`TraceCtx`] for `node`'s sample of source tick
+    /// `tick` — the same context any other stage derives from the same
+    /// coordinates.
+    pub fn ctx(&self, node: usize, tick: usize) -> TraceCtx {
+        TraceCtx::derive(self.seed(), node, tick)
+    }
+
+    /// Derives the fleet-wide (no-node) context for `tick`.
+    pub fn service_ctx(&self, tick: usize) -> TraceCtx {
+        TraceCtx::service(self.seed(), tick)
+    }
+
+    /// Records one hop of chain `ctx` at `stage` on `lane`: renders a
+    /// JSONL line, emits it to the trace-log sink, and pushes it into
+    /// the lane's flight ring. No-op when disabled.
+    pub fn hop(&self, lane: Lane, ctx: &TraceCtx, stage: &str, fields: &[(&str, Value)]) {
+        let Some(inner) = &self.inner else { return };
+        let mut line = String::with_capacity(192);
+        line.push_str("{\"ts\":");
+        let _ = write!(line, "{}", inner.clock.now_ns());
+        line.push_str(",\"trace\":\"");
+        let _ = write!(line, "{:016x}", ctx.id);
+        line.push_str("\",\"lane\":\"");
+        lane.write_label(&mut line);
+        line.push_str("\",\"node\":");
+        match ctx.node {
+            Some(n) => {
+                let _ = write!(line, "{n}");
+            }
+            None => line.push_str("null"),
+        }
+        line.push_str(",\"tick\":");
+        let _ = write!(line, "{}", ctx.tick);
+        line.push_str(",\"stage\":\"");
+        json_escape(stage, &mut line);
+        line.push('"');
+        for (k, v) in fields {
+            line.push_str(",\"");
+            json_escape(k, &mut line);
+            line.push_str("\":");
+            v.render_into(&mut line);
+        }
+        line.push('}');
+
+        inner.hops.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = &*inner.sink.lock().unwrap_or_else(PoisonError::into_inner) {
+            sink.emit(&line);
+        }
+        let mut rings = inner.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        rings
+            .entry(lane)
+            .or_insert_with(|| FlightRing::new(inner.ring_capacity))
+            .push(RingEntry { node: ctx.node, line });
+    }
+
+    /// Hops recorded since construction.
+    pub fn hops_recorded(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.hops.load(Ordering::Relaxed))
+    }
+
+    /// Flight-recorder dumps taken (files written) since construction.
+    pub fn dumps_taken(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.dumps.load(Ordering::Relaxed))
+    }
+
+    /// The full flight-recorder contents as JSONL: a header line
+    /// (`kind=flightrec`, the dump reason, lane/event/eviction totals)
+    /// followed by every retained event, lanes in deterministic order
+    /// (net, shards ascending, service), oldest → newest within each.
+    /// Empty string when disabled.
+    pub fn flightrec(&self, reason: &str) -> String {
+        let Some(inner) = &self.inner else { return String::new() };
+        let rings = inner.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        let events: usize = rings.values().map(FlightRing::len).sum();
+        let evicted: u64 = rings.values().map(FlightRing::evicted).sum();
+        let mut out = String::with_capacity(64 + events * 96);
+        out.push_str("{\"ts\":");
+        let _ = write!(out, "{}", inner.clock.now_ns());
+        out.push_str(",\"kind\":\"flightrec\",\"reason\":\"");
+        json_escape(reason, &mut out);
+        out.push_str("\",\"lanes\":");
+        let _ = write!(out, "{}", rings.len());
+        out.push_str(",\"events\":");
+        let _ = write!(out, "{events}");
+        out.push_str(",\"evicted\":");
+        let _ = write!(out, "{evicted}");
+        out.push_str("}\n");
+        for ring in rings.values() {
+            for e in ring.iter() {
+                out.push_str(&e.line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Recent trace events for one node, newest last, as a JSON array —
+    /// what the `/trace/<node>` control-plane endpoint serves. `[]`
+    /// when disabled or nothing is retained for the node.
+    pub fn trace_json(&self, node: usize) -> String {
+        let Some(inner) = &self.inner else { return "[]".to_string() };
+        let rings = inner.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::from("[");
+        let mut first = true;
+        for ring in rings.values() {
+            for e in ring.iter().filter(|e| e.node == Some(node)) {
+                if !first {
+                    out.push(',');
+                }
+                out.push_str(&e.line);
+                first = false;
+            }
+        }
+        out.push(']');
+        out
+    }
+
+    /// Dumps the flight recorder to
+    /// `<dump_dir>/flightrec_<reason>.jsonl` (reason sanitised to
+    /// `[a-z0-9_-]`). Returns the path written, or `None` when the
+    /// tracer is disabled, no dump directory is set, or the write
+    /// failed (failures are counted, never fatal — a flight recorder
+    /// must not take the aircraft down with it).
+    pub fn dump(&self, reason: &str) -> Option<PathBuf> {
+        let inner = self.inner.as_ref()?;
+        let dir = inner.dump_dir.lock().unwrap_or_else(PoisonError::into_inner).as_ref()?.clone();
+        let safe: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("flightrec_{safe}.jsonl"));
+        match std::fs::write(&path, self.flightrec(reason)) {
+            Ok(()) => {
+                inner.dumps.fetch_add(1, Ordering::Relaxed);
+                Some(path)
+            }
+            Err(_) => {
+                inner.dump_failures.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alba_obs::{MemorySink, TickClock};
+
+    fn traced() -> (Tracer, Arc<MemorySink>, Arc<TickClock>) {
+        let clock = Arc::new(TickClock::new());
+        let t = Tracer::new(42, clock.clone(), 4);
+        let sink = Arc::new(MemorySink::new());
+        t.set_sink(sink.clone());
+        (t, sink, clock)
+    }
+
+    #[test]
+    fn hop_renders_deterministic_jsonl() {
+        let (t, sink, clock) = traced();
+        clock.set(1_000);
+        let ctx = t.ctx(3, 17);
+        t.hop(Lane::Shard(1), &ctx, "ingest", &[("arrived", Value::from(17u64))]);
+        let line = &sink.lines()[0];
+        let expected = format!(
+            "{{\"ts\":1000,\"trace\":\"{:016x}\",\"lane\":\"shard1\",\"node\":3,\
+             \"tick\":17,\"stage\":\"ingest\",\"arrived\":17}}",
+            ctx.id
+        );
+        assert_eq!(line, &expected);
+        assert_eq!(t.hops_recorded(), 1);
+    }
+
+    #[test]
+    fn service_hops_render_null_node() {
+        let (t, sink, _clock) = traced();
+        t.hop(Lane::Service, &t.service_ctx(9), "stage", &[]);
+        assert!(sink.lines()[0].contains("\"node\":null"), "{}", sink.lines()[0]);
+    }
+
+    #[test]
+    fn equal_seeds_yield_byte_identical_logs_and_dumps() {
+        let run = || {
+            let (t, sink, clock) = traced();
+            for tick in 0..9 {
+                clock.set(tick as u64 * 10);
+                t.hop(Lane::Net, &t.ctx(tick % 3, tick), "decode", &[]);
+                t.hop(Lane::Shard(0), &t.ctx(tick % 3, tick), "ingest", &[]);
+            }
+            (sink.lines().join("\n"), t.flightrec("shutdown"))
+        };
+        let (log_a, rec_a) = run();
+        let (log_b, rec_b) = run();
+        assert_eq!(log_a, log_b);
+        assert_eq!(rec_a, rec_b);
+    }
+
+    #[test]
+    fn flightrec_orders_lanes_and_bounds_history() {
+        let (t, _sink, _clock) = traced();
+        // Ring capacity is 4: push 6 service hops so two evict.
+        for tick in 0..6 {
+            t.hop(Lane::Service, &t.service_ctx(tick), "stage", &[]);
+        }
+        t.hop(Lane::Shard(0), &t.ctx(1, 0), "ingest", &[]);
+        t.hop(Lane::Net, &t.ctx(1, 0), "decode", &[]);
+        let dump = t.flightrec("test");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(lines[0].contains("\"kind\":\"flightrec\""));
+        assert!(lines[0].contains("\"reason\":\"test\""));
+        assert!(lines[0].contains("\"events\":6") && lines[0].contains("\"evicted\":2"));
+        // Lane order: net, shard0, then service (oldest evicted).
+        assert!(lines[1].contains("\"lane\":\"net\""));
+        assert!(lines[2].contains("\"lane\":\"shard0\""));
+        assert!(lines[3].contains("\"tick\":2"), "oldest two service hops evicted");
+    }
+
+    #[test]
+    fn trace_json_filters_by_node() {
+        let (t, _sink, _clock) = traced();
+        t.hop(Lane::Shard(0), &t.ctx(1, 5), "ingest", &[]);
+        t.hop(Lane::Shard(0), &t.ctx(2, 5), "ingest", &[]);
+        t.hop(Lane::Service, &t.service_ctx(5), "stage", &[]);
+        let json = t.trace_json(1);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"node\":1") && !json.contains("\"node\":2"));
+        assert_eq!(t.trace_json(99), "[]");
+    }
+
+    #[test]
+    fn dump_writes_file_only_when_dir_is_set() {
+        let (t, _sink, _clock) = traced();
+        t.hop(Lane::Net, &t.ctx(0, 0), "decode", &[]);
+        assert_eq!(t.dump("no dir yet"), None);
+        let dir = std::env::temp_dir().join(format!("alba_trace_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        t.set_dump_dir(&dir);
+        let path = t.dump("fault: node_blackout").expect("dump writes");
+        assert!(path.ends_with("flightrec_fault__node_blackout.jsonl"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, t.flightrec("fault: node_blackout"));
+        assert_eq!(t.dumps_taken(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_total_no_op() {
+        let t = Tracer::disabled();
+        t.hop(Lane::Net, &t.ctx(0, 0), "decode", &[]);
+        assert_eq!(t.hops_recorded(), 0);
+        assert_eq!(t.flightrec("x"), "");
+        assert_eq!(t.trace_json(0), "[]");
+        assert_eq!(t.dump("x"), None);
+        assert!(!t.is_enabled());
+    }
+}

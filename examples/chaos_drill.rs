@@ -17,6 +17,12 @@
 //! `results/chaos_drill_plan.json` replays the exact same faults
 //! through `repro --chaos-plan`.
 //!
+//! A causal [`Tracer`] rides along: every fault firing and shard panic
+//! dumps the bounded flight recorder into
+//! `results/flightrec_fault_<kind>.jsonl` /
+//! `results/flightrec_panic_shard<id>.jsonl` — the last moments of
+//! every lane, captured at the instant the fault hit.
+//!
 //! Run with: `cargo run --release --example chaos_drill`
 
 use std::sync::Arc;
@@ -24,7 +30,7 @@ use std::sync::Arc;
 use albadross_repro::chaos::{ChaosConfig, FaultKind};
 use albadross_repro::framework::{MonitorConfig, System};
 use albadross_repro::obs::{FileSink, Obs, TickClock};
-use albadross_repro::serve::{FleetService, ServeConfig};
+use albadross_repro::serve::{FleetService, ServeConfig, Tracer};
 use albadross_repro::telemetry::Scale;
 
 fn main() {
@@ -45,8 +51,13 @@ fn main() {
     let events_path = std::path::Path::new("results/chaos_drill_events.jsonl");
     obs.set_sink(Arc::new(FileSink::create(events_path).expect("create event log")));
 
+    // Flight recorder only (no JSONL sink): fault firings and shard
+    // panics dump the per-lane rings into results/flightrec_*.jsonl.
+    let tracer = Tracer::new(42, clock.clone(), Tracer::DEFAULT_RING);
+    tracer.set_dump_dir("results");
+
     println!("training the initial model and building the 52-node fleet...");
-    let mut svc = FleetService::with_obs(cfg, obs.clone());
+    let mut svc = FleetService::with_tracer(cfg, obs.clone(), tracer.clone());
     let plan = svc.chaos_plan().expect("chaotic service carries a plan").clone();
     std::fs::write("results/chaos_drill_plan.json", plan.to_json().expect("serialise plan"))
         .expect("write plan");
@@ -104,6 +115,11 @@ fn main() {
         svc.obs().events_emitted(),
         events_path.display()
     );
+    println!(
+        "flight recorder: {} hops, {} dumps -> results/flightrec_*.jsonl",
+        tracer.hops_recorded(),
+        tracer.dumps_taken()
+    );
 
     // The acceptance bar: faults were injected at multiple layers, the
     // self-healing machinery recovered from them, and the service still
@@ -114,5 +130,6 @@ fn main() {
     assert!(stats.windows > 0, "the fleet must keep diagnosing under chaos");
     assert!(!stats.swap_ticks.is_empty(), "the AL loop must survive the chaos");
     assert_eq!(stats.errors.journal_failures, 0, "no label may be abandoned");
+    assert!(tracer.dumps_taken() > 0, "faults must trip the flight recorder");
     println!("\nall chaos-drill acceptance checks passed");
 }

@@ -10,17 +10,28 @@
 //!    authenticates as tenant `volta`, and streams every fleet batch
 //!    under credit-based flow control while the service diagnoses.
 //! 2. Control plane — the same listener answers an HTTP Prometheus
-//!    scrape (`GET /metrics`) after the run; the scrape is written next
-//!    to the event log.
+//!    scrape (`GET /metrics`) plus the tracing routes (`/trace/0`,
+//!    `/flightrec`) after the run; the scrapes are written next to the
+//!    event log.
 //! 3. Replay — a fresh equally-seeded service consumes the captured
 //!    journal through `IngestLogReplay`; the example asserts the event
 //!    logs are byte-identical and the deployed models bit-identical.
+//!
+//! The live run carries a causal [`Tracer`] seeded with the campaign
+//! seed: the gateway records `decode` hops, the service every pipeline
+//! stage, and shutdown dumps the flight recorder. Trace ids are pure
+//! functions of `(seed, node, tick)`, so two equal-seed invocations
+//! write byte-identical `fleet_gateway_trace.jsonl` and
+//! `flightrec_shutdown.jsonl` artifacts (ci.sh checks exactly that).
+//! The offline replay is deliberately untraced — trace identity is a
+//! live-vs-live contract; replay identity is judged on the event log.
 //!
 //! Environment knobs (both used by `scripts/ci.sh`):
 //!
 //! * `ALBA_GATEWAY_OUT=<dir>` — artifact directory (default `results`):
 //!   `fleet_gateway_events.jsonl`, `fleet_gateway_capture.bin`,
-//!   `fleet_gateway_metrics.prom`.
+//!   `fleet_gateway_metrics.prom`, `fleet_gateway_trace.jsonl`,
+//!   `flightrec_shutdown.jsonl`.
 //! * `ALBA_GATEWAY_CHAOS=storm` — run the client under a seeded
 //!   reconnect-storm fault plan; identity must still hold because the
 //!   journal records what was *accepted*, not what was attempted.
@@ -38,7 +49,7 @@ use albadross_repro::net::{
     TenantConfig, WireClient,
 };
 use albadross_repro::obs::{MemorySink, Obs, TickClock};
-use albadross_repro::serve::{FleetService, ServeConfig};
+use albadross_repro::serve::{FleetService, ServeConfig, Tracer};
 use albadross_repro::telemetry::Scale;
 
 fn config(seed: u64) -> ServeConfig {
@@ -51,22 +62,24 @@ fn config(seed: u64) -> ServeConfig {
     cfg
 }
 
-fn observed_service(seed: u64) -> (FleetService, Arc<MemorySink>) {
+fn observed_service(seed: u64, tracer: Tracer) -> (FleetService, Arc<MemorySink>) {
     let obs = Obs::with_clock(Arc::new(TickClock::new()));
     let sink = Arc::new(MemorySink::new());
     obs.set_sink(sink.clone());
-    (FleetService::with_obs(config(seed), obs), sink)
+    (FleetService::with_tracer(config(seed), obs, tracer), sink)
 }
 
-/// Scrapes `GET /metrics` from the gateway's control plane over a fresh
+/// Scrapes `GET <path>` from the gateway's control plane over a fresh
 /// TCP connection, pumping the gateway until the response completes.
-fn scrape_metrics(
+fn scrape(
     harness: &mut Lockstep,
     svc: &FleetService,
     addr: &std::net::SocketAddr,
+    path: &str,
 ) -> String {
     let mut probe = TcpByteStream::connect(addr).expect("connect control plane");
-    probe.write(b"GET /metrics HTTP/1.1\r\nHost: gw\r\n\r\n").expect("send scrape");
+    let request = format!("GET {path} HTTP/1.1\r\nHost: gw\r\n\r\n");
+    probe.write(request.as_bytes()).expect("send scrape");
     let mut raw = Vec::new();
     let mut chunk = [0u8; 4096];
     for now in 0..50usize {
@@ -102,16 +115,23 @@ fn main() {
     std::fs::create_dir_all(out).expect("create output directory");
 
     // --- live session over loopback TCP -----------------------------
-    let (mut svc, sink) = observed_service(seed);
+    // The tracer is shared by the gateway and the service: one seed,
+    // one clock, one flight recorder spanning net + shards + service.
+    let tracer = Tracer::new(seed, Arc::new(TickClock::new()), Tracer::DEFAULT_RING);
+    let trace_sink = Arc::new(MemorySink::new());
+    tracer.set_sink(trace_sink.clone());
+    tracer.set_dump_dir(out);
+    let (mut svc, sink) = observed_service(seed, tracer.clone());
     let door = TcpDoor::bind("127.0.0.1:0").expect("bind loopback");
     let addr = door.addr();
     // The gateway shares the service's metric registry so one scrape
     // covers the whole stack; it emits counters/gauges/histograms only,
     // never events, so replay identity is unaffected.
-    let gateway = Gateway::with_obs(
+    let gateway = Gateway::with_tracer(
         GatewayConfig::new(vec![TenantConfig::new("volta", "tok")]),
         Box::new(door),
         svc.obs().clone(),
+        tracer.clone(),
     );
     let mut client = WireClient::new(
         Box::new(move || Box::new(TcpByteStream::connect(&addr).expect("dial gateway"))),
@@ -156,10 +176,28 @@ fn main() {
         assert!(cs.reconnects >= 1, "the storm must actually reconnect");
     }
 
-    // --- control-plane scrape on the same listener -------------------
-    let metrics = scrape_metrics(&mut harness, &svc, &addr);
+    // --- control-plane scrapes on the same listener ------------------
+    let metrics = scrape(&mut harness, &svc, &addr, "/metrics");
     assert!(metrics.contains("# TYPE"), "scrape must be Prometheus text exposition");
+    assert!(
+        metrics.contains("net_tenant_frames_accepted_total"),
+        "scrape must carry the per-tenant admission counters"
+    );
     std::fs::write(out.join("fleet_gateway_metrics.prom"), &metrics).expect("write metrics");
+
+    let node_trace = scrape(&mut harness, &svc, &addr, "/trace/0");
+    let parsed = serde_json::parse_value(&node_trace).expect("/trace/0 body is JSON");
+    assert!(
+        matches!(parsed, serde::Value::Array(_)),
+        "/trace/0 returns the node's recent hops as a JSON array"
+    );
+    let flightrec = scrape(&mut harness, &svc, &addr, "/flightrec");
+    assert!(flightrec.starts_with("{\"ts\":"), "/flightrec leads with its header line");
+    println!(
+        "  trace: {} hops recorded, {} flight-recorder dumps, /trace/0 + /flightrec scraped",
+        tracer.hops_recorded(),
+        tracer.dumps_taken()
+    );
 
     // --- artifacts ----------------------------------------------------
     let live_events = sink.lines();
@@ -167,11 +205,13 @@ fn main() {
     std::fs::write(out.join("fleet_gateway_events.jsonl"), live_events.join("\n") + "\n")
         .expect("write event log");
     std::fs::write(out.join("fleet_gateway_capture.bin"), &capture).expect("write capture");
+    std::fs::write(out.join("fleet_gateway_trace.jsonl"), trace_sink.lines().join("\n") + "\n")
+        .expect("write trace log");
     let live_model = svc.model().to_json();
 
     // --- offline replay of the captured journal ----------------------
     println!("replaying the captured journal ({} bytes) offline...", capture.len());
-    let (mut replay_svc, replay_sink) = observed_service(seed);
+    let (mut replay_svc, replay_sink) = observed_service(seed, Tracer::disabled());
     let mut replay = IngestLogReplay::from_bytes(&capture).expect("capture parses");
     replay_svc.run_frontier(&mut replay, max_ticks);
 
@@ -184,6 +224,6 @@ fn main() {
         svc.alarms().len()
     );
 
-    println!("artifacts: events/capture/metrics -> {}", out.display());
+    println!("artifacts: events/capture/metrics/trace/flightrec -> {}", out.display());
     println!("\nall gateway acceptance checks passed");
 }

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# CI perf-regression gate over the committed bench trajectory.
+#
+# Usage: scripts/bench_gate.sh [--table]
+#
+# Compares every fresh results/BENCH_*.json against the version
+# committed at HEAD (`git show HEAD:results/BENCH_x.json`) and fails
+# when any throughput/latency key regresses by more than the tolerance
+# (default 20%, override with ALBA_BENCH_GATE_TOL=<pct>).
+#
+# Key direction is inferred from its name:
+#   higher-is-better:  *per_sec*, *per_s*, *throughput*, *speedup*
+#   lower-is-better:   *latency*, *ns_per*, *_p50_*, *_p99_*, *overhead*
+# Everything else (counts, flags, metadata) is informational only.
+# Keys whose baseline magnitude is below 10 are skipped — a 0-tick p50
+# moving to 1 tick is not a 20% story the gate can tell honestly.
+#
+# --table prints a markdown "Perf trajectory" table of the *current*
+# bench artifacts (for the README) instead of gating, and never fails.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=gate
+for arg in "${@:-}"; do
+    case "$arg" in
+        --table) MODE=table ;;
+        "") ;;
+        *) echo "unknown argument: $arg (usage: scripts/bench_gate.sh [--table])" >&2; exit 2 ;;
+    esac
+done
+
+TOL="${ALBA_BENCH_GATE_TOL:-20}"
+export TOL MODE
+
+fail=0
+shopt -s nullglob
+benches=(results/BENCH_*.json)
+if [ "${#benches[@]}" -eq 0 ]; then
+    echo "bench_gate: no results/BENCH_*.json artifacts found" >&2
+    exit 1
+fi
+
+if [ "$MODE" = table ]; then
+    echo "| bench | metric | value |"
+    echo "|-------|--------|-------|"
+fi
+
+for f in "${benches[@]}"; do
+    # The committed trajectory point; a brand-new bench has no baseline
+    # yet and passes trivially. (--table reads only the current file.)
+    if [ "$MODE" = table ]; then
+        echo '{}' > /tmp/bench_baseline.json
+    elif ! git show "HEAD:$f" > /tmp/bench_baseline.json 2>/dev/null; then
+        echo "bench_gate: $f has no committed baseline yet (new bench) — skipped"
+        continue
+    fi
+    CURRENT="$f" python3 - "$f" /tmp/bench_baseline.json <<'PY' || fail=1
+import json, os, sys
+
+cur_path, base_path = sys.argv[1], sys.argv[2]
+cur = json.load(open(cur_path))
+base = json.load(open(base_path))
+tol = float(os.environ["TOL"])
+mode = os.environ["MODE"]
+name = cur.get("bench", os.path.basename(cur_path))
+
+HIGHER = ("per_sec", "per_s", "throughput", "speedup")
+LOWER = ("latency", "ns_per", "p50", "p99", "overhead")
+
+def direction(key):
+    k = key.lower()
+    if any(tag in k for tag in HIGHER):
+        return "higher"
+    if any(tag in k for tag in LOWER):
+        return "lower"
+    return None
+
+if mode == "table":
+    for key, val in cur.items():
+        if direction(key) is None or not isinstance(val, (int, float)):
+            continue
+        print(f"| {name} | `{key}` | {val:,.0f}" .replace(",", " ") + " |")
+    sys.exit(0)
+
+bad = []
+for key, val in cur.items():
+    d = direction(key)
+    if d is None or not isinstance(val, (int, float)):
+        continue
+    ref = base.get(key)
+    if not isinstance(ref, (int, float)):
+        continue
+    if abs(ref) < 10:
+        continue  # sub-resolution baseline; a ratio would be noise
+    change = (val - ref) / abs(ref) * 100.0
+    regressed = change < -tol if d == "higher" else change > tol
+    marker = "REGRESSED" if regressed else "ok"
+    print(f"bench_gate: {name:>16} {key:<42} {ref:>14.0f} -> {val:>14.0f} ({change:+6.1f}%) {marker}")
+    if regressed:
+        bad.append(key)
+
+if bad:
+    print(f"bench_gate: {name}: {len(bad)} key(s) regressed beyond {tol}%: {', '.join(bad)}", file=sys.stderr)
+    sys.exit(1)
+PY
+done
+
+if [ "$MODE" = gate ]; then
+    if [ "$fail" -ne 0 ]; then
+        echo "bench_gate: FAILED (regressions beyond ${TOL}%)" >&2
+        exit 1
+    fi
+    echo "bench_gate: OK (all tracked keys within ${TOL}% of the committed baseline)"
+fi

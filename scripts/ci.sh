@@ -159,14 +159,20 @@ OUT_GW_A=$(mktemp -d)
 OUT_GW_B=$(mktemp -d)
 trap 'rm -rf "$STORE_DIR" "$OUT_COLD" "$OUT_WARM" "$OUT_CHAOS_A" "$OUT_CHAOS_B" "$OUT_GW_A" "$OUT_GW_B"' EXIT
 # The example itself asserts that the captured wire session replays
-# byte-identically offline; CI additionally pins down that two
-# independent live TCP runs with equal seeds agree byte-for-byte.
+# byte-identically offline (and that /trace/0 + /flightrec scrape
+# cleanly); CI additionally pins down that two independent live TCP
+# runs with equal seeds agree byte-for-byte — event log, ingest
+# journal, causal trace log, and flight-recorder dump alike.
 ALBA_GATEWAY_OUT="$OUT_GW_A" cargo run --release --example fleet_gateway >/dev/null
 ALBA_GATEWAY_OUT="$OUT_GW_B" cargo run --release --example fleet_gateway >/dev/null
 cmp "$OUT_GW_A/fleet_gateway_events.jsonl" "$OUT_GW_B/fleet_gateway_events.jsonl" \
     || { echo "gateway event logs diverged across equal-seed runs" >&2; exit 1; }
 cmp "$OUT_GW_A/fleet_gateway_capture.bin" "$OUT_GW_B/fleet_gateway_capture.bin" \
     || { echo "gateway ingest journals diverged across equal-seed runs" >&2; exit 1; }
+cmp "$OUT_GW_A/fleet_gateway_trace.jsonl" "$OUT_GW_B/fleet_gateway_trace.jsonl" \
+    || { echo "gateway trace logs diverged across equal-seed runs" >&2; exit 1; }
+cmp "$OUT_GW_A/flightrec_shutdown.jsonl" "$OUT_GW_B/flightrec_shutdown.jsonl" \
+    || { echo "flight-recorder dumps diverged across equal-seed runs" >&2; exit 1; }
 python3 - "$OUT_GW_A" <<'EOF'
 import json
 import pathlib
@@ -187,12 +193,35 @@ for line in (out / "fleet_gateway_metrics.prom").read_text().splitlines():
     name, value = line.rsplit(" ", 1)
     float(value)
     assert any(name.startswith(n) for n in names), f"sample before TYPE: {line}"
-for expected in ("net_frames_total", "net_samples_delivered_total", "ingest_accepted_total"):
+for expected in (
+    "net_frames_total",
+    "net_samples_delivered_total",
+    "ingest_accepted_total",
+    "net_tenant_frames_accepted_total",
+):
     assert expected in names, f"missing metric family {expected}: {sorted(names)}"
 events = (out / "fleet_gateway_events.jsonl").read_text().splitlines()
 assert events and all(json.loads(e)["ts"] >= 0 for e in events)
 assert (out / "fleet_gateway_capture.bin").stat().st_size > 0
-print(f"  {len(events)} events, {len(names)} metric families, capture present: OK")
+
+# The causal trace log: every hop line is JSON with the trace-id tuple,
+# and the chain spans the net lane, at least one shard lane, and the
+# service lane (decode -> pipeline -> stage timings joined up).
+lanes = set()
+hops = (out / "fleet_gateway_trace.jsonl").read_text().splitlines()
+assert hops, "a traced run must record hops"
+for line in hops:
+    hop = json.loads(line)
+    for key in ("ts", "trace", "lane", "tick", "stage"):
+        assert key in hop, f"hop missing {key}: {line}"
+    int(hop["trace"], 16)
+    lanes.add(hop["lane"])
+assert "net" in lanes and "service" in lanes, lanes
+assert any(l.startswith("shard") for l in lanes), lanes
+header = json.loads((out / "flightrec_shutdown.jsonl").read_text().splitlines()[0])
+assert header["kind"] == "flightrec" and header["reason"] == "shutdown", header
+print(f"  {len(events)} events, {len(names)} metric families, capture present,")
+print(f"  {len(hops)} trace hops across {len(lanes)} lanes, shutdown dump present: OK")
 EOF
 if [ "$FULL" = "1" ]; then
     echo "==> gateway chaos smoke (--full: reconnect storm, replay identity must hold)"
@@ -211,8 +240,34 @@ if [ "$FULL" = "1" ]; then
         || { echo "storm event logs diverged across equal-seed runs" >&2; exit 1; }
     cmp "$OUT_GW_S1/fleet_gateway_capture.bin" "$OUT_GW_S2/fleet_gateway_capture.bin" \
         || { echo "storm ingest journals diverged across equal-seed runs" >&2; exit 1; }
+    cmp "$OUT_GW_S1/fleet_gateway_trace.jsonl" "$OUT_GW_S2/fleet_gateway_trace.jsonl" \
+        || { echo "storm trace logs diverged across equal-seed runs" >&2; exit 1; }
+    cmp "$OUT_GW_S1/flightrec_shutdown.jsonl" "$OUT_GW_S2/flightrec_shutdown.jsonl" \
+        || { echo "storm flight-recorder dumps diverged across equal-seed runs" >&2; exit 1; }
     rm -rf "$OUT_GW_S1" "$OUT_GW_S2"
-    echo "  equal-seed storm runs byte-identical (events + capture): OK"
+    echo "  equal-seed storm runs byte-identical (events + capture + trace + flightrec): OK"
+
+    echo "==> chaos flight recorder (--full: fault firings dump the rings)"
+    # chaos_drill writes its artifacts into results/ directly; every
+    # fault kind that fired must have dumped a bounded flight record.
+    rm -f results/flightrec_fault_*.jsonl
+    cargo run --release --example chaos_drill >/dev/null
+    ls results/flightrec_fault_*.jsonl >/dev/null 2>&1 \
+        || { echo "chaos drill produced no flight-recorder fault dumps" >&2; exit 1; }
+    python3 - <<'EOF'
+import json
+import pathlib
+
+dumps = sorted(pathlib.Path("results").glob("flightrec_fault_*.jsonl"))
+assert dumps, "fault dumps must exist"
+for dump in dumps:
+    lines = dump.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["kind"] == "flightrec", f"{dump}: {lines[0]}"
+    assert header["reason"].startswith("fault_"), f"{dump}: {lines[0]}"
+    assert header["events"] == len(lines) - 1, f"{dump}: ring body must match header"
+print(f"  {len(dumps)} fault-kind flight-recorder dumps, headers consistent: OK")
+EOF
 fi
 
 echo "==> net throughput bench (BENCH_net.json exists and parses)"
@@ -233,5 +288,21 @@ print(f"  codec {bench['codec_decode_frames_per_sec_per_core']:.0f} f/s, "
       f"gateway {bench['gateway_frames_per_sec_per_core']:.0f} f/s, "
       f"p99 {bench['ingest_to_diagnosis_latency_p99_ticks']} ticks: OK")
 EOF
+
+echo "==> trace overhead bench (enabled tracing must stay under 5%)"
+ALBA_BENCH_QUICK=1 ALBA_TRACE_ASSERT=5 cargo bench -p alba-bench --bench trace_overhead
+python3 - <<'EOF'
+import json
+
+bench = json.load(open("results/BENCH_trace.json"))
+assert bench["bench"] == "trace_overhead"
+assert bench["trace_hops_recorded"] > 0
+assert bench["trace_overhead_pct"] <= 5.0, bench
+print(f"  {bench['trace_overhead_pct']:.2f}% overhead, "
+      f"{bench['trace_hops_per_sec_per_core']:.0f} hops/s/core: OK")
+EOF
+
+echo "==> bench gate (no >20% regression vs the committed trajectory)"
+scripts/bench_gate.sh
 
 echo "CI green."

@@ -15,4 +15,5 @@ pub use alba_obs as obs;
 pub use alba_serve as serve;
 pub use alba_store as store;
 pub use alba_telemetry as telemetry;
+pub use alba_trace as trace;
 pub use albadross as framework;
