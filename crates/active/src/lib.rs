@@ -11,12 +11,14 @@
 pub mod committee;
 pub mod history;
 pub mod learner;
+pub mod noise;
 pub mod strategy;
 pub mod stream;
 
 pub use committee::{vote_entropy, Committee, CommitteeQuery};
 pub use history::{CurveBand, MethodCurves, QueryDrilldown};
 pub use learner::{run_batched_session, run_session, QueryRecord, SessionConfig, SessionResult};
+pub use noise::flip_labels;
 pub use strategy::{
     entropy_score, margin_score, select, select_batch, uncertainty_score, SelectionContext,
     Strategy,

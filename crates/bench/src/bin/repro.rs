@@ -27,6 +27,16 @@
 //! to `--out`. Equal seeds produce byte-identical event logs;
 //! `--chaos-plan FILE` replays a previously saved plan exactly.
 //!
+//! `repro --grid FILE [--grid-workers N] [--store DIR]` runs a
+//! declarative [`alba_grid::GridSpec`] instead: the spec expands into
+//! content-addressed cells, fans out over `N` workers (any count yields
+//! byte-identical output), memoises completed cells in the `--store`
+//! (so a killed sweep resumes without recomputation), and writes
+//! `grid_<name>.json` plus a markdown leaderboard and a causal trace
+//! log to `--out`. The fig3/fig5 experiment ids themselves run through
+//! this grid runner (from `specs/fig3.json` / `specs/fig5.json`), so
+//! figure replays share the memo store and its resume semantics.
+//!
 //! The whole run is observed through [`alba_obs`]: a wall-clock registry
 //! is installed globally, each experiment runs under an
 //! `experiment_ns{exp=...}` span, the pipeline stages record their own
@@ -34,8 +44,8 @@
 //! collected timings are written to `stage_timings_<scale>.json`.
 
 use albadross::experiments::{
-    self, run_curves, run_robustness, run_table4, run_unseen_apps, run_unseen_inputs, CurvesConfig,
-    DrilldownResult, RobustnessConfig, Table4Config, UnseenAppsConfig, UnseenInputsConfig,
+    self, run_robustness, run_table4, run_unseen_apps, run_unseen_inputs, DrilldownResult,
+    RobustnessConfig, Table4Config, UnseenAppsConfig, UnseenInputsConfig,
 };
 use albadross::prelude::*;
 use std::path::{Path, PathBuf};
@@ -49,6 +59,9 @@ struct Args {
     store: Option<PathBuf>,
     chaos: bool,
     chaos_plan: Option<PathBuf>,
+    grid: Option<PathBuf>,
+    grid_workers: usize,
+    scale_set: bool,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +73,9 @@ fn parse_args() -> Args {
     let mut store = None;
     let mut chaos = false;
     let mut chaos_plan = None;
+    let mut grid = None;
+    let mut grid_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut scale_set = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -71,6 +87,14 @@ fn parse_args() -> Args {
                 chaos = true;
                 chaos_plan = Some(PathBuf::from(&argv[i]));
             }
+            "--grid" => {
+                i += 1;
+                grid = Some(PathBuf::from(&argv[i]));
+            }
+            "--grid-workers" => {
+                i += 1;
+                grid_workers = argv[i].parse().expect("worker count must be an integer");
+            }
             "--exp" => {
                 i += 1;
                 exps = argv[i].split(',').map(str::to_string).collect();
@@ -78,10 +102,12 @@ fn parse_args() -> Args {
             "--scale" => {
                 i += 1;
                 scale_name = argv[i].clone();
+                scale_set = true;
             }
             "--seed" => {
                 i += 1;
                 seed = argv[i].parse().expect("seed must be an integer");
+                scale_set = true;
             }
             "--out" => {
                 i += 1;
@@ -96,11 +122,14 @@ fn parse_args() -> Args {
                     "usage: repro [--exp id,id,...] [--scale smoke|default|full] \
                      [--seed N] [--out DIR] [--store DIR]\nids: tables-setup table4 table5 \
                      fig3 fig4 fig5 fig6 fig7 fig8 ablations all\n--store DIR memoises \
-                     campaigns and feature matrices in an on-disk telemetry store \
-                     (equivalent to setting ALBA_STORE_DIR) and reports cache statistics.\n\
+                     campaigns, feature matrices and grid cells in an on-disk telemetry \
+                     store (equivalent to setting ALBA_STORE_DIR) and reports cache \
+                     statistics.\n\
                      --chaos runs the fault-injection drill (seeded 52-node fleet under a \
                      FaultPlan; event log, plan and counters land in --out).\n\
-                     --chaos-plan FILE replays a FaultPlan saved by a previous --chaos run."
+                     --chaos-plan FILE replays a FaultPlan saved by a previous --chaos run.\n\
+                     --grid FILE runs a declarative experiment grid spec; \
+                     --grid-workers N sizes its worker pool (any N is byte-identical)."
                 );
                 std::process::exit(0);
             }
@@ -111,7 +140,7 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    Args { exps, scale_name, seed, out, store, chaos, chaos_plan }
+    Args { exps, scale_name, seed, out, store, chaos, chaos_plan, grid, grid_workers, scale_set }
 }
 
 /// The `--chaos` drill: a 52-node Volta fleet runs under a seeded
@@ -214,6 +243,107 @@ fn run_chaos_drill(args: &Args) {
     }
 }
 
+/// Resolves a committed spec file: the repo's `specs/` when run from
+/// the repository root, falling back to the path anchored at this
+/// crate's manifest (cargo may run the binary from elsewhere).
+fn spec_path(name: &str) -> PathBuf {
+    let local = Path::new("specs").join(name);
+    if local.exists() {
+        return local;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs").join(name)
+}
+
+/// Opens the cell memo store when `--store` was given. Campaign /
+/// feature memoisation goes through the `ALBA_STORE_DIR` env var
+/// (already set by `main`); grid cells take the handle directly.
+fn open_cell_store(args: &Args) -> Option<alba_store::TelemetryStore> {
+    args.store.as_ref().map(|dir| {
+        alba_store::TelemetryStore::open(dir)
+            .unwrap_or_else(|e| panic!("open store {}: {e}", dir.display()))
+    })
+}
+
+/// Saves raw pre-rendered text (the grid report JSON must be written
+/// byte-exactly — re-serialising would be redundant, not wrong, but
+/// this keeps "bytes on disk" and "bytes compared in tests" one thing).
+fn save_text(dir: &Path, file: &str, text: &str) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let path = dir.join(file);
+    std::fs::write(&path, text).expect("write result file");
+    println!("[saved {}]", path.display());
+}
+
+/// Runs one grid spec through [`alba_grid::run_grid`] and writes its
+/// artifacts. Shared by `--grid FILE` mode and the fig3/fig5 drivers.
+fn run_grid_spec(
+    spec: &alba_grid::GridSpec,
+    args: &Args,
+    obs: &alba_obs::Obs,
+    tracer: alba_trace::Tracer,
+) -> alba_grid::GridOutcome {
+    let opts = alba_grid::RunOptions {
+        workers: args.grid_workers,
+        store: open_cell_store(args),
+        obs: obs.clone(),
+        tracer,
+    };
+    let t = Instant::now();
+    let outcome = alba_grid::run_grid(spec, &opts)
+        .unwrap_or_else(|e| panic!("grid {} failed: {e}", spec.name));
+    println!(
+        "[grid {}: {} cells, {} memoised, {} computed in {:?}]",
+        outcome.name,
+        outcome.stats.cells,
+        outcome.stats.memo_hits,
+        outcome.stats.computed,
+        t.elapsed()
+    );
+    save_text(&args.out, &format!("grid_{}.json", outcome.name), &outcome.json);
+    save_text(&args.out, &format!("grid_{}_leaderboard.md", outcome.name), &outcome.leaderboard_md);
+    outcome
+}
+
+/// The `--grid FILE` mode: parse, run, rank. `--scale`/`--seed` (when
+/// given explicitly) override a figure spec's committed sizing.
+fn run_grid_file(args: &Args, file: &Path) {
+    use std::sync::Arc;
+    let src = std::fs::read_to_string(file)
+        .unwrap_or_else(|e| panic!("read grid spec {}: {e}", file.display()));
+    let override_scale = if args.scale_set {
+        Some(
+            RunScale::parse(&args.scale_name, args.seed)
+                .unwrap_or_else(|| panic!("unknown scale {:?}", args.scale_name)),
+        )
+    } else {
+        None
+    };
+    let spec = alba_grid::GridSpec::parse(&src, override_scale.as_ref())
+        .unwrap_or_else(|e| panic!("grid spec {}: {e}", file.display()));
+    println!("# grid {} — mode={} workers={}\n", spec.name, spec.mode_name(), args.grid_workers);
+
+    let obs = alba_obs::Obs::wall();
+    alba_obs::set_global(obs.clone());
+    // Cells hop on shard lanes, the merge on the service lane; a tick
+    // clock keeps the trace log byte-identical across equal runs.
+    let tracer =
+        Arc::new(alba_trace::Tracer::new(args.seed, Arc::new(alba_obs::TickClock::new()), 256));
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let trace_path = args.out.join(format!("grid_{}_trace.jsonl", spec.name));
+    tracer.set_sink(Arc::new(
+        alba_obs::FileSink::create(&trace_path).expect("create grid trace log"),
+    ));
+
+    let outcome = run_grid_spec(&spec, args, &obs, (*tracer).clone());
+    println!("[saved {}]", trace_path.display());
+    println!("\n== leaderboard ==\n{}", outcome.leaderboard_md);
+    if let Some(dir) = &args.store {
+        let stats = store_stats(&obs, dir);
+        save_json(&args.out, &format!("store_stats_grid_{}", outcome.name), &stats);
+    }
+    alba_obs::clear_global();
+}
+
 /// Per-entry-kind cache statistics pulled from the obs registry after a
 /// store-backed run.
 #[derive(serde::Serialize)]
@@ -237,7 +367,7 @@ struct StoreStats {
 }
 
 fn store_stats(obs: &alba_obs::Obs, dir: &Path) -> StoreStats {
-    let kinds = ["campaign", "features", "fleet"]
+    let kinds = ["campaign", "features", "fleet", "cell"]
         .iter()
         .map(|kind| {
             let c = |name: &str| obs.counter(name, &[("kind", kind)]).get();
@@ -316,6 +446,13 @@ fn main() {
         run_chaos_drill(&args);
         return;
     }
+    if let Some(file) = args.grid.clone() {
+        if let Some(dir) = &args.store {
+            std::env::set_var(albadross::STORE_DIR_ENV, dir);
+        }
+        run_grid_file(&args, &file);
+        return;
+    }
     let scale = RunScale::parse(&args.scale_name, args.seed)
         .unwrap_or_else(|| panic!("unknown scale {:?}", args.scale_name));
     let wants =
@@ -340,17 +477,26 @@ fn main() {
         println!("{}", experiments::render_setup_tables());
     }
 
+    // Fig. 3 / Fig. 5 replay through the grid runner: the committed
+    // specs expand to exactly the jobs `run_curves` would run (same
+    // order, same seeds), so the reconstructed curves are byte-identical
+    // to the monolithic driver's — with memoisation and resume for free.
+    let run_figure = |spec_file: &str| {
+        let path = spec_path(spec_file);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read grid spec {}: {e}", path.display()));
+        let spec = alba_grid::GridSpec::parse(&src, Some(&scale))
+            .unwrap_or_else(|e| panic!("grid spec {}: {e}", path.display()));
+        let outcome = run_grid_spec(&spec, &args, &obs, alba_trace::Tracer::disabled());
+        outcome.curves.unwrap_or_else(|| panic!("figure spec {spec_file} yields curves"))
+    };
+
     // Keep the Fig.3 curves around: Fig. 4 and Table V reuse them.
     let mut fig3_curves = None;
     if wants("fig3") || wants("fig4") || wants("table5") {
         let _span = experiment("fig3");
         let t = Instant::now();
-        let res = run_curves(&CurvesConfig {
-            system: System::Volta,
-            method: None,
-            scale: scale.clone(),
-            include_proctor: true,
-        });
+        let res = run_figure("fig3.json");
         println!("{}\n[fig3 in {:?}]\n", res.render(), t.elapsed());
         save_json(&args.out, &format!("fig3_{}", args.scale_name), &res.curves);
         save_svgs(&args.out, &format!("fig3_{}", args.scale_name), &res.curves);
@@ -369,12 +515,7 @@ fn main() {
     if wants("fig5") || wants("table5") {
         let _span = experiment("fig5");
         let t = Instant::now();
-        let res = run_curves(&CurvesConfig {
-            system: System::Eclipse,
-            method: None,
-            scale: scale.clone(),
-            include_proctor: true,
-        });
+        let res = run_figure("fig5.json");
         println!("{}\n[fig5 in {:?}]\n", res.render(), t.elapsed());
         save_json(&args.out, &format!("fig5_{}", args.scale_name), &res.curves);
         save_svgs(&args.out, &format!("fig5_{}", args.scale_name), &res.curves);

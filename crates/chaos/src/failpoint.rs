@@ -14,6 +14,8 @@ use std::sync::{Arc, Mutex};
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Point {
+    /// Checks to let pass before pending failures start consuming.
+    delay: u64,
     /// Failures still pending at this point.
     pending: u64,
     /// Checks that fired (returned "fail").
@@ -43,20 +45,39 @@ impl Failpoints {
         map.entry(name.to_string()).or_default().pending += n;
     }
 
-    /// Clears any pending failures on `name` (counters are kept).
+    /// Lets the next `skip` checks of `name` pass, then fails the `n`
+    /// after that. This is the "crash after N successful writes" shape
+    /// the resume tests need; the delay stacks onto whatever delay is
+    /// already outstanding, and the failures add to `pending` as with
+    /// [`Failpoints::arm`].
+    pub fn arm_after(&self, name: &str, skip: u64, n: u64) {
+        let mut map = self.points.lock().unwrap_or_else(|e| e.into_inner());
+        let p = map.entry(name.to_string()).or_default();
+        p.delay += skip;
+        p.pending += n;
+    }
+
+    /// Clears any pending failures and delay on `name` (counters are
+    /// kept).
     pub fn disarm(&self, name: &str) {
         let mut map = self.points.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(p) = map.get_mut(name) {
+            p.delay = 0;
             p.pending = 0;
         }
     }
 
     /// Records one crossing of `name` and reports whether it should
-    /// fail. Consumes one pending failure when it fires.
+    /// fail. A delayed point first counts down its free passes; after
+    /// that, each firing check consumes one pending failure.
     pub fn check(&self, name: &str) -> bool {
         let mut map = self.points.lock().unwrap_or_else(|e| e.into_inner());
         let p = map.entry(name.to_string()).or_default();
         p.checks += 1;
+        if p.delay > 0 {
+            p.delay -= 1;
+            return false;
+        }
         if p.pending > 0 {
             p.pending -= 1;
             p.fired += 1;
@@ -158,6 +179,39 @@ mod tests {
         fp.disarm("x");
         assert_eq!(fp.pending("x"), 0);
         assert!(!fp.check("x"));
+    }
+
+    #[test]
+    fn arm_after_skips_then_fails() {
+        let fp = Failpoints::new();
+        fp.arm_after("cell.write", 3, 1);
+        for i in 0..3 {
+            assert!(!fp.check("cell.write"), "pass {i} is within the delay window");
+        }
+        assert!(fp.check("cell.write"), "fourth check fires");
+        assert!(!fp.check("cell.write"), "budget exhausted after one failure");
+        assert_eq!(fp.fired("cell.write"), 1);
+        assert_eq!(fp.checks("cell.write"), 5);
+    }
+
+    #[test]
+    fn arm_after_zero_skip_behaves_like_arm() {
+        let fp = Failpoints::new();
+        fp.arm_after("y", 0, 2);
+        assert!(fp.check("y"));
+        assert!(fp.check("y"));
+        assert!(!fp.check("y"));
+    }
+
+    #[test]
+    fn disarm_clears_delay_too() {
+        let fp = Failpoints::new();
+        fp.arm_after("z", 5, 1);
+        fp.disarm("z");
+        for _ in 0..8 {
+            assert!(!fp.check("z"));
+        }
+        assert_eq!(fp.fired("z"), 0);
     }
 
     #[test]

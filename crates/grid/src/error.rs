@@ -1,0 +1,33 @@
+//! Grid error type.
+
+use std::fmt;
+
+/// Anything that can go wrong expanding or running a grid.
+#[derive(Debug)]
+pub enum GridError {
+    /// The grid spec JSON is malformed or inconsistent.
+    Spec(String),
+    /// The memo store failed (I/O, corruption past self-heal, fault
+    /// injection).
+    Store(alba_store::StoreError),
+    /// A worker thread died.
+    Worker(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Spec(msg) => write!(f, "grid spec: {msg}"),
+            GridError::Store(e) => write!(f, "grid store: {e}"),
+            GridError::Worker(msg) => write!(f, "grid worker: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<alba_store::StoreError> for GridError {
+    fn from(e: alba_store::StoreError) -> Self {
+        GridError::Store(e)
+    }
+}

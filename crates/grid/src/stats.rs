@@ -1,0 +1,301 @@
+//! Hand-rolled paired statistics for leaderboard ranking.
+//!
+//! ALPBench's central argument is that AL pipeline comparisons are only
+//! meaningful *paired*: two pipelines evaluated on the same splits/seeds
+//! share the split-difficulty noise, so the paired differences isolate
+//! the pipeline effect. The workspace is dependency-light by design, so
+//! the two classical paired tests are implemented from first principles:
+//!
+//! * **Paired t-test** — Student-t CDF via the regularised incomplete
+//!   beta function (Lentz's continued fraction, Lanczos `ln Γ`),
+//! * **Wilcoxon signed-rank** — average-rank ties, zero-difference
+//!   removal, normal approximation with tie correction.
+//!
+//! Everything is pure `f64` arithmetic — identical inputs produce
+//! bit-identical statistics on every run, which the byte-identical
+//! leaderboard guarantee rests on.
+
+use serde::{Deserialize, Serialize};
+
+/// A test statistic with its two-sided p-value.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The test statistic (t, or Wilcoxon W).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0 below two samples.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0` (~15 digits).
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut ser = 1.000_000_000_190_015;
+    let mut denom = x;
+    for g in G {
+        denom += 1.0;
+        ser += g / denom;
+    }
+    let tmp = x + 5.5;
+    (x + 0.5) * tmp.ln() - tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Continued-fraction kernel of the incomplete beta (Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3.0e-14;
+    const FPMIN: f64 = 1.0e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularised incomplete beta `I_x(a, b)`.
+fn betai(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let bt = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        bt * betacf(a, b, x) / a
+    } else {
+        1.0 - bt * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of
+/// freedom: `I_{df/(df+t²)}(df/2, 1/2)`.
+fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    betai(0.5 * df, 0.5, df / (df + t * t)).clamp(0.0, 1.0)
+}
+
+/// Complementary error function (Numerical Recipes rational Chebyshev
+/// fit, ~1.2e-7 absolute error — ample for ranking decisions).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal survival function `P(Z > z)`.
+fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Paired t-test of `a` against `b` (element-wise pairs). `None` when
+/// fewer than two pairs exist or every pairwise difference is identical
+/// (zero variance makes the statistic undefined).
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TestResult> {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return None;
+    }
+    let d: Vec<f64> = (0..n).map(|i| a[i] - b[i]).collect();
+    let md = mean(&d);
+    let sd = sample_std(&d);
+    if sd <= 0.0 {
+        return None;
+    }
+    let t = md / (sd / (n as f64).sqrt());
+    Some(TestResult { statistic: t, p_value: t_two_sided_p(t, (n - 1) as f64) })
+}
+
+/// Wilcoxon signed-rank test of `a` against `b` with the normal
+/// approximation (tie-corrected). Zero differences are dropped per the
+/// standard procedure; `None` when no nonzero differences remain or the
+/// variance collapses.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Option<TestResult> {
+    let n = a.len().min(b.len());
+    let diffs: Vec<f64> = (0..n).map(|i| a[i] - b[i]).filter(|d| *d != 0.0).collect();
+    let nr = diffs.len();
+    if nr < 2 {
+        return None;
+    }
+    // Rank |d| ascending with average ranks for ties.
+    let mut order: Vec<usize> = (0..nr).collect();
+    order.sort_by(|&i, &j| diffs[i].abs().total_cmp(&diffs[j].abs()).then(i.cmp(&j)));
+    let mut ranks = vec![0.0f64; nr];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < nr {
+        let mut j = i;
+        while j + 1 < nr && diffs[order[j + 1]].abs() == diffs[order[i]].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+    let w_plus: f64 = (0..nr).filter(|&k| diffs[k] > 0.0).map(|k| ranks[k]).sum();
+    let nf = nr as f64;
+    let mu = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    if var <= 0.0 {
+        return None;
+    }
+    let z = (w_plus - mu) / var.sqrt();
+    let p = (2.0 * normal_sf(z.abs())).clamp(0.0, 1.0);
+    Some(TestResult { statistic: w_plus, p_value: p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(sample_std(&[1.0]), 0.0);
+        // Known: std of [2,4,4,4,5,5,7,9] with n-1 is ~2.138.
+        let s = sample_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138).abs() < 1e-3, "{s}");
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-10); // Γ(1)=1
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10); // Γ(5)=24
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_matches_reference_points() {
+        // t=2.0, df=10 → two-sided p ≈ 0.07339.
+        let p = t_two_sided_p(2.0, 10.0);
+        assert!((p - 0.07339).abs() < 1e-4, "{p}");
+        // t=0 → p = 1.
+        assert!((t_two_sided_p(0.0, 5.0) - 1.0).abs() < 1e-12);
+        // Huge t → p ~ 0.
+        assert!(t_two_sided_p(50.0, 5.0) < 1e-6);
+    }
+
+    #[test]
+    fn paired_t_detects_a_consistent_shift() {
+        let a = [0.90, 0.88, 0.92, 0.91, 0.89];
+        let b = [0.80, 0.79, 0.83, 0.81, 0.78];
+        let r = paired_t_test(&a, &b).expect("valid test");
+        assert!(r.statistic > 5.0, "t = {}", r.statistic);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        // Symmetric: swapping sides flips the sign, keeps the p.
+        let r2 = paired_t_test(&b, &a).expect("valid test");
+        assert!((r2.statistic + r.statistic).abs() < 1e-12);
+        assert!((r2.p_value - r.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_pairs_yield_none() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none(), "one pair");
+        assert!(paired_t_test(&[1.0, 2.0], &[0.5, 1.5]).is_none(), "constant diff");
+        assert!(wilcoxon_signed_rank(&[1.0, 2.0], &[1.0, 2.0]).is_none(), "all zero diffs");
+    }
+
+    #[test]
+    fn wilcoxon_matches_hand_computed_example() {
+        // Classic example: diffs with known W+ and rough p.
+        let a = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let b = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let r = wilcoxon_signed_rank(&a, &b).expect("valid test");
+        // One zero diff dropped → 9 pairs; W+ = 27 for this data.
+        assert!((r.statistic - 27.0).abs() < 1e-9, "W = {}", r.statistic);
+        assert!(r.p_value > 0.2 && r.p_value < 0.8, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn statistics_are_bitwise_deterministic() {
+        let a: Vec<f64> = (0..32).map(|i| 0.8 + 0.001 * i as f64).collect();
+        let b: Vec<f64> = (0..32).map(|i| 0.79 + 0.0011 * i as f64).collect();
+        let r1 = paired_t_test(&a, &b).expect("valid");
+        let r2 = paired_t_test(&a, &b).expect("valid");
+        assert_eq!(r1.statistic.to_bits(), r2.statistic.to_bits());
+        assert_eq!(r1.p_value.to_bits(), r2.p_value.to_bits());
+        let w1 = wilcoxon_signed_rank(&a, &b).expect("valid");
+        let w2 = wilcoxon_signed_rank(&a, &b).expect("valid");
+        assert_eq!(w1.p_value.to_bits(), w2.p_value.to_bits());
+    }
+}

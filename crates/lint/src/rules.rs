@@ -217,6 +217,7 @@ fn in_ordered_output_scope(path: &str) -> bool {
         || path.starts_with("crates/obs/src/")
         || path.starts_with("crates/net/src/")
         || path.starts_with("crates/trace/src/")
+        || path.starts_with("crates/grid/src/")
         || path == "crates/bench/src/bin/repro.rs"
 }
 
@@ -226,6 +227,7 @@ fn in_no_panic_scope(path: &str) -> bool {
         || path.starts_with("crates/chaos/src/")
         || path.starts_with("crates/net/src/")
         || path.starts_with("crates/trace/src/")
+        || path.starts_with("crates/grid/src/")
 }
 
 /// The network ingest path: buffers here are fillable by a remote peer,

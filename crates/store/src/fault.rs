@@ -16,6 +16,9 @@
 //! | `store.fsync`    | before the atomic rename publishing an entry      |
 //! | `journal.append` | before a journal record is written                |
 //! | `journal.torn`   | mid-append: half the record reaches disk, then the append errors — a simulated crash the next open heals by truncation |
+//! | `cell.write`     | entry of [`crate::TelemetryStore::put_cell`]      |
+//! | `cell.fsync`     | before the rename publishing a grid cell          |
+//! | `cell.read`      | entry of a present-cell read                      |
 
 use std::sync::Arc;
 

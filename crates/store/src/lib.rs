@@ -17,6 +17,8 @@
 //!   ([`windows`], [`WindowSpec`], [`WindowView`]),
 //! * [`journal`] — the write-ahead label journal behind deterministic
 //!   warm restart of the online service ([`LabelJournal`]),
+//! * [`cells`] — memoised experiment-grid cells: one CRC-checked JSON
+//!   blob per content-addressed cell, behind resumable sweeps,
 //! * [`codec`] / [`crc`] / [`keys`] — the building blocks: bit-exact
 //!   column codecs, CRC-32 and FNV-1a content keys.
 //!
@@ -27,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cells;
 pub mod codec;
 pub mod crc;
 pub mod error;

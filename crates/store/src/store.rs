@@ -67,7 +67,7 @@ impl TelemetryStore {
     /// Opens the store with an explicit observability handle.
     pub fn with_obs(root: impl AsRef<Path>, obs: Obs) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
-        for sub in ["campaigns", "fleets", "features", "journals"] {
+        for sub in ["campaigns", "fleets", "features", "journals", "cells"] {
             std::fs::create_dir_all(root.join(sub))?;
         }
         Ok(Self { root, obs, fault: None })
@@ -88,6 +88,11 @@ impl TelemetryStore {
     /// The observability handle the store records into.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// The installed fault hook, for sibling modules' I/O checks.
+    pub(crate) fn fault_hook(&self) -> &Option<FaultHook> {
+        &self.fault
     }
 
     /// Store key of a campaign config.

@@ -1,0 +1,68 @@
+//! Experiment grid tour: a declarative sweep, run cold, then resumed
+//! from its memo store without recomputing a single cell.
+//!
+//! A `GridSpec` (the same JSON the `repro --grid` flag accepts) expands
+//! into content-addressed cells — one active-learning session per
+//! (extractor, model, strategy, budget, seed) point. The runner fans
+//! the cells out over a fixed worker pool, persists each finished cell
+//! into an `alba-store` keyed by the cell's canonical hash, and merges
+//! results in expansion order, so the report bytes are identical at any
+//! worker count.
+//!
+//! The second run here opens the same store and finds every cell
+//! already present: zero cells computed, byte-identical report — which
+//! is exactly what resuming a killed sweep looks like.
+//!
+//! Run with: `cargo run --release --example experiment_grid`
+
+use albadross_repro::grid::{run_grid, GridSpec, RunOptions};
+use albadross_repro::obs::Obs;
+use albadross_repro::store::TelemetryStore;
+use albadross_repro::trace::Tracer;
+
+const SPEC: &str = r#"{
+  "name": "tour",
+  "mode": "sweep",
+  "system": "volta",
+  "campaign": "smoke",
+  "extractors": ["mvts"],
+  "strategies": ["uncertainty", "margin", "random"],
+  "models": ["RF"],
+  "budgets": [6],
+  "seeds": [17, 18],
+  "top_k_features": 120
+}"#;
+
+fn main() {
+    let spec = GridSpec::parse(SPEC, None).expect("spec parses");
+    let store_dir = std::env::temp_dir().join("alba_example_grid");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let open = || Some(TelemetryStore::open(&store_dir).expect("open memo store"));
+    let run = |store| {
+        let opts = RunOptions { workers: 2, store, obs: Obs::wall(), tracer: Tracer::disabled() };
+        run_grid(&spec, &opts).expect("grid run")
+    };
+
+    println!("cold run: every cell computed and persisted...");
+    let cold = run(open());
+    println!(
+        "  {} cells, {} memoised, {} computed\n",
+        cold.stats.cells, cold.stats.memo_hits, cold.stats.computed
+    );
+
+    println!("second run against the same store (a resume):");
+    let warm = run(open());
+    println!(
+        "  {} cells, {} memoised, {} computed",
+        warm.stats.cells, warm.stats.memo_hits, warm.stats.computed
+    );
+    assert_eq!(warm.stats.computed, 0, "resume recomputes nothing");
+    assert_eq!(warm.json, cold.json, "memoised report is byte-identical");
+    println!("  report bytes identical to the cold run\n");
+
+    println!("leaderboard (paired t + Wilcoxon vs the top pipeline):\n");
+    println!("{}", warm.leaderboard_md);
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

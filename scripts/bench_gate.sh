@@ -16,7 +16,9 @@
 # moving to 1 tick is not a 20% story the gate can tell honestly.
 #
 # --table prints a markdown "Perf trajectory" table of the *current*
-# bench artifacts (for the README) instead of gating, and never fails.
+# bench artifacts instead of gating, and never fails. It delegates to
+# scripts/perf_table.py — the same renderer fill_experiments.py splices
+# into the README — so the two can never drift apart.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,8 +32,12 @@ for arg in "${@:-}"; do
     esac
 done
 
+if [ "$MODE" = table ]; then
+    exec python3 scripts/perf_table.py
+fi
+
 TOL="${ALBA_BENCH_GATE_TOL:-20}"
-export TOL MODE
+export TOL
 
 fail=0
 shopt -s nullglob
@@ -41,17 +47,10 @@ if [ "${#benches[@]}" -eq 0 ]; then
     exit 1
 fi
 
-if [ "$MODE" = table ]; then
-    echo "| bench | metric | value |"
-    echo "|-------|--------|-------|"
-fi
-
 for f in "${benches[@]}"; do
     # The committed trajectory point; a brand-new bench has no baseline
-    # yet and passes trivially. (--table reads only the current file.)
-    if [ "$MODE" = table ]; then
-        echo '{}' > /tmp/bench_baseline.json
-    elif ! git show "HEAD:$f" > /tmp/bench_baseline.json 2>/dev/null; then
+    # yet and passes trivially.
+    if ! git show "HEAD:$f" > /tmp/bench_baseline.json 2>/dev/null; then
         echo "bench_gate: $f has no committed baseline yet (new bench) — skipped"
         continue
     fi
@@ -62,7 +61,6 @@ cur_path, base_path = sys.argv[1], sys.argv[2]
 cur = json.load(open(cur_path))
 base = json.load(open(base_path))
 tol = float(os.environ["TOL"])
-mode = os.environ["MODE"]
 name = cur.get("bench", os.path.basename(cur_path))
 
 HIGHER = ("per_sec", "per_s", "throughput", "speedup")
@@ -75,13 +73,6 @@ def direction(key):
     if any(tag in k for tag in LOWER):
         return "lower"
     return None
-
-if mode == "table":
-    for key, val in cur.items():
-        if direction(key) is None or not isinstance(val, (int, float)):
-            continue
-        print(f"| {name} | `{key}` | {val:,.0f}" .replace(",", " ") + " |")
-    sys.exit(0)
 
 bad = []
 for key, val in cur.items():
@@ -106,10 +97,8 @@ if bad:
 PY
 done
 
-if [ "$MODE" = gate ]; then
-    if [ "$fail" -ne 0 ]; then
-        echo "bench_gate: FAILED (regressions beyond ${TOL}%)" >&2
-        exit 1
-    fi
-    echo "bench_gate: OK (all tracked keys within ${TOL}% of the committed baseline)"
+if [ "$fail" -ne 0 ]; then
+    echo "bench_gate: FAILED (regressions beyond ${TOL}%)" >&2
+    exit 1
 fi
+echo "bench_gate: OK (all tracked keys within ${TOL}% of the committed baseline)"

@@ -302,7 +302,100 @@ print(f"  {bench['trace_overhead_pct']:.2f}% overhead, "
       f"{bench['trace_hops_per_sec_per_core']:.0f} hops/s/core: OK")
 EOF
 
+echo "==> grid smoke (resume from a partial store byte-identical, memo hits asserted)"
+GRID_STORE=$(mktemp -d)
+OUT_GRID_COLD=$(mktemp -d)
+OUT_GRID_PART=$(mktemp -d)
+OUT_GRID_RES=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR" "$OUT_COLD" "$OUT_WARM" "$OUT_CHAOS_A" "$OUT_CHAOS_B" "$OUT_GW_A" "$OUT_GW_B" "$GRID_STORE" "$OUT_GRID_COLD" "$OUT_GRID_PART" "$OUT_GRID_RES"' EXIT
+# Reference: the full CI spec, storeless — every cell computed fresh.
+cargo run --release -p alba-bench --bin repro -- \
+    --grid specs/grid_ci.json --grid-workers 2 --out "$OUT_GRID_COLD" >/dev/null
+# Prime the store with the partial spec (the first seed only — what a
+# sweep killed mid-flight leaves behind), then resume the full spec.
+cargo run --release -p alba-bench --bin repro -- \
+    --grid specs/grid_ci_partial.json --grid-workers 2 \
+    --store "$GRID_STORE" --out "$OUT_GRID_PART" >/dev/null
+cargo run --release -p alba-bench --bin repro -- \
+    --grid specs/grid_ci.json --grid-workers 2 \
+    --store "$GRID_STORE" --out "$OUT_GRID_RES" >/dev/null
+cmp "$OUT_GRID_COLD/grid_ci.json" "$OUT_GRID_RES/grid_ci.json" \
+    || { echo "resumed grid report diverged from the storeless run" >&2; exit 1; }
+cmp "$OUT_GRID_COLD/grid_ci_leaderboard.md" "$OUT_GRID_RES/grid_ci_leaderboard.md" \
+    || { echo "resumed grid leaderboard diverged from the storeless run" >&2; exit 1; }
+python3 - "$OUT_GRID_PART" "$OUT_GRID_RES" <<'EOF'
+import json
+import pathlib
+import sys
+
+part, res = (pathlib.Path(p) for p in sys.argv[1:3])
+
+def cell_row(out):
+    stats = json.loads((out / "store_stats_grid_ci.json").read_text())
+    (row,) = [k for k in stats["kinds"] if k["kind"] == "cell"]
+    return row
+
+primed = cell_row(part)
+assert primed["cache_misses"] == 3 and primed["cache_hits"] == 0, primed
+resumed = cell_row(res)
+assert resumed["cache_hits"] == 3, f"resume must memo-hit the primed cells: {resumed}"
+assert resumed["cache_misses"] == 3, f"resume must compute only the new seed: {resumed}"
+assert resumed["corrupt_entries"] == 0, resumed
+print(f"  6 cells: 3 primed, resume hit {resumed['cache_hits']} + computed "
+      f"{resumed['cache_misses']}, report byte-identical to storeless run: OK")
+EOF
+
+echo "==> grid throughput bench (BENCH_grid.json exists, memo replay hits 100%)"
+ALBA_BENCH_QUICK=1 cargo bench -p alba-bench --bench grid_throughput
+python3 - <<'EOF'
+import json
+
+bench = json.load(open("results/BENCH_grid.json"))
+assert bench["bench"] == "grid_throughput"
+assert bench["cells"] > 0
+assert bench["memo_hit_rate_pct"] == 100.0, bench
+for key in ("cell_throughput_per_min_per_core", "warm_replay_ns_per_cell"):
+    assert isinstance(bench[key], (int, float)) and bench[key] > 0, key
+print(f"  {bench['cell_throughput_per_min_per_core']:.0f} cells/min/core cold, "
+      f"{bench['warm_replay_ns_per_cell']:.0f} ns/cell warm replay, "
+      f"resume {bench['resume_overhead_pct']:+.2f}% over cold rate: OK")
+EOF
+
 echo "==> bench gate (no >20% regression vs the committed trajectory)"
 scripts/bench_gate.sh
+
+echo "==> perf table (README rows agree with the bench_gate renderer)"
+python3 - <<'EOF'
+import pathlib
+import re
+import subprocess
+import sys
+
+table = subprocess.run(
+    [sys.executable, "scripts/perf_table.py"], capture_output=True, text=True, check=True
+).stdout
+
+def rows(text):
+    out = []
+    for line in text.splitlines():
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) != 3 or cells[0] == "bench" or set(cells[0]) <= {"-"}:
+            continue
+        out.append((cells[0], cells[1]))
+    return out
+
+want = rows(table)
+readme = pathlib.Path("README.md").read_text()
+m = re.search(r"<!-- PERF_TABLE_START -->\n(.*?)<!-- PERF_TABLE_END -->", readme, re.S)
+assert m, "README.md must carry the PERF_TABLE markers"
+have = rows(m.group(1))
+# Values drift with every quick bench rerun; the committed README must
+# track the *shape* — every bench and metric the renderer emits.
+assert want == have, (
+    "README perf table out of date (regenerate with scripts/fill_experiments.py "
+    f"or bench_gate.sh --table):\n  renderer: {want}\n  README:   {have}"
+)
+print(f"  {len(want)} metric rows, README in sync with the renderer: OK")
+EOF
 
 echo "CI green."

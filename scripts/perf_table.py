@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Renders the "Perf trajectory" markdown table from results/BENCH_*.json.
+
+The one renderer behind both `scripts/bench_gate.sh --table` and the
+block between the `PERF_TABLE` markers in README.md (spliced by
+`scripts/fill_experiments.py`): every numeric metric key of every bench
+artifact, in filename order — counts and rates alike, not just the keys
+the regression gate tracks.
+"""
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def fmt(val: float) -> str:
+    """Small non-integral values keep two decimals (an overhead of
+    1.03% must not render as "1"); everything else gets space-grouped
+    integer formatting."""
+    if isinstance(val, float) and abs(val) < 100 and val != int(val):
+        return f"{val:.2f}"
+    return f"{val:,.0f}".replace(",", " ")
+
+
+def render() -> str:
+    benches = sorted(ROOT.glob("results/BENCH_*.json"))
+    if not benches:
+        raise SystemExit("perf_table: no results/BENCH_*.json artifacts found")
+    lines = ["| bench | metric | value |", "|-------|--------|-------|"]
+    for path in benches:
+        data = json.load(open(path))
+        name = data.get("bench", path.stem)
+        for key, val in data.items():
+            # "bench" is the name, "quick" a bool flag; neither is a metric.
+            if key == "bench" or isinstance(val, bool) or not isinstance(val, (int, float)):
+                continue
+            lines.append(f"| {name} | `{key}` | {fmt(val)} |")
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    sys.stdout.write(render())

@@ -8,6 +8,7 @@ pub use alba_active as active;
 pub use alba_chaos as chaos;
 pub use alba_data as data;
 pub use alba_features as features;
+pub use alba_grid as grid;
 pub use alba_lint as lint;
 pub use alba_ml as ml;
 pub use alba_net as net;
