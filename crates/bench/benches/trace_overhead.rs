@@ -11,9 +11,11 @@
 //! the measurement retries on noisy passes — so one scheduler hiccup
 //! (or a loud co-tenant) cannot fake a regression.
 //!
-//! The acceptance bar (ISSUE 7): enabled tracing must stay under 5%
-//! throughput overhead. `ALBA_TRACE_ASSERT=<pct>` makes the bench
-//! enforce that bound (ci.sh sets it); unset, the bench only reports.
+//! The acceptance bar (ISSUE 7, re-based by ISSUE 9's ~3x pipeline
+//! speedup): enabled tracing must stay under the percentage bound
+//! `ALBA_TRACE_ASSERT=<pct>` (ci.sh sets 10); unset, the bench only
+//! reports. The absolute cost (`ns_per_window_traced`) is gated
+//! separately by `scripts/bench_gate.sh`.
 //!
 //! Writes `results/BENCH_trace.json` — a trajectory point for
 //! `scripts/bench_gate.sh` — and prints the same numbers.

@@ -224,4 +224,29 @@ mod tests {
         assert!(hook("store.write").is_none());
         assert_eq!(fp.total_fired(), 1);
     }
+
+    /// Two pool workers hitting the same failpoint must never both
+    /// consume the last pending shot: `check` is one read-modify-write
+    /// under the registry lock, so a budget of 1 fires exactly once no
+    /// matter the interleaving.
+    #[test]
+    fn concurrent_checks_never_double_fire() {
+        for _ in 0..20 {
+            let fp = Failpoints::new();
+            fp.arm("shard.process", 1);
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let fp = fp.clone();
+                    std::thread::spawn(move || {
+                        (0..100).filter(|_| fp.check("shard.process")).count() as u64
+                    })
+                })
+                .collect();
+            let fires: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(fires, 1, "a budget of 1 fired {fires} times under contention");
+            assert_eq!(fp.fired("shard.process"), 1);
+            assert_eq!(fp.total_fired(), 1);
+            assert_eq!(fp.checks("shard.process"), 200, "every check was counted");
+        }
+    }
 }

@@ -8,9 +8,16 @@
 //! enter quarantine and `good_windows` consecutive clean ones to leave:
 //! alternating good/bad streams shorter than either threshold produce
 //! no transitions at all (no flapping).
+//!
+//! The gate is shared state behind a mutex — clones observe into the
+//! same per-node streaks, and each observation is one atomic
+//! read-modify-write, so two worker threads feeding the same node can
+//! never both report the same threshold crossing (no double
+//! `Entered`/`Released`).
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Hysteresis thresholds for entering and leaving quarantine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,31 +52,44 @@ struct NodeState {
     good_streak: u32,
 }
 
-/// Per-node quarantine state machine with hysteresis.
-#[derive(Clone, Debug)]
-pub struct QuarantineGate {
-    cfg: QuarantineConfig,
+/// The mutex-guarded gate state every clone shares.
+#[derive(Debug, Default)]
+struct GateInner {
     nodes: HashMap<usize, NodeState>,
     entered: u64,
     released: u64,
 }
 
+/// Per-node quarantine state machine with hysteresis. Cheap to clone —
+/// clones share state, so shard workers and the tick thread see one
+/// consistent quarantine roster.
+#[derive(Clone, Debug)]
+pub struct QuarantineGate {
+    cfg: QuarantineConfig,
+    inner: Arc<Mutex<GateInner>>,
+}
+
 impl QuarantineGate {
     /// A gate with the given hysteresis thresholds.
     pub fn new(cfg: QuarantineConfig) -> Self {
-        Self { cfg, nodes: HashMap::new(), entered: 0, released: 0 }
+        Self { cfg, inner: Arc::new(Mutex::new(GateInner::default())) }
     }
 
     /// Feeds one observation for `node` (`bad` = the sample looked like
-    /// garbage) and reports any state transition it caused.
-    pub fn observe(&mut self, node: usize, bad: bool) -> Transition {
-        let s = self.nodes.entry(node).or_default();
+    /// garbage) and reports any state transition it caused. One atomic
+    /// read-modify-write under the gate's lock: concurrent observers of
+    /// the same node serialise, so each threshold crossing is reported
+    /// exactly once.
+    pub fn observe(&self, node: usize, bad: bool) -> Transition {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        let s = inner.nodes.entry(node).or_default();
         if bad {
             s.bad_streak += 1;
             s.good_streak = 0;
             if !s.quarantined && s.bad_streak >= self.cfg.bad_windows {
                 s.quarantined = true;
-                self.entered += 1;
+                inner.entered += 1;
                 return Transition::Entered;
             }
         } else {
@@ -77,7 +97,7 @@ impl QuarantineGate {
             s.bad_streak = 0;
             if s.quarantined && s.good_streak >= self.cfg.good_windows {
                 s.quarantined = false;
-                self.released += 1;
+                inner.released += 1;
                 return Transition::Released;
             }
         }
@@ -86,25 +106,27 @@ impl QuarantineGate {
 
     /// True while `node` is fenced off.
     pub fn is_quarantined(&self, node: usize) -> bool {
-        self.nodes.get(&node).map(|s| s.quarantined).unwrap_or(false)
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.nodes.get(&node).map(|s| s.quarantined).unwrap_or(false)
     }
 
     /// Nodes currently quarantined, ascending.
     pub fn quarantined_nodes(&self) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut v: Vec<usize> =
-            self.nodes.iter().filter(|(_, s)| s.quarantined).map(|(n, _)| *n).collect();
+            inner.nodes.iter().filter(|(_, s)| s.quarantined).map(|(n, _)| *n).collect();
         v.sort_unstable();
         v
     }
 
     /// Lifetime count of quarantine entries.
     pub fn entered(&self) -> u64 {
-        self.entered
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).entered
     }
 
     /// Lifetime count of quarantine releases.
     pub fn released(&self) -> u64 {
-        self.released
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).released
     }
 }
 
@@ -114,7 +136,7 @@ mod tests {
 
     #[test]
     fn enters_only_after_consecutive_bad_windows() {
-        let mut g = QuarantineGate::new(QuarantineConfig { bad_windows: 3, good_windows: 2 });
+        let g = QuarantineGate::new(QuarantineConfig { bad_windows: 3, good_windows: 2 });
         assert_eq!(g.observe(0, true), Transition::None);
         assert_eq!(g.observe(0, true), Transition::None);
         assert!(!g.is_quarantined(0));
@@ -125,7 +147,7 @@ mod tests {
 
     #[test]
     fn a_clean_window_resets_the_bad_streak() {
-        let mut g = QuarantineGate::new(QuarantineConfig { bad_windows: 3, good_windows: 2 });
+        let g = QuarantineGate::new(QuarantineConfig { bad_windows: 3, good_windows: 2 });
         for _ in 0..10 {
             assert_eq!(g.observe(1, true), Transition::None);
             assert_eq!(g.observe(1, true), Transition::None);
@@ -137,7 +159,7 @@ mod tests {
 
     #[test]
     fn releases_only_after_consecutive_good_windows() {
-        let mut g = QuarantineGate::new(QuarantineConfig { bad_windows: 2, good_windows: 3 });
+        let g = QuarantineGate::new(QuarantineConfig { bad_windows: 2, good_windows: 3 });
         g.observe(2, true);
         assert_eq!(g.observe(2, true), Transition::Entered);
         assert_eq!(g.observe(2, false), Transition::None);
@@ -154,7 +176,7 @@ mod tests {
 
     #[test]
     fn alternating_observations_never_flap() {
-        let mut g = QuarantineGate::new(QuarantineConfig::default());
+        let g = QuarantineGate::new(QuarantineConfig::default());
         for i in 0..1000 {
             assert_eq!(g.observe(3, i % 2 == 0), Transition::None, "flapped at step {i}");
         }
@@ -163,10 +185,70 @@ mod tests {
 
     #[test]
     fn nodes_are_independent() {
-        let mut g = QuarantineGate::new(QuarantineConfig { bad_windows: 1, good_windows: 1 });
+        let g = QuarantineGate::new(QuarantineConfig { bad_windows: 1, good_windows: 1 });
         g.observe(0, true);
         assert!(g.is_quarantined(0));
         assert!(!g.is_quarantined(7));
         assert_eq!(g.quarantined_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let g = QuarantineGate::new(QuarantineConfig { bad_windows: 2, good_windows: 1 });
+        let other = g.clone();
+        g.observe(5, true);
+        assert_eq!(other.observe(5, true), Transition::Entered, "streak spans clones");
+        assert!(g.is_quarantined(5), "entry is visible through every handle");
+        assert_eq!(g.entered(), other.entered());
+    }
+
+    /// Two workers hammering the same node must produce exactly one
+    /// `Entered` per quarantine episode — a torn read-modify-write
+    /// would let both cross the threshold and double-count.
+    #[test]
+    fn concurrent_observers_never_double_fire_a_transition() {
+        let g = QuarantineGate::new(QuarantineConfig { bad_windows: 4, good_windows: 3 });
+        let episodes = 50;
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    let mut transitions = 0u64;
+                    for _ in 0..episodes {
+                        // Enough bad observations from each worker to
+                        // cross the threshold, then enough good ones to
+                        // release — interleaving only shifts *which*
+                        // observation crosses, never how many do.
+                        for _ in 0..8 {
+                            if g.observe(0, true) == Transition::Entered {
+                                transitions += 1;
+                            }
+                        }
+                        for _ in 0..6 {
+                            if g.observe(0, false) == Transition::Released {
+                                transitions += 1;
+                            }
+                        }
+                    }
+                    transitions
+                })
+            })
+            .collect();
+        let reported: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Exactly-once accounting: the transitions the workers saw are
+        // the transitions the gate counted — a double fire would make
+        // `reported` exceed the counters.
+        assert_eq!(
+            reported,
+            g.entered() + g.released(),
+            "every transition is reported exactly once, to exactly one observer"
+        );
+        // Both workers in their bad phase at the start guarantees 4
+        // consecutive bad observations, so at least one entry happened.
+        assert!(g.entered() >= 1, "the threshold was crossed at least once");
+        // Entries and releases strictly alternate per node: a double
+        // `Entered` (or `Released`) would break this.
+        let (e, r) = (g.entered(), g.released());
+        assert!(e == r || e == r + 1, "transitions alternate: entered={e} released={r}");
     }
 }

@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use alba_data::{Matrix, MetricDef, MultiSeries};
-use alba_features::{FeatureExtractor, FeatureView, PreprocessConfig};
+use alba_features::{ExtractPlan, ExtractScratch, FeatureExtractor, FeatureView, PreprocessConfig};
 use alba_ml::{Diagnosis, DiagnosisModel};
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +80,9 @@ pub struct NodeMonitor {
     /// Projection + scaling of extracted features into the model's
     /// feature view (the split's selected columns).
     view: FeatureView,
+    /// Selected columns grouped by metric — lets the hot path skip
+    /// metrics the model never consumes. Shared by cloned monitors.
+    plan: Arc<ExtractPlan>,
     config: MonitorConfig,
     buffer: MultiSeries,
     since_last: usize,
@@ -104,10 +107,12 @@ impl NodeMonitor {
         assert!(config.window >= 8, "windows shorter than 8 samples are meaningless");
         assert!(config.stride >= 1, "stride must be positive");
         assert!(config.confirm >= 1, "confirm must be positive");
+        let plan = Arc::new(view.plan(extractor.as_ref()));
         Self {
             model,
             extractor,
             view,
+            plan,
             config,
             buffer: MultiSeries::new(metrics),
             since_last: 0,
@@ -159,6 +164,24 @@ impl NodeMonitor {
     /// [`NodeMonitor::view`], and run the model over the whole batch.
     pub fn window_row(&self) -> Vec<f64> {
         self.view.unscaled_row(self.extractor.as_ref(), &self.buffer, &stream_preprocess())
+    }
+
+    /// Zero-copy equivalent of [`NodeMonitor::window_row`]: extracts only
+    /// the metrics the view selects, scattering straight into `out`
+    /// through the cached [`ExtractPlan`]. Bit-identical to
+    /// `window_row()` (pinned by a test below); the hot serve path calls
+    /// this with a per-shard scratch so no per-window allocation remains.
+    pub fn window_row_into(&self, scratch: &mut ExtractScratch, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.view.n_features(), 0.0);
+        self.view.unscaled_row_into(
+            self.extractor.as_ref(),
+            &self.buffer,
+            &stream_preprocess(),
+            &self.plan,
+            scratch,
+            out,
+        );
     }
 
     /// Records a window diagnosis and applies the hysteresis/confirm
@@ -381,6 +404,56 @@ mod tests {
         }
         assert_eq!(direct.verdicts().len(), hooked.verdicts().len());
         assert_eq!(direct.alarms(), hooked.alarms());
+    }
+
+    /// The planned zero-copy row must be bit-identical to the
+    /// materialised `window_row` at every diagnosis point of a stream.
+    #[test]
+    fn window_row_into_matches_window_row() {
+        let (model, view) = deployable();
+        let campaign = System::Volta.campaign(Scale::Smoke, 61);
+        let catalog = campaign.catalog();
+        let run = generate_run(
+            &RunConfig {
+                app: find_application("BT").unwrap(),
+                input_deck: 0,
+                node_count: 1,
+                duration_s: 150,
+                injection: Some(Injection::new(AnomalyKind::MemLeak, 80)),
+                run_id: 1,
+                seed: 7,
+            },
+            &catalog,
+            &SignatureConfig::default(),
+            &NoiseConfig::testbed(),
+        );
+        let series = &run[0].series;
+        let mut monitor = NodeMonitor::new(
+            model,
+            Arc::new(Mvts),
+            series.metrics.clone(),
+            view,
+            MonitorConfig::default(),
+        );
+        let mut scratch = ExtractScratch::default();
+        let mut got = Vec::new();
+        let mut row = vec![0.0; series.n_metrics()];
+        let mut checked = 0;
+        for t in 0..series.len() {
+            for (m, r) in row.iter_mut().enumerate() {
+                *r = series.metric(m)[t];
+            }
+            if monitor.push(&row) {
+                let golden = monitor.window_row();
+                monitor.window_row_into(&mut scratch, &mut got);
+                assert_eq!(golden.len(), got.len());
+                for (i, (a, b)) in golden.iter().zip(&got).enumerate() {
+                    assert!(a.to_bits() == b.to_bits(), "t={t} col={i}: {a} vs {b}");
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 3, "stream produced enough windows to compare");
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod mvts;
 pub mod preprocess;
 pub mod scale;
 pub mod select;
+pub mod source;
 pub mod stats;
 pub mod tsfresh;
 pub mod view;
@@ -21,8 +22,9 @@ pub mod view;
 pub use extract::{drop_degenerate_features, extract_features, FeatureExtractor};
 pub use fft::{fft_in_place, real_fft_magnitudes, welch_psd};
 pub use mvts::{Mvts, MVTS_FEATURE_NAMES};
-pub use preprocess::{diff_counter, interpolate_gaps, preprocess, PreprocessConfig};
+pub use preprocess::{diff_counter, interpolate_gaps, preprocess, trim_bounds, PreprocessConfig};
 pub use scale::MinMaxScaler;
 pub use select::{chi_square_scores, select_top_k, ChiSquareScores};
+pub use source::{ExtractPlan, ExtractScratch, SeriesSource};
 pub use tsfresh::{tsfresh_feature_suffixes, TsFresh};
 pub use view::FeatureView;

@@ -163,6 +163,99 @@ impl FeatureExtractor for Mvts {
         out.push(quantile_sorted(&sorted, 0.1));
         out.push(quantile_sorted(&sorted, 0.9));
     }
+
+    /// Every MVTS feature is an independent pure function of the
+    /// series, so a selected subset is computed feature-by-feature —
+    /// the sort backing the quantile features runs (once, into
+    /// `scratch`) only when a quantile feature is actually wanted.
+    /// Each arm is the exact expression the full path pushes, so the
+    /// subset is bit-identical to gathering from [`Mvts::extract`]
+    /// (pinned by the tests below).
+    fn extract_select(
+        &self,
+        x: &[f64],
+        wanted: &[usize],
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        // median, q25, q75, iqr, q10, q90 need the sorted copy.
+        if wanted.iter().any(|k| matches!(k, 5..=8 | 46 | 47)) {
+            scratch.clear();
+            scratch.extend_from_slice(x);
+            scratch.sort_by(f64::total_cmp);
+        }
+        let sorted: &[f64] = scratch;
+        let mid = x.len() / 2;
+        let (a, b) = x.split_at(mid);
+        let arg_of = |cmp: fn(&f64, &f64) -> bool| -> f64 {
+            if x.is_empty() {
+                return 0.0;
+            }
+            let mut idx = 0usize;
+            for (i, v) in x.iter().enumerate() {
+                if cmp(v, &x[idx]) {
+                    idx = i;
+                }
+            }
+            idx as f64 / x.len() as f64
+        };
+        for &k in wanted {
+            out.push(match k {
+                0 => mean(x),
+                1 => std_dev(x),
+                2 => variance(x),
+                3 => min(x),
+                4 => max(x),
+                5 => quantile_sorted(sorted, 0.5),
+                6 => quantile_sorted(sorted, 0.25),
+                7 => quantile_sorted(sorted, 0.75),
+                8 => quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25),
+                9 => rms(x),
+                10 => skewness(x),
+                11 => kurtosis(x),
+                12 => mean_abs_change(x),
+                13 => mean_change(x),
+                14 => abs_energy(x),
+                15 => cid_ce(x),
+                16 => variation_coefficient(x),
+                17 => mean_crossings(x) as f64,
+                18 => count_peaks(x) as f64,
+                19 => fraction_above_mean(x),
+                20 => longest_strike_above_mean(x) as f64,
+                21 => longest_strike_below_mean(x) as f64,
+                22 => linear_trend_slope(x),
+                23 => linear_trend_intercept(x),
+                24 => longest_monotonic_increase(x) as f64,
+                25 => longest_monotonic_decrease(x) as f64,
+                26 => (mean(a) - mean(b)).abs(),
+                27 => (std_dev(a) - std_dev(b)).abs(),
+                28 => (min(a) - min(b)).abs(),
+                29 => (max(a) - max(b)).abs(),
+                30 => (median(a) - median(b)).abs(),
+                31 => (quantile(a, 0.25) - quantile(b, 0.25)).abs(),
+                32 => (quantile(a, 0.75) - quantile(b, 0.75)).abs(),
+                33 => (skewness(a) - skewness(b)).abs(),
+                34 => (kurtosis(a) - kurtosis(b)).abs(),
+                35 => (linear_trend_slope(a) - linear_trend_slope(b)).abs(),
+                36 => (rms(a) - rms(b)).abs(),
+                37 => x.first().copied().unwrap_or(0.0),
+                38 => x.last().copied().unwrap_or(0.0),
+                39 => match (x.first(), x.last()) {
+                    (Some(f), Some(l)) => l - f,
+                    _ => 0.0,
+                },
+                40 => arg_of(|v, best| v > best),
+                41 => arg_of(|v, best| v < best),
+                42 => autocorrelation(x, 1),
+                43 => autocorrelation(x, 2),
+                44 => autocorrelation(x, 5),
+                45 => x.iter().sum(),
+                46 => quantile_sorted(sorted, 0.1),
+                47 => quantile_sorted(sorted, 0.9),
+                _ => panic!("mvts feature offset {k} out of range (npm = 48)"),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +310,42 @@ mod tests {
         assert_eq!(out[idx("longest_monotonic_increase")], 4.0);
         assert_eq!(out[idx("argmax_fraction")], 0.75);
         assert_eq!(out[idx("argmin_fraction")], 0.0);
+    }
+
+    #[test]
+    fn extract_select_is_bit_identical_to_gathering_from_extract() {
+        // Nasty series: NaN, ±inf survivors are upstream-preprocessed
+        // away in production, but bit-identity must hold regardless.
+        let series: Vec<Vec<f64>> = vec![
+            (0..60).map(|t| (t as f64 * 0.31).sin() * 12.0 + 50.0).collect(),
+            vec![],
+            vec![4.2],
+            vec![1.0; 17],
+            (0..33).map(|t| if t % 7 == 2 { f64::NAN } else { t as f64 }).collect(),
+        ];
+        for x in &series {
+            let full = extract(x);
+            let mut scratch = Vec::new();
+            // Every feature individually…
+            for k in 0..48 {
+                let mut out = Vec::new();
+                Mvts.extract_select(x, &[k], &mut scratch, &mut out);
+                assert_eq!(
+                    out[0].to_bits(),
+                    full[k].to_bits(),
+                    "feature {} diverged on {:?}",
+                    MVTS_FEATURE_NAMES[k],
+                    x
+                );
+            }
+            // …and a production-shaped subset, in plan order.
+            let wanted: Vec<usize> = (0..48).step_by(3).collect();
+            let mut out = Vec::new();
+            Mvts.extract_select(x, &wanted, &mut scratch, &mut out);
+            let gathered: Vec<u64> = wanted.iter().map(|&k| full[k].to_bits()).collect();
+            let got: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, gathered);
+        }
     }
 
     #[test]

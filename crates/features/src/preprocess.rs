@@ -100,6 +100,27 @@ pub fn diff_counter(series: &mut [f64]) {
     series[0] = series[1];
 }
 
+/// The half-open `[start, end)` sample range `preprocess` keeps when
+/// trimming a series of `len` samples by `trim_frac` — including
+/// `MultiSeries::trim`'s middle-sample fallback when the trim would
+/// consume the whole series. The slice-based extraction path uses this
+/// to trim by sub-slicing instead of draining a cloned window; the two
+/// must stay bit-identical (pinned by the golden tests in `view`).
+pub fn trim_bounds(len: usize, trim_frac: f64) -> (usize, usize) {
+    if len == 0 {
+        return (0, 0);
+    }
+    let trim = (len as f64 * trim_frac) as usize;
+    let (head, tail) = if trim + trim >= len {
+        // Keep the middle sample, exactly as `MultiSeries::trim`.
+        let mid = len / 2;
+        (mid, len - mid - 1)
+    } else {
+        (trim, trim)
+    };
+    (head, len - tail)
+}
+
 /// Applies the full preprocessing pipeline to one node's telemetry.
 pub fn preprocess(series: &mut MultiSeries, cfg: &PreprocessConfig) {
     let len = series.len();
@@ -164,6 +185,28 @@ mod tests {
         let mut s = vec![100.0, 110.0, 5.0, 15.0];
         diff_counter(&mut s);
         assert_eq!(s, vec![10.0, 10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn trim_bounds_matches_multiseries_trim_exactly() {
+        for len in [0usize, 1, 2, 3, 5, 10, 100, 231] {
+            for frac in [0.0, 0.08, 0.3, 0.5, 0.9] {
+                let defs = vec![MetricDef {
+                    name: "g".into(),
+                    subsystem: "s".into(),
+                    kind: MetricKind::Gauge,
+                }];
+                let mut ms = MultiSeries::new(defs);
+                for t in 0..len {
+                    ms.push_sample(&[t as f64]);
+                }
+                let (start, end) = trim_bounds(len, frac);
+                let expect: Vec<f64> = (start..end).map(|t| t as f64).collect();
+                let trim = (len as f64 * frac) as usize;
+                ms.trim(trim, trim);
+                assert_eq!(ms.metric(0), expect.as_slice(), "len={len} frac={frac}");
+            }
+        }
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! [`NodeMonitor`]: ../albadross/monitor/struct.NodeMonitor.html
 
 use crate::extract::FeatureExtractor;
-use crate::preprocess::{preprocess, PreprocessConfig};
+use crate::preprocess::{
+    diff_counter, interpolate_gaps, preprocess, trim_bounds, PreprocessConfig,
+};
 use crate::scale::MinMaxScaler;
-use alba_data::{Matrix, MultiSeries};
+use crate::source::{ExtractPlan, ExtractScratch, SeriesSource};
+use alba_data::{Matrix, MetricKind, MultiSeries};
 use serde::{Deserialize, Serialize};
 
 /// Projection of full extractor output into a model's input space,
@@ -88,6 +91,61 @@ impl FeatureView {
             extractor.extract(window.metric(m), &mut full);
         }
         self.project(&full)
+    }
+
+    /// Builds the extraction plan for this view: the selected columns
+    /// grouped by owning metric, so the planned path extracts only the
+    /// metrics the model consumes.
+    pub fn plan(&self, extractor: &dyn FeatureExtractor) -> ExtractPlan {
+        ExtractPlan::new(&self.selected, extractor.n_features_per_metric())
+    }
+
+    /// The zero-copy twin of [`FeatureView::unscaled_row`]: extracts
+    /// one unscaled model-input row straight from a borrowed window
+    /// ([`SeriesSource`]) into `out`, without cloning the window and
+    /// without extracting metrics the plan skips. Per-metric
+    /// preprocessing (trim by sub-slice, NaN interpolation, counter
+    /// differencing) runs in `scratch`, bit-identically to the
+    /// materialised pipeline — pinned by the golden tests below.
+    ///
+    /// # Panics
+    /// Panics when `plan` does not match this view's selection width,
+    /// `out` is not exactly `plan.n_out()` wide, or the plan references
+    /// a metric outside the source.
+    pub fn unscaled_row_into(
+        &self,
+        extractor: &dyn FeatureExtractor,
+        src: &dyn SeriesSource,
+        pre: &PreprocessConfig,
+        plan: &ExtractPlan,
+        scratch: &mut ExtractScratch,
+        out: &mut [f64],
+    ) {
+        assert_eq!(plan.n_out(), self.selected.len(), "plan built for a different view");
+        assert_eq!(out.len(), plan.n_out(), "output row width mismatch");
+        let (start, end) = trim_bounds(src.series_len(), pre.trim_frac);
+        for (m, slots) in plan.per_metric() {
+            scratch.series.clear();
+            scratch.series.extend_from_slice(&src.metric(*m)[start..end]);
+            if pre.interpolate {
+                interpolate_gaps(&mut scratch.series);
+            }
+            if pre.diff_counters && src.metric_kind(*m) == MetricKind::Counter {
+                diff_counter(&mut scratch.series);
+            }
+            scratch.wanted.clear();
+            scratch.wanted.extend(slots.iter().map(|&(k, _)| k));
+            scratch.feats.clear();
+            extractor.extract_select(
+                &scratch.series,
+                &scratch.wanted,
+                &mut scratch.inner,
+                &mut scratch.feats,
+            );
+            for (&(_, pos), &v) in slots.iter().zip(scratch.feats.iter()) {
+                out[pos] = v;
+            }
+        }
     }
 
     /// Extracts one scaled model-input row from a telemetry window.
@@ -213,6 +271,120 @@ mod tests {
         let single = view.scaled_row(&Mvts, &w, &pre());
         for r in 0..4 {
             assert_eq!(batch.row(r), single.as_slice());
+        }
+    }
+
+    /// A NaN-gapped window over gauges *and* counters: leading gap,
+    /// interior gaps, trailing gap, one all-NaN metric — every branch
+    /// of interpolation and differencing.
+    fn gapped_window(n: usize) -> MultiSeries {
+        let metrics = vec![
+            MetricDef {
+                name: "cpu_user".to_string(),
+                subsystem: "cpu".to_string(),
+                kind: MetricKind::Gauge,
+            },
+            MetricDef {
+                name: "net_tx_bytes".to_string(),
+                subsystem: "network".to_string(),
+                kind: MetricKind::Counter,
+            },
+            MetricDef {
+                name: "dead_sensor".to_string(),
+                subsystem: "cray".to_string(),
+                kind: MetricKind::Gauge,
+            },
+            MetricDef {
+                name: "ctx_switches".to_string(),
+                subsystem: "cpu".to_string(),
+                kind: MetricKind::Counter,
+            },
+        ];
+        let mut s = MultiSeries::new(metrics);
+        for t in 0..n {
+            let tf = t as f64;
+            let gauge = if t < 2 || t % 11 == 0 { f64::NAN } else { (tf * 0.7).sin() * 9.0 + 40.0 };
+            let counter =
+                if t % 7 == 3 || t + 1 == n { f64::NAN } else { tf * 13.0 + (tf.cos() * 3.0) };
+            let ctr2 = if t % 5 == 1 { f64::NAN } else { tf * tf * 0.5 };
+            s.push_sample(&[gauge, counter, f64::NAN, ctr2]);
+        }
+        s
+    }
+
+    /// The tentpole golden test: on NaN-gapped windows of gauges and
+    /// counters, the slice-based planned path produces the *same bits*
+    /// as the pre-refactor materialised path — for both extractors, at
+    /// zero trim (the stream path), the paper's default trim, and a
+    /// trim so large the middle-sample fallback fires.
+    #[test]
+    fn planned_extraction_is_bit_identical_to_materialised_path() {
+        let extractors: Vec<Box<dyn FeatureExtractor>> =
+            vec![Box::new(Mvts), Box::new(crate::tsfresh::TsFresh)];
+        let pres = [
+            PreprocessConfig { trim_frac: 0.0, diff_counters: true, interpolate: true },
+            PreprocessConfig::default(),
+            PreprocessConfig { trim_frac: 0.55, diff_counters: true, interpolate: true },
+            PreprocessConfig { trim_frac: 0.08, diff_counters: false, interpolate: false },
+        ];
+        let w = gapped_window(64);
+        for ex in &extractors {
+            let npm = ex.n_features_per_metric();
+            let n_full = w.n_metrics() * npm;
+            // A selection that skips whole metrics and scrambles order.
+            let mut selected: Vec<usize> = (0..n_full).step_by(7).collect();
+            selected.reverse();
+            let scaler = MinMaxScaler::fit(&Matrix::from_rows(&[
+                vec![0.0; selected.len()],
+                vec![1.0; selected.len()],
+            ]));
+            let view = FeatureView::new(selected, scaler);
+            let plan = view.plan(ex.as_ref());
+            assert!(plan.n_metrics_used() <= w.n_metrics());
+            let mut scratch = ExtractScratch::default();
+            for pre in &pres {
+                let golden = view.unscaled_row(ex.as_ref(), &w, pre);
+                let mut got = vec![0.0; view.n_features()];
+                view.unscaled_row_into(ex.as_ref(), &w, pre, &plan, &mut scratch, &mut got);
+                for (i, (a, b)) in golden.iter().zip(&got).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} col {} diverged (trim={}): {} vs {}",
+                        ex.name(),
+                        i,
+                        pre.trim_frac,
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scratch reuse across windows must not leak state between calls.
+    #[test]
+    fn scratch_reuse_does_not_leak_between_windows() {
+        let a = gapped_window(64);
+        let b = window();
+        let npm = Mvts.n_features_per_metric();
+        let selected: Vec<usize> = (0..2 * npm).step_by(5).collect();
+        let scaler = MinMaxScaler::fit(&Matrix::from_rows(&[
+            vec![0.0; selected.len()],
+            vec![1.0; selected.len()],
+        ]));
+        let view = FeatureView::new(selected, scaler);
+        let plan = view.plan(&Mvts);
+        let mut scratch = ExtractScratch::default();
+        let mut row = vec![0.0; view.n_features()];
+        // Interleave two very different windows; each must match its
+        // own golden row every time.
+        for _ in 0..3 {
+            for w in [&a, &b] {
+                view.unscaled_row_into(&Mvts, w, &pre(), &plan, &mut scratch, &mut row);
+                let golden = view.unscaled_row(&Mvts, w, &pre());
+                assert_eq!(row, golden);
+            }
         }
     }
 

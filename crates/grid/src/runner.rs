@@ -29,7 +29,7 @@ use crate::error::GridError;
 use crate::leaderboard::{build_leaderboard, render_markdown, LeaderboardEntry};
 use crate::spec::{GridCell, GridMode, GridSpec};
 use alba_active::{MethodCurves, SessionResult, Strategy};
-use alba_obs::Obs;
+use alba_obs::{Obs, Value};
 use alba_store::TelemetryStore;
 use alba_trace::{Lane, Tracer};
 use albadross::experiments::CurvesResult;
@@ -174,7 +174,7 @@ pub fn run_grid(spec: &GridSpec, opts: &RunOptions) -> Result<GridOutcome, GridE
         &tracer.service_ctx(cells.len()),
         "grid_merge",
         &[
-            ("grid", spec.name.as_str().into()),
+            ("grid", Value::Str(spec.name.clone())),
             ("cells", (cells.len() as u64).into()),
             ("memo_hits", (memo_hits as u64).into()),
             ("computed", (computed as u64).into()),
@@ -222,8 +222,8 @@ fn worker_loop(
             &tracer.ctx(w, cell.idx),
             "grid_cell",
             &[
-                ("key", key.as_str().into()),
-                ("pipeline", cell.pipeline.as_str().into()),
+                ("key", Value::Str(key.clone())),
+                ("pipeline", Value::Str(cell.pipeline.clone())),
                 ("pair", cell.pair_id.into()),
             ],
         );

@@ -17,6 +17,7 @@
 //! | `no-direct-failpoint-bypass` | direct `std::fs`/`File`/`OpenOptions` I/O in serve, bypassing the store's `set_fault_hook` seam |
 //! | `no-unbounded-channel` | `VecDeque::new`/`LinkedList::new`/`mpsc::channel` queues on the network ingest path — every buffer a peer can fill must be born bounded |
 //! | `no-untraced-stage` | stage functions in serve's service.rs that open an obs span without touching the causal tracer — metrics and traces must cover the same stages |
+//! | `no-unordered-join` | `try_iter`/`try_recv`/iterating a receiver in the parallel runtime — results must be joined by a counted blocking barrier, in slot order, never in arrival order |
 
 use crate::lexer::{LexFile, Tok, Token};
 
@@ -73,6 +74,10 @@ pub const CATALOG: &[RuleInfo] = &[
     RuleInfo {
         name: "no-untraced-stage",
         summary: "a serve service.rs function that opens an obs stage span must also record alba-trace hops, so causal traces cover every stage the metrics cover",
+    },
+    RuleInfo {
+        name: "no-unordered-join",
+        summary: "try_iter/try_recv/iterating a receiver forbidden in the parallel runtime; join worker results with a counted blocking recv and reorder by slot, never by arrival",
     },
 ];
 
@@ -218,6 +223,7 @@ fn in_ordered_output_scope(path: &str) -> bool {
         || path.starts_with("crates/net/src/")
         || path.starts_with("crates/trace/src/")
         || path.starts_with("crates/grid/src/")
+        || path.starts_with("crates/par/src/")
         || path == "crates/bench/src/bin/repro.rs"
 }
 
@@ -244,6 +250,16 @@ fn in_serve_io_scope(path: &str) -> bool {
 /// alba-trace hops must move in lockstep.
 fn in_traced_stage_scope(path: &str) -> bool {
     path == "crates/serve/src/service.rs"
+}
+
+/// The parallel runtime: code that joins worker results. Arrival-order
+/// consumption (`try_iter`, `try_recv`, looping over a receiver) makes
+/// the merge order scheduler-dependent, which is exactly the
+/// non-determinism the epoch barrier exists to prevent.
+fn in_join_scope(path: &str) -> bool {
+    path.starts_with("crates/par/src/")
+        || path == "crates/serve/src/service.rs"
+        || path == "crates/grid/src/runner.rs"
 }
 
 // ---- the engine -----------------------------------------------------
@@ -522,6 +538,66 @@ pub fn check_file(ctx: &FileContext, lexed: &LexFile) -> Vec<RawFinding> {
         }
     }
 
+    // no-unordered-join: arrival-order result consumption in the
+    // parallel runtime. `try_iter`/`try_recv` yield whatever has landed
+    // so far, and a `for` loop over a receiver drains in completion
+    // order — either way the merge order depends on the scheduler. The
+    // sanctioned shape is a counted loop of *blocking* `recv` calls
+    // that reorders results by slot index before anything downstream
+    // sees them.
+    if in_join_scope(&ctx.path) {
+        for i in 0..toks.len() {
+            let line = match toks.get(i) {
+                Some(t) => t.line,
+                None => continue,
+            };
+            if ctx.is_test_line(line) {
+                continue;
+            }
+            if is_punct(toks, i, '.')
+                && is_punct(toks, i + 2, '(')
+                && (is_ident(toks, i + 1, "try_iter") || is_ident(toks, i + 1, "try_recv"))
+            {
+                let what = ident_at(toks, i + 1).unwrap_or("try_recv");
+                out.push(RawFinding {
+                    rule: "no-unordered-join",
+                    line: toks[i + 1].line,
+                    message: format!(
+                        "`.{what}()` consumes worker results in arrival order; join with a \
+                         counted blocking recv and reorder by slot index so the merge is \
+                         scheduler-independent"
+                    ),
+                });
+            }
+            // `for <pat> in <expr> {` whose header names a receiver.
+            if is_ident(toks, i, "for") && !is_punct(toks, i + 1, '<') {
+                for t in &toks[i + 1..] {
+                    match &t.tok {
+                        Tok::Punct('{') | Tok::Punct(';') => break,
+                        Tok::Ident(s)
+                            if s == "rx"
+                                || s == "receiver"
+                                || s.ends_with("_rx")
+                                || s.starts_with("rx_") =>
+                        {
+                            out.push(RawFinding {
+                                rule: "no-unordered-join",
+                                line,
+                                message: format!(
+                                    "`for … in` over receiver `{s}` drains results in completion \
+                                     order; use a counted blocking recv loop and reorder by slot \
+                                     index instead"
+                                ),
+                            });
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     out
 }
@@ -734,6 +810,47 @@ mod tests {
     fn untraced_spans_in_test_modules_are_exempt() {
         let src = "fn ok() {}\n#[cfg(test)]\nmod tests { fn t(o: &Obs) { let s = o.span(\"x\", &[]); s.finish(); } }";
         assert!(rules_fired("crates/serve/src/service.rs", src).is_empty());
+    }
+
+    // ---- no-unordered-join ------------------------------------------
+
+    #[test]
+    fn arrival_order_joins_fire_in_the_parallel_runtime() {
+        let src = "fn f(rx: &Receiver<u8>) { for r in rx.try_iter() { use_it(r); } }";
+        // Both the try_iter call and the for-over-rx header fire.
+        assert_eq!(
+            rules_fired("crates/par/src/lib.rs", src),
+            vec!["no-unordered-join", "no-unordered-join"]
+        );
+        let src2 = "fn g(results_rx: &Receiver<u8>) { while let Ok(r) = results_rx.try_recv() { use_it(r); } }";
+        assert_eq!(rules_fired("crates/serve/src/service.rs", src2), vec!["no-unordered-join"]);
+        let src3 = "fn h(receiver: Receiver<u8>) { for r in receiver { use_it(r); } }";
+        assert_eq!(rules_fired("crates/grid/src/runner.rs", src3), vec!["no-unordered-join"]);
+    }
+
+    #[test]
+    fn counted_blocking_joins_are_fine() {
+        // The sanctioned barrier: block on recv exactly n times, then
+        // reorder by slot — no arrival-order iteration anywhere.
+        let src = "fn f(rx: &Receiver<(usize, u8)>, n: usize) { let mut got = 0; while got < n { let (slot, r) = rx.recv().unwrap_or_default(); out[slot] = r; got += 1; } }";
+        assert!(rules_fired("crates/par/src/lib.rs", src).is_empty());
+        let shutdown = "fn d(rx: &Receiver<u8>) { while let Ok(m) = rx.recv() { handle(m); } }";
+        assert!(rules_fired("crates/par/src/lib.rs", shutdown).is_empty());
+    }
+
+    #[test]
+    fn unordered_joins_outside_the_join_scope_or_in_tests_are_exempt() {
+        let src = "fn f(rx: &Receiver<u8>) { for r in rx.try_iter() { use_it(r); } }";
+        assert!(rules_fired("crates/net/src/conn.rs", src).is_empty(), "net is out of scope");
+        assert!(rules_fired("crates/serve/src/shard.rs", src).is_empty(), "only service.rs");
+        let test_src = "fn ok() {}\n#[cfg(test)]\nmod tests { fn t(rx: &Receiver<u8>) { for r in rx.try_iter() {} } }";
+        assert!(rules_fired("crates/par/src/lib.rs", test_src).is_empty());
+        // Idents merely *containing* rx (matrix …) are not receivers.
+        let matrix = "fn f(matrix: &Matrix) { for row in matrix.rows() { use_it(row); } }";
+        assert!(rules_fired("crates/par/src/lib.rs", matrix).is_empty());
+        // `for<'a>` higher-ranked bounds are not loops.
+        let hrtb = "fn f<F: for<'a> Fn(&'a u8)>(g: F) { g(&1); }";
+        assert!(rules_fired("crates/par/src/lib.rs", hrtb).is_empty());
     }
 
     // ---- context classification -------------------------------------

@@ -408,7 +408,10 @@ impl Gateway {
             Lane::Net,
             &self.tracer.ctx(node as usize, at as usize),
             "decode",
-            &[("tenant", Value::from(tenant)), ("outcome", Value::from(outcome))],
+            &[
+                ("tenant", Value::Str(tenant.to_string())),
+                ("outcome", Value::Str(outcome.to_string())),
+            ],
         );
     }
 }

@@ -23,6 +23,11 @@ pub enum Value {
     F64(f64),
     /// String (escaped on render).
     Str(String),
+    /// Borrowed static string (escaped on render) — what `&'static
+    /// str` literals convert into, so hot paths (the tracer's hop
+    /// renderer, per-sample events) attach identifier fields without
+    /// allocating.
+    Ident(&'static str),
     /// Boolean.
     Bool(bool),
 }
@@ -47,9 +52,9 @@ impl From<f64> for Value {
         Value::F64(v)
     }
 }
-impl From<&str> for Value {
-    fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Ident(v)
     }
 }
 impl From<String> for Value {
@@ -67,8 +72,15 @@ impl Value {
     /// Renders the value as a JSON literal into `out`.
     pub fn render_into(&self, out: &mut String) {
         match self {
-            Value::U64(v) => write!(out, "{v}").unwrap(),
-            Value::I64(v) => write!(out, "{v}").unwrap(),
+            Value::U64(v) => push_u64(out, *v),
+            Value::I64(v) => {
+                if *v < 0 {
+                    out.push('-');
+                    push_u64(out, v.unsigned_abs());
+                } else {
+                    push_u64(out, *v as u64);
+                }
+            }
             Value::F64(v) if v.is_finite() => write!(out, "{v}").unwrap(),
             Value::F64(_) => out.push_str("null"),
             Value::Str(s) => {
@@ -76,8 +88,33 @@ impl Value {
                 json_escape(s, out);
                 out.push('"');
             }
-            Value::Bool(v) => write!(out, "{v}").unwrap(),
+            Value::Ident(s) => {
+                out.push('"');
+                json_escape(s, out);
+                out.push('"');
+            }
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
         }
+    }
+}
+
+/// Appends `v` in decimal — the same bytes as `write!(out, "{v}")`
+/// without the `core::fmt` machinery. Rendered on every event field
+/// and trace hop, which is why it is hand-rolled. Pushes chars (always
+/// ASCII digits), so the path is infallible by construction.
+pub fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    for &b in &buf[i..] {
+        out.push(b as char);
     }
 }
 
@@ -100,7 +137,7 @@ pub fn json_escape(s: &str, out: &mut String) {
 pub(crate) fn render_event(ts: u64, kind: &str, fields: &[(&str, Value)]) -> String {
     let mut line = String::with_capacity(64);
     line.push_str("{\"ts\":");
-    write!(line, "{ts}").unwrap();
+    push_u64(&mut line, ts);
     line.push_str(",\"kind\":\"");
     json_escape(kind, &mut line);
     line.push('"');

@@ -65,7 +65,7 @@ pub mod histogram;
 pub mod registry;
 
 pub use clock::{Clock, TickClock, WallClock};
-pub use event::{json_escape, EventSink, FileSink, MemorySink, Value};
+pub use event::{json_escape, push_u64, EventSink, FileSink, MemorySink, Value};
 pub use global::{clear_global, global, set_global};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Hist, HistogramRow, Obs, Span};

@@ -99,6 +99,11 @@ pub struct IngestStats {
 #[derive(Clone, Debug)]
 pub struct IngestLayer {
     queues: Vec<SampleQueue>,
+    /// Node ids of each shard, in the service's (seeded) assignment
+    /// order — [`IngestLayer::drain_shard`] drains them in exactly this
+    /// order, so a shard's tick batch is identical to draining its
+    /// nodes one by one.
+    shards: Vec<Vec<usize>>,
     unroutable: u64,
     malformed: u64,
     /// Required reading-vector width (`None` disables the check).
@@ -119,6 +124,7 @@ impl IngestLayer {
     pub fn with_obs(n_nodes: usize, capacity: usize, obs: Obs) -> Self {
         Self {
             queues: (0..n_nodes).map(|_| SampleQueue::new(capacity)).collect(),
+            shards: Vec::new(),
             unroutable: 0,
             malformed: 0,
             expected_width: None,
@@ -189,6 +195,28 @@ impl IngestLayer {
     /// Drains one node's queue (oldest first). Unknown nodes drain empty.
     pub fn drain_node(&mut self, node: usize) -> Vec<TelemetrySample> {
         self.queues.get_mut(node).map(SampleQueue::drain).unwrap_or_default()
+    }
+
+    /// Installs the node→shard partition [`IngestLayer::drain_shard`]
+    /// drains by. `shards[s]` lists shard `s`'s nodes in the order their
+    /// queues are concatenated into the shard's tick batch.
+    pub fn assign_shards(&mut self, shards: Vec<Vec<usize>>) {
+        self.shards = shards;
+    }
+
+    /// Drains every queue of one shard's nodes into a single batch, in
+    /// assignment order (each queue oldest first). Unknown shards drain
+    /// empty. Byte-for-byte equal to calling [`IngestLayer::drain_node`]
+    /// over the shard's nodes and concatenating.
+    pub fn drain_shard(&mut self, shard: usize) -> Vec<TelemetrySample> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.get(shard).map_or(0, Vec::len) {
+            let n = self.shards[shard][i];
+            if let Some(q) = self.queues.get_mut(n) {
+                out.extend(q.drain());
+            }
+        }
+        out
     }
 
     /// Current depth of one node's queue (0 for unknown nodes).
@@ -357,6 +385,28 @@ mod tests {
         assert!(layer.offer(TelemetrySample { node: 0, at: 0, values: vec![1.0; 7] }));
         assert!(layer.offer(TelemetrySample { node: 0, at: 1, values: Vec::new() }));
         assert_eq!(layer.stats().malformed, 0);
+    }
+
+    #[test]
+    fn drain_shard_equals_per_node_drains_in_assignment_order() {
+        let mut a = IngestLayer::new(4, 8);
+        let mut b = IngestLayer::new(4, 8);
+        a.assign_shards(vec![vec![2, 0], vec![3, 1]]);
+        for t in 0..5 {
+            for n in 0..4 {
+                a.offer(sample(n, t));
+                b.offer(sample(n, t));
+            }
+        }
+        let got: Vec<(usize, usize)> = a.drain_shard(0).iter().map(|s| (s.node, s.at)).collect();
+        let mut want = Vec::new();
+        for n in [2, 0] {
+            want.extend(b.drain_node(n).iter().map(|s| (s.node, s.at)));
+        }
+        assert_eq!(got, want);
+        assert!(a.drain_shard(0).is_empty(), "second drain is empty");
+        assert!(a.drain_shard(9).is_empty(), "unknown shards drain empty");
+        assert_eq!(a.drain_shard(1).len(), 10);
     }
 
     #[test]

@@ -4,17 +4,24 @@
 //! [`FleetService::tick`] advances the simulated clock by one second:
 //! the replay source emits one sample per active node, the ingest layer
 //! buffers them per node (shedding on overflow), every shard drains its
-//! nodes' queues and diagnoses the due windows as one batch (shards run
-//! on rayon workers), alarms and window outcomes are merged in shard
-//! order, uncertain windows become label requests, and once enough
-//! requests are pending the oracle labels them, the forest is refitted
-//! and hot-swapped into every monitor *between* ticks — no in-flight
-//! window is lost or diagnosed by a half-swapped model.
+//! nodes' queues and diagnoses the due windows as one batch (shards are
+//! moved onto a fixed [`alba_par::Pool`] of worker threads for the
+//! epoch), alarms and window outcomes are merged in shard order behind
+//! the pool's epoch barrier, uncertain windows become label requests,
+//! and once enough requests are pending the oracle labels them, the
+//! forest is refitted and hot-swapped into every monitor *between*
+//! ticks — no in-flight window is lost or diagnosed by a half-swapped
+//! model.
 //!
 //! Every stochastic choice — replay streams, shard assignment, forest
 //! bootstraps — derives from `ServeConfig::fleet.seed`, so two services
 //! with the same config produce identical alarms, verdicts and swap
-//! ticks (asserted by the integration suite).
+//! ticks (asserted by the integration suite). The worker count is *not*
+//! part of that identity: shard→worker assignment is static
+//! (`slot % workers`), every event/trace/alarm is emitted on the tick
+//! thread in shard order, and shard busy time is measured against the
+//! obs clock — so 1, 2, 4 or 8 workers produce byte-identical event
+//! logs, traces and models (asserted by `tests/parallel.rs`).
 
 use crate::chaos::{plan_for, ChaosRuntime, ChaosStats};
 use crate::feedback::{LabelQueue, LabelRequest, Retrainer};
@@ -24,9 +31,10 @@ use crate::replay::{FleetConfig, NodeStream, ReplaySource, TelemetrySample};
 use crate::shard::{NodeAlarm, Shard, ShardReport};
 use crate::stats::{ErrorStats, LatencySummary, ServiceStats, ShardSnapshot};
 use alba_chaos::{Backoff, FaultKind, FaultPlan, InjectAction, TelemetryInjector, Transition};
-use alba_features::{FeatureExtractor, Mvts, TsFresh};
+use alba_features::{FeatureExtractor, FeatureView, Mvts, TsFresh};
 use alba_ml::{DiagnosisModel, ForestParams};
 use alba_obs::{Histogram, Obs, Value};
+use alba_par::Pool;
 use alba_store::{key_of, LabelJournal, StoreError, TelemetryStore, KIND_LABEL, KIND_RETRAIN};
 use alba_trace::{Lane, Tracer};
 use albadross::{
@@ -35,7 +43,6 @@ use albadross::{
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
@@ -62,6 +69,12 @@ pub struct ServeConfig {
     pub method: FeatureMethod,
     /// Worker shards the fleet is partitioned across.
     pub n_shards: usize,
+    /// Worker threads the shard pool runs on; `0` (the default) picks
+    /// `min(available_parallelism, n_shards)`. Excluded — like
+    /// `store_dir` and `chaos` — from the journal identity: every
+    /// worker count produces byte-identical artifacts, so runs at
+    /// different counts share a journal.
+    pub n_workers: usize,
     /// Per-node ingest queue capacity (samples).
     pub queue_capacity: usize,
     /// Batched inference (one model call per shard per tick) versus the
@@ -106,6 +119,7 @@ impl ServeConfig {
             split: SplitConfig { train_fraction: 0.6, top_k_features: 300 },
             method: FeatureMethod::Mvts,
             n_shards: 4,
+            n_workers: 0,
             queue_capacity: 128,
             batched: true,
             uncertainty_threshold: 0.45,
@@ -119,6 +133,33 @@ impl ServeConfig {
     }
 }
 
+/// One shard's work for one pool epoch: the shard itself (moved onto
+/// the worker for the tick) plus its drained batch.
+struct ShardJob {
+    shard: Shard,
+    batch: Vec<TelemetrySample>,
+    now: usize,
+}
+
+/// What an epoch hands back per slot: the shard (returned to the tick
+/// thread) and its report — or the panic payload when the shard died
+/// mid-batch (the shard itself survives for the supervisor to respawn).
+struct ShardDone {
+    shard: Shard,
+    outcome: std::thread::Result<ShardReport>,
+}
+
+/// The service's worker pool. Deliberately *not* cloned with the
+/// service: a cloned `FleetService` lazily builds its own pool on its
+/// next tick, so clones never share worker threads.
+struct PoolCell(Option<Pool<ShardJob, ShardDone>>);
+
+impl Clone for PoolCell {
+    fn clone(&self) -> Self {
+        PoolCell(None)
+    }
+}
+
 /// The running service.
 #[derive(Clone)]
 pub struct FleetService {
@@ -128,6 +169,13 @@ pub struct FleetService {
     shards: Vec<Shard>,
     /// node → shard index.
     shard_of: Vec<usize>,
+    /// Epoch-barrier worker pool (built lazily on the first tick and
+    /// rebuilt when the effective worker count changes).
+    pool: PoolCell,
+    /// Extractor/view the shards were built from — kept so a shard lost
+    /// to a dead worker can be rebuilt from scratch.
+    extractor: Arc<dyn FeatureExtractor + Send + Sync>,
+    view: FeatureView,
     model: Arc<DiagnosisModel>,
     label_queue: LabelQueue,
     retrainer: Retrainer,
@@ -228,7 +276,7 @@ impl FleetService {
                 .map_err(|e| {
                     obs.event(
                         "store_fallback",
-                        &[("dir", dir.into()), ("error", e.to_string().into())],
+                        &[("dir", Value::Str(dir.to_string())), ("error", e.to_string().into())],
                     );
                 })
                 .ok()
@@ -284,7 +332,7 @@ impl FleetService {
             ],
         );
         let oracle = replay.truth_labels();
-        let ingest = IngestLayer::with_obs(replay.n_nodes(), cfg.queue_capacity, obs.clone())
+        let mut ingest = IngestLayer::with_obs(replay.n_nodes(), cfg.queue_capacity, obs.clone())
             .expect_width(replay.metrics().len());
 
         // Seeded node→shard assignment: shuffle, then round-robin.
@@ -298,6 +346,7 @@ impl FleetService {
             per_shard[i % n_shards].push(n);
             shard_of[n] = i % n_shards;
         }
+        ingest.assign_shards(per_shard.clone());
         let extractor: Arc<dyn FeatureExtractor + Send + Sync> = match cfg.method {
             FeatureMethod::Mvts => Arc::new(Mvts),
             FeatureMethod::TsFresh => Arc::new(TsFresh),
@@ -329,6 +378,9 @@ impl FleetService {
             ingest,
             shards,
             shard_of,
+            pool: PoolCell(None),
+            extractor,
+            view,
             model,
             label_queue,
             retrainer,
@@ -395,6 +447,7 @@ impl FleetService {
         let mut key_cfg = cfg.clone();
         key_cfg.store_dir = None;
         key_cfg.chaos = None;
+        key_cfg.n_workers = 0;
         let path = store.journal_path(&key_of("serve", &key_cfg));
         let (journal, records) = match LabelJournal::open(&path) {
             Ok(v) => v,
@@ -586,7 +639,7 @@ impl FleetService {
             lane,
             &tracer.ctx(node, at),
             "ingest_offer",
-            &[("outcome", Value::from(outcome))],
+            &[("outcome", Value::Str(outcome.to_string()))],
         );
     }
 
@@ -610,20 +663,13 @@ impl FleetService {
     /// Stages 2–5 of a tick (drain → process → alarm bus → feedback),
     /// shared by the replay-driven and frontier-driven entry points.
     fn tick_core(&mut self, now: usize) {
-        // 2. Each shard drains its nodes' queues into one tick batch.
+        // 2. Each shard drains its nodes' queues into one tick batch —
+        //    the ingest layer holds the shard partition, so the drain
+        //    feeds per-shard input batches directly.
         let trace_t0 = self.tracer.now_ns();
         let drain_span = self.obs.span("stage_ns", &[("stage", "drain")]);
-        let batches: Vec<Vec<TelemetrySample>> = self
-            .shards
-            .iter()
-            .map(|sh| {
-                let mut batch = Vec::new();
-                for &n in sh.nodes() {
-                    batch.extend(self.ingest.drain_node(n));
-                }
-                batch
-            })
-            .collect();
+        let batches: Vec<Vec<TelemetrySample>> =
+            (0..self.shards.len()).map(|sid| self.ingest.drain_shard(sid)).collect();
         drain_span.finish();
         self.trace_stage(
             now,
@@ -632,31 +678,46 @@ impl FleetService {
             batches.iter().map(Vec::len).sum::<usize>() as u64,
         );
 
-        // 3. Shards process in parallel; reports come back in shard
-        //    order, so the merge below is deterministic. Each shard runs
-        //    under its supervisor: a panicking shard is caught here and
-        //    restarted below (on the tick thread) with the current —
-        //    i.e. last-journaled — model re-installed.
+        // 3. Shards process in parallel on the pool: each shard is moved
+        //    onto its statically assigned worker (`slot % workers`) for
+        //    the epoch, and the barrier hands results back in shard
+        //    order, so the merge below is deterministic at any worker
+        //    count. Each shard runs under its supervisor: a panicking
+        //    shard is caught on the worker, returned with its panic
+        //    payload, and restarted here (on the tick thread) with the
+        //    current — i.e. last-journaled — model re-installed.
         let trace_t0 = self.tracer.now_ns();
         let process_span = self.obs.span("stage_ns", &[("stage", "process")]);
-        let outcomes: Vec<std::thread::Result<ShardReport>> = self
-            .shards
-            .par_chunks_mut(1)
-            .map(|chunk| {
-                let sh = &mut chunk[0];
-                std::panic::catch_unwind(AssertUnwindSafe(|| sh.process(&batches[sh.id()], now)))
-            })
+        let n_workers = self.effective_workers();
+        let mut pool = match self.pool.0.take() {
+            Some(p) if p.n_workers() == n_workers => p,
+            _ => Pool::new(n_workers, self.obs.clone(), |_w, mut job: ShardJob| {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    job.shard.process(&job.batch, job.now)
+                }));
+                ShardDone { shard: job.shard, outcome }
+            }),
+        };
+        let jobs: Vec<ShardJob> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .zip(batches)
+            .map(|(shard, batch)| ShardJob { shard, batch, now })
             .collect();
-        let mut reports = Vec::with_capacity(outcomes.len());
-        for (id, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
-                Ok(report) => reports.push(report),
-                Err(_) => {
+        let done = pool.run_epoch(jobs);
+        self.pool.0 = Some(pool);
+        let mut reports = Vec::with_capacity(done.len());
+        for (id, slot) in done.into_iter().enumerate() {
+            match slot {
+                Ok(ShardDone { shard, outcome: Ok(report) }) => {
+                    self.shards.push(shard);
+                    reports.push(report);
+                }
+                Ok(ShardDone { shard, outcome: Err(_) }) => {
                     // Supervisor: rebuild the shard (fresh monitors, the
                     // deployed model, counters carried over). The tick's
                     // batch for this shard is lost — exactly what a real
                     // worker crash costs.
-                    self.shards[id] = self.shards[id].respawn();
+                    self.shards.push(shard.respawn());
                     if let Some(cz) = &mut self.chaos {
                         cz.stats.shard_restarts += 1;
                     }
@@ -674,6 +735,21 @@ impl FleetService {
                         &[("shard", Value::from(id))],
                     );
                     self.tracer.dump(&format!("panic_shard{id}"));
+                    reports.push(ShardReport::default());
+                }
+                Err(_) => {
+                    // Backstop for a worker dying so hard the shard never
+                    // came back (the pool respawned the thread, but the
+                    // in-flight job was lost): rebuild the shard from the
+                    // service's own catalog. Lifetime counters reset —
+                    // the `shard_lost` event flags the discontinuity.
+                    let fresh = self.rebuild_shard(id);
+                    self.shards.push(fresh);
+                    self.obs.event(
+                        "shard_lost",
+                        &[("shard", Value::from(id)), ("tick", Value::from(now))],
+                    );
+                    self.tracer.dump(&format!("lost_shard{id}"));
                     reports.push(ShardReport::default());
                 }
             }
@@ -698,7 +774,7 @@ impl FleetService {
                         &self.tracer.ctx(w.node, w.at),
                         "diagnose",
                         &[
-                            ("label", Value::from(w.diagnosis.label.as_str())),
+                            ("label", Value::Str(w.diagnosis.label.clone())),
                             ("uncertainty", Value::from(w.uncertainty)),
                             ("latency_ticks", Value::from(now.saturating_sub(w.at))),
                         ],
@@ -710,7 +786,7 @@ impl FleetService {
                     "alarm",
                     &[
                         ("node", Value::from(na.node)),
-                        ("label", Value::from(na.alarm.label.as_str())),
+                        ("label", Value::Str(na.alarm.label.clone())),
                         ("confidence", Value::from(na.alarm.confidence)),
                         ("tick", Value::from(now)),
                     ],
@@ -720,7 +796,7 @@ impl FleetService {
                     &self.tracer.ctx(na.node, now),
                     "alarm",
                     &[
-                        ("label", Value::from(na.alarm.label.as_str())),
+                        ("label", Value::Str(na.alarm.label.clone())),
                         ("confidence", Value::from(na.alarm.confidence)),
                     ],
                 );
@@ -771,6 +847,36 @@ impl FleetService {
         }
         feedback_span.finish();
         self.trace_stage(now, "feedback", trace_t0, (self.swap_ticks.len() - rounds_before) as u64);
+    }
+
+    /// Worker threads the shard pool should run on right now:
+    /// `cfg.n_workers`, with `0` meaning "one per core", and never more
+    /// workers than shards (the assignment is static, so extra workers
+    /// would only idle).
+    fn effective_workers(&self) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, usize::from);
+        let w = if self.cfg.n_workers == 0 { auto } else { self.cfg.n_workers };
+        w.min(self.shards.len().max(1)).max(1)
+    }
+
+    /// Rebuilds shard `id` from the service's own catalog — the
+    /// last-resort path when a pool worker died without handing the
+    /// shard back. Node order is ascending (deterministic in
+    /// `shard_of`, which is seeded), monitors and counters start fresh.
+    fn rebuild_shard(&self, id: usize) -> Shard {
+        let nodes: Vec<usize> =
+            (0..self.shard_of.len()).filter(|&n| self.shard_of[n] == id).collect();
+        Shard::new(
+            id,
+            nodes,
+            Arc::clone(&self.model),
+            Arc::clone(&self.extractor),
+            self.replay.metrics(),
+            self.view.clone(),
+            &self.cfg.monitor,
+            self.cfg.batched,
+            self.obs.clone(),
+        )
     }
 
     /// Services one batch of label requests through the oracle, refits
@@ -847,8 +953,8 @@ impl FleetService {
                 &self.tracer.ctx(r.node, r.at),
                 "oracle_label",
                 &[
-                    ("truth", Value::from(truth.as_str())),
-                    ("predicted", Value::from(r.predicted.label.as_str())),
+                    ("truth", Value::Str(truth.clone())),
+                    ("predicted", Value::Str(r.predicted.label.clone())),
                     ("uncertainty", Value::from(r.uncertainty)),
                 ],
             );

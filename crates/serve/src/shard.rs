@@ -6,21 +6,20 @@
 //! feature scaling and model inference once per batch of windows — the
 //! amortisation the `serve_throughput` benchmark measures against the
 //! node-at-a-time baseline (`batched = false`). Shards are `Send`, so
-//! the service fans them out across rayon workers every tick; each
-//! shard's report is assembled in deterministic node order regardless of
-//! which thread ran it.
+//! the service moves them onto its `alba-par` worker pool every tick;
+//! each shard's report is assembled in deterministic node order
+//! regardless of which thread ran it.
 
 use crate::replay::TelemetrySample;
 use alba_active::uncertainty_score;
 use alba_data::{Matrix, MetricDef};
-use alba_features::{FeatureExtractor, FeatureView};
+use alba_features::{ExtractScratch, FeatureExtractor, FeatureView};
 use alba_ml::{Diagnosis, DiagnosisModel};
 use alba_obs::{Counter, Histogram, Obs};
 use albadross::{Alarm, MonitorConfig, NodeMonitor};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// An alarm attributed to a fleet node.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -96,6 +95,9 @@ pub struct Shard {
     /// Injected-fault flag: the next [`Shard::process`] call panics
     /// (exercising the service's supervisor) instead of processing.
     panic_armed: bool,
+    /// Reusable extraction buffers — one per shard, so the planned
+    /// zero-copy path allocates nothing per window.
+    scratch: ExtractScratch,
     stats: ShardStats,
     /// Wall-time per [`Shard::process`] call, nanoseconds.
     busy: Histogram,
@@ -148,6 +150,7 @@ impl Shard {
             view,
             batched,
             panic_armed: false,
+            scratch: ExtractScratch::default(),
             stats: ShardStats::default(),
             busy: Histogram::new(),
             latency: Histogram::new(),
@@ -236,8 +239,12 @@ impl Shard {
             self.panic_armed = false;
             std::panic::panic_any(crate::chaos::InjectedPanic);
         }
-        // alba-lint: allow(no-ambient-time) reason="wall busy-time measurement only; excluded from replay-identity artifacts"
-        let start = Instant::now();
+        // Busy time against the obs clock: under a `TickClock` (the
+        // replay-identity configuration) every duration is 0 no matter
+        // which worker thread ran the shard, so the exposed histograms
+        // stay byte-identical across worker counts; a `WallClock`
+        // records real nanoseconds.
+        let start = self.obs.now_ns();
         let mut report = ShardReport::default();
 
         // Buffer samples; collect the windows that came due.
@@ -262,13 +269,15 @@ impl Shard {
             }
             self.stats.samples += 1;
             if self.monitors[l].push(&s.values) {
-                rows.push(self.monitors[l].window_row());
+                let mut row = Vec::new();
+                self.monitors[l].window_row_into(&mut self.scratch, &mut row);
+                rows.push(row);
                 due.push((l, s.at));
             }
         }
         extract_span.finish();
         if due.is_empty() {
-            self.busy.record(start.elapsed().as_nanos() as u64);
+            self.busy.record(self.obs.now_ns().saturating_sub(start));
             return report;
         }
 
@@ -318,7 +327,7 @@ impl Shard {
                 row,
             });
         }
-        self.busy.record(start.elapsed().as_nanos() as u64);
+        self.busy.record(self.obs.now_ns().saturating_sub(start));
         report
     }
 }

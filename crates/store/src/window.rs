@@ -8,7 +8,8 @@
 //! the extractor boundary ([`WindowView::to_series`]), which needs a
 //! mutable series for preprocessing anyway.
 
-use alba_data::{MetricDef, MultiSeries};
+use alba_data::{MetricDef, MetricKind, MultiSeries};
+use alba_features::SeriesSource;
 use serde::{Deserialize, Serialize};
 
 /// A sliding-window shape: length and stride, in 1 Hz samples.
@@ -82,6 +83,27 @@ impl<'a> WindowView<'a> {
             metrics: self.series.metrics.clone(),
             values: (0..self.series.n_metrics()).map(|m| self.metric(m).to_vec()).collect(),
         }
+    }
+}
+
+/// A [`WindowView`] lends per-metric sub-slices directly, so planned
+/// feature extraction ([`alba_features::FeatureView::unscaled_row_into`])
+/// runs on stored windows without [`WindowView::to_series`]'s copy.
+impl SeriesSource for WindowView<'_> {
+    fn n_metrics(&self) -> usize {
+        self.series.n_metrics()
+    }
+
+    fn series_len(&self) -> usize {
+        self.len
+    }
+
+    fn metric(&self, m: usize) -> &[f64] {
+        WindowView::metric(self, m)
+    }
+
+    fn metric_kind(&self, m: usize) -> MetricKind {
+        self.series.metrics[m].kind
     }
 }
 
@@ -178,5 +200,40 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_stride_rejected() {
         let _ = WindowSpec::new(60, 0);
+    }
+
+    #[test]
+    fn view_extraction_is_bit_identical_to_materialised_window() {
+        use alba_data::Matrix;
+        use alba_features::{
+            ExtractScratch, FeatureExtractor, FeatureView, MinMaxScaler, Mvts, PreprocessConfig,
+        };
+        let mut s = series(90);
+        // NaN gaps so interpolation actually runs on both paths.
+        s.values[0][12] = f64::NAN;
+        s.values[0][13] = f64::NAN;
+        s.values[1][40] = f64::NAN;
+        let w = windows(&s, WindowSpec::new(60, 10)).nth(1).unwrap();
+        let ex = Mvts;
+        let npm = ex.n_features_per_metric();
+        let selected: Vec<usize> = (0..2 * npm).rev().step_by(3).collect();
+        let k = selected.len();
+        let scaler = MinMaxScaler::fit(&Matrix::from_rows(&[vec![0.0; k], vec![1.0; k]]));
+        let view = FeatureView::new(selected, scaler);
+        let pre = PreprocessConfig { trim_frac: 0.08, diff_counters: true, interpolate: true };
+
+        // Golden path: materialise the window, then the cloned-series row.
+        let golden = view.unscaled_row(&ex, &w.to_series(), &pre);
+
+        // Hot path: plan + scratch straight off the borrowed view.
+        let plan = view.plan(&ex);
+        let mut scratch = ExtractScratch::default();
+        let mut got = vec![0.0; view.n_features()];
+        view.unscaled_row_into(&ex, &w, &pre, &plan, &mut scratch, &mut got);
+
+        assert_eq!(golden.len(), got.len());
+        for (i, (a, b)) in golden.iter().zip(&got).enumerate() {
+            assert!(a.to_bits() == b.to_bits(), "column {i}: {a} vs {b}");
+        }
     }
 }

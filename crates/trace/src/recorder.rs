@@ -28,14 +28,30 @@ impl Lane {
     /// the hop hot path renders straight into the line buffer. Labels
     /// are plain ASCII identifiers, so no JSON escaping is needed.
     pub fn write_label(&self, out: &mut String) {
-        use std::fmt::Write as _;
         match self {
             Lane::Net => out.push_str("net"),
             Lane::Shard(i) => {
-                let _ = write!(out, "shard{i}");
+                out.push_str("shard");
+                push_u64(out, u64::from(*i));
             }
             Lane::Service => out.push_str("service"),
         }
+    }
+}
+
+/// Fast decimal formatter shared with the event renderer — same bytes
+/// as `write!(out, "{v}")`, none of the `core::fmt` machinery. The hop
+/// renderer formats three to four integers per line; at fleet hop
+/// rates the formatter is the measurable part of the tracing tax.
+pub(crate) use alba_obs::push_u64;
+
+/// Appends `v` as 16 lowercase hex digits — same bytes as
+/// `write!(out, "{v:016x}")`. Pushes chars (always ASCII), so the path
+/// is infallible by construction.
+pub(crate) fn push_hex16(out: &mut String, v: u64) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    for i in 0..16 {
+        out.push(HEX[((v >> (60 - 4 * i)) & 0xf) as usize] as char);
     }
 }
 
@@ -75,6 +91,22 @@ impl FlightRing {
             self.buf[self.head] = entry;
             self.head = (self.head + 1) % self.cap;
             self.evicted += 1;
+        }
+    }
+
+    /// Hands back a reusable line buffer: once the ring is full, the
+    /// `String` of the entry the next [`FlightRing::push`] will
+    /// overwrite (cleared, capacity kept); a fresh buffer while the
+    /// ring is still filling. Pairing each call with one `push` makes
+    /// a full ring allocation-free in steady state — which is what
+    /// keeps the always-on recorder within the tracing overhead bound.
+    pub fn recycle_buffer(&mut self) -> String {
+        if self.buf.len() < self.cap {
+            String::with_capacity(192)
+        } else {
+            let mut s = std::mem::take(&mut self.buf[self.head].line);
+            s.clear();
+            s
         }
     }
 
@@ -128,6 +160,35 @@ mod tests {
         let kept: Vec<usize> = r.iter().map(|e| e.node.unwrap()).collect();
         assert_eq!(kept, vec![0, 1, 2]);
         assert_eq!(r.evicted(), 0);
+    }
+
+    #[test]
+    fn hand_rolled_formatters_match_write() {
+        use std::fmt::Write as _;
+        for v in [0u64, 1, 9, 10, 42, 999, 1_000, u64::MAX / 2, u64::MAX] {
+            let (mut fast, mut slow) = (String::new(), String::new());
+            push_u64(&mut fast, v);
+            let _ = write!(slow, "{v}");
+            assert_eq!(fast, slow, "decimal {v}");
+            let (mut fast, mut slow) = (String::new(), String::new());
+            push_hex16(&mut fast, v);
+            let _ = write!(slow, "{v:016x}");
+            assert_eq!(fast, slow, "hex {v}");
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_cleared_and_do_not_change_ring_contents() {
+        let mut r = FlightRing::new(2);
+        assert_eq!(r.recycle_buffer(), "", "filling ring hands out fresh buffers");
+        r.push(entry(0));
+        r.push(entry(1));
+        let buf = r.recycle_buffer();
+        assert!(buf.is_empty() && buf.capacity() > 0, "full ring recycles the oldest buffer");
+        r.push(RingEntry { node: Some(2), line: buf });
+        let kept: Vec<usize> = r.iter().map(|e| e.node.unwrap()).collect();
+        assert_eq!(kept, vec![1, 2], "eviction order is unchanged by recycling");
+        assert_eq!(r.evicted(), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use alba_obs::{json_escape, Clock, EventSink, Value};
 
 use crate::ctx::TraceCtx;
-use crate::recorder::{FlightRing, Lane, RingEntry};
+use crate::recorder::{push_hex16, push_u64, FlightRing, Lane, RingEntry};
 
 struct Inner {
     seed: u64,
@@ -117,22 +117,27 @@ impl Tracer {
     /// the lane's flight ring. No-op when disabled.
     pub fn hop(&self, lane: Lane, ctx: &TraceCtx, stage: &str, fields: &[(&str, Value)]) {
         let Some(inner) = &self.inner else { return };
-        let mut line = String::with_capacity(192);
+        // Render into the buffer of the ring entry this hop is about to
+        // evict (allocation-free once the ring is full) and with
+        // hand-rolled integer formatting — the rendered bytes are
+        // pinned against `write!` by tests, and the trace_overhead
+        // bench holds the whole path within its CI bound.
+        let mut rings = inner.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        let ring = rings.entry(lane).or_insert_with(|| FlightRing::new(inner.ring_capacity));
+        let mut line = ring.recycle_buffer();
         line.push_str("{\"ts\":");
-        let _ = write!(line, "{}", inner.clock.now_ns());
+        push_u64(&mut line, inner.clock.now_ns());
         line.push_str(",\"trace\":\"");
-        let _ = write!(line, "{:016x}", ctx.id);
+        push_hex16(&mut line, ctx.id);
         line.push_str("\",\"lane\":\"");
         lane.write_label(&mut line);
         line.push_str("\",\"node\":");
         match ctx.node {
-            Some(n) => {
-                let _ = write!(line, "{n}");
-            }
+            Some(n) => push_u64(&mut line, n as u64),
             None => line.push_str("null"),
         }
         line.push_str(",\"tick\":");
-        let _ = write!(line, "{}", ctx.tick);
+        push_u64(&mut line, ctx.tick as u64);
         line.push_str(",\"stage\":\"");
         json_escape(stage, &mut line);
         line.push('"');
@@ -148,11 +153,7 @@ impl Tracer {
         if let Some(sink) = &*inner.sink.lock().unwrap_or_else(PoisonError::into_inner) {
             sink.emit(&line);
         }
-        let mut rings = inner.rings.lock().unwrap_or_else(PoisonError::into_inner);
-        rings
-            .entry(lane)
-            .or_insert_with(|| FlightRing::new(inner.ring_capacity))
-            .push(RingEntry { node: ctx.node, line });
+        ring.push(RingEntry { node: ctx.node, line });
     }
 
     /// Hops recorded since construction.

@@ -15,6 +15,12 @@
 //! `results/fleet_monitor_metrics.prom` in text-exposition format.
 //!
 //! Run with: `cargo run --release --example fleet_monitor`
+//!
+//! Environment knobs (used by `scripts/ci.sh`'s parallel smoke, which
+//! byte-compares the artifacts of a 1-worker and a 4-worker run):
+//!
+//! * `ALBA_WORKERS=<n>` — shard pool worker threads (default: auto).
+//! * `ALBA_MONITOR_OUT=<dir>` — output directory (default: `results`).
 
 use std::sync::Arc;
 
@@ -33,13 +39,16 @@ fn main() {
     cfg.uncertainty_threshold = 0.3;
     cfg.retrain_batch = 12;
     cfg.max_retrains = 2;
+    cfg.n_workers = std::env::var("ALBA_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
 
     // Observe the run on a deterministic tick clock, with structured
     // events streaming to a JSONL file.
     let clock = Arc::new(TickClock::new());
     let obs = Obs::with_clock(clock.clone());
-    std::fs::create_dir_all("results").expect("create results directory");
-    let events_path = std::path::Path::new("results/fleet_monitor_events.jsonl");
+    let out_dir = std::env::var("ALBA_MONITOR_OUT").unwrap_or_else(|_| "results".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create results directory");
+    let events_path = std::path::Path::new(&out_dir).join("fleet_monitor_events.jsonl");
+    let events_path = events_path.as_path();
     obs.set_sink(Arc::new(FileSink::create(events_path).expect("create event log")));
 
     println!("training the initial model and building the 52-node fleet...");
@@ -97,7 +106,8 @@ fn main() {
 
     // Dump everything the registry saw: counters, stage histograms and
     // the per-shard busy/latency histograms.
-    let metrics_path = std::path::Path::new("results/fleet_monitor_metrics.prom");
+    let metrics_path = std::path::Path::new(&out_dir).join("fleet_monitor_metrics.prom");
+    let metrics_path = metrics_path.as_path();
     std::fs::write(metrics_path, svc.prometheus()).expect("write metrics dump");
     println!(
         "observability: {} events -> {}, metrics -> {}",

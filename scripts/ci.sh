@@ -4,7 +4,8 @@
 # Usage: scripts/ci.sh [--full]
 # Runs everything the tree must pass before a merge; exits non-zero on
 # the first failure. --full additionally runs the #[ignore]d slow
-# suites (exhaustive store byte-flip sweep, long chaos cases).
+# suites (exhaustive store byte-flip sweep, long chaos cases, the
+# 24-cell parallel determinism stress matrix).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -289,15 +290,22 @@ print(f"  codec {bench['codec_decode_frames_per_sec_per_core']:.0f} f/s, "
       f"p99 {bench['ingest_to_diagnosis_latency_p99_ticks']} ticks: OK")
 EOF
 
-echo "==> trace overhead bench (enabled tracing must stay under 5%)"
-ALBA_BENCH_QUICK=1 ALBA_TRACE_ASSERT=5 cargo bench -p alba-bench --bench trace_overhead
+echo "==> trace overhead bench (enabled tracing must stay under 10%)"
+# The bound is a percentage of the *untraced* pipeline, so it tightens
+# every time the pipeline itself speeds up: the selective-extraction
+# work cut the base path ~3x, which re-based a ~5 us/window tracing
+# cost from ~2% to ~5-6%. 10% keeps a real gate (a 2x tracing
+# regression still fails) without flaking on the shrunken denominator;
+# absolute regressions are separately caught by bench_gate.sh on
+# ns_per_window_traced.
+ALBA_BENCH_QUICK=1 ALBA_TRACE_ASSERT=10 cargo bench -p alba-bench --bench trace_overhead
 python3 - <<'EOF'
 import json
 
 bench = json.load(open("results/BENCH_trace.json"))
 assert bench["bench"] == "trace_overhead"
 assert bench["trace_hops_recorded"] > 0
-assert bench["trace_overhead_pct"] <= 5.0, bench
+assert bench["trace_overhead_pct"] <= 10.0, bench
 print(f"  {bench['trace_overhead_pct']:.2f}% overhead, "
       f"{bench['trace_hops_per_sec_per_core']:.0f} hops/s/core: OK")
 EOF
@@ -359,6 +367,48 @@ for key in ("cell_throughput_per_min_per_core", "warm_replay_ns_per_cell"):
 print(f"  {bench['cell_throughput_per_min_per_core']:.0f} cells/min/core cold, "
       f"{bench['warm_replay_ns_per_cell']:.0f} ns/cell warm replay, "
       f"resume {bench['resume_overhead_pct']:+.2f}% over cold rate: OK")
+EOF
+
+echo "==> parallel smoke (fleet_monitor at 1 vs 4 workers: artifacts byte-identical)"
+OUT_PAR_1=$(mktemp -d)
+OUT_PAR_4=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR" "$OUT_COLD" "$OUT_WARM" "$OUT_CHAOS_A" "$OUT_CHAOS_B" "$OUT_GW_A" "$OUT_GW_B" "$GRID_STORE" "$OUT_GRID_COLD" "$OUT_GRID_PART" "$OUT_GRID_RES" "$OUT_PAR_1" "$OUT_PAR_4"' EXIT
+ALBA_WORKERS=1 ALBA_MONITOR_OUT="$OUT_PAR_1" \
+    cargo run --release --example fleet_monitor >/dev/null
+ALBA_WORKERS=4 ALBA_MONITOR_OUT="$OUT_PAR_4" \
+    cargo run --release --example fleet_monitor >/dev/null
+cmp "$OUT_PAR_1/fleet_monitor_events.jsonl" "$OUT_PAR_4/fleet_monitor_events.jsonl" \
+    || { echo "event logs diverged between 1-worker and 4-worker runs" >&2; exit 1; }
+# The per-worker pool gauges (par_worker_*) legitimately depend on the
+# worker count; every other exposition line must agree exactly.
+diff <(grep -v 'par_worker' "$OUT_PAR_1/fleet_monitor_metrics.prom") \
+     <(grep -v 'par_worker' "$OUT_PAR_4/fleet_monitor_metrics.prom") \
+    || { echo "metric expositions diverged beyond par_worker_* across worker counts" >&2; exit 1; }
+echo "  1-worker and 4-worker artifacts identical (modulo par_worker_* gauges): OK"
+
+echo "==> parallel throughput bench (zero-copy extract must be >= 2x materialized)"
+ALBA_BENCH_QUICK=1 cargo bench -p alba-bench --bench parallel_throughput
+python3 - <<'EOF'
+import json
+
+bench = json.load(open("results/BENCH_parallel.json"))
+assert bench["bench"] == "parallel_throughput"
+for key in (
+    "extract_rows_per_sec_per_core_materialized",
+    "extract_rows_per_sec_per_core_zero_copy",
+    "serve_node_metrics_per_sec_per_core_w1",
+    "serve_node_metrics_per_sec_per_core_w4",
+    "merge_barrier_p99_ns",
+):
+    assert isinstance(bench[key], (int, float)) and bench[key] > 0, key
+speedup = bench["extract_zero_copy_speedup"]
+assert speedup >= 2.0, (
+    f"zero-copy selective extraction must be >= 2x the materialized path: {speedup}"
+)
+print(f"  extract {bench['extract_rows_per_sec_per_core_zero_copy']:.0f} rows/s/core "
+      f"({speedup:.2f}x materialized), "
+      f"serve {bench['serve_node_metrics_per_sec_per_core_w4']:.0f} node-metrics/s/core @4w, "
+      f"barrier p99 {bench['merge_barrier_p99_ns']:.0f} ns: OK")
 EOF
 
 echo "==> bench gate (no >20% regression vs the committed trajectory)"

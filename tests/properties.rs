@@ -291,7 +291,7 @@ proptest! {
         good_run in 1u32..10,
         cycles in 1usize..40,
     ) {
-        let mut gate = QuarantineGate::new(QuarantineConfig { bad_windows, good_windows });
+        let gate = QuarantineGate::new(QuarantineConfig { bad_windows, good_windows });
         let mut transitions = 0u64;
         for _ in 0..cycles {
             for _ in 0..bad_run {
@@ -322,7 +322,7 @@ proptest! {
 
     #[test]
     fn quarantine_thresholds_are_exact(bad_windows in 1u32..9, good_windows in 1u32..9) {
-        let mut gate = QuarantineGate::new(QuarantineConfig { bad_windows, good_windows });
+        let gate = QuarantineGate::new(QuarantineConfig { bad_windows, good_windows });
         // Exactly bad_windows consecutive garbage observations enter…
         for k in 1..bad_windows {
             prop_assert_eq!(gate.observe(5, true), Transition::None, "early enter at {k}");
@@ -617,4 +617,118 @@ proptest! {
             }
         }
     }
+}
+
+// ---- alba-par: determinism stress matrix -----------------------------
+//
+// Random (workers, shards, nodes, fault-plan) tuples, each judged
+// against the single-worker oracle for the same configuration: the
+// merged event log and the deployed model must be *byte-identical*
+// whatever the pool size. A short slice of the matrix runs in tier-1;
+// the full sweep is `#[ignore]`d and wired behind `ci.sh --full`.
+
+use albadross_repro::chaos::{FaultEvent, FaultKind, FaultPlan};
+use albadross_repro::framework::{MonitorConfig, System};
+use albadross_repro::obs::{MemorySink, Obs, TickClock};
+use albadross_repro::serve::{FleetService, ServeConfig};
+use albadross_repro::telemetry::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// One randomly drawn stress cell.
+#[derive(Debug)]
+struct StressCell {
+    seed: u64,
+    nodes: usize,
+    shards: usize,
+    workers: usize,
+    duration: usize,
+    plan: FaultPlan,
+}
+
+/// Draws one cell; every dimension that may interact with the merge
+/// barrier is randomised — pool size, shard count (including shards >
+/// nodes leaving some shards empty), fleet size, and a fault plan
+/// mixing shard panics with telemetry faults.
+fn draw_cell(rng: &mut StdRng) -> StressCell {
+    let nodes = rng.gen_range(4usize..=20);
+    let shards = rng.gen_range(1usize..=6);
+    let workers = rng.gen_range(2usize..=8);
+    let duration = rng.gen_range(90usize..=130);
+    let kinds = [
+        FaultKind::ShardPanic,
+        FaultKind::ShardPanic, // weighted: panics exercise the supervisor
+        FaultKind::NodeBlackout,
+        FaultKind::GarbageSensor,
+        FaultKind::StuckSensor,
+    ];
+    let events = (0..rng.gen_range(0usize..=4))
+        .map(|_| {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let target = match kind {
+                FaultKind::ShardPanic => rng.gen_range(0..shards),
+                _ => rng.gen_range(0..nodes),
+            };
+            FaultEvent {
+                kind,
+                tick: rng.gen_range(10..duration.saturating_sub(10).max(11)),
+                duration: rng.gen_range(1usize..=8),
+                target,
+                metric: 0,
+                magnitude: 1,
+            }
+        })
+        .collect();
+    let plan =
+        FaultPlan { seed: 0, horizon: duration + 60, n_nodes: nodes, n_shards: shards, events };
+    StressCell { seed: rng.gen_range(0u64..1 << 32), nodes, shards, workers, duration, plan }
+}
+
+/// Runs one cell at the given worker count; returns the event log and
+/// the deployed model (serialised), the byte-identity artifacts.
+fn stress_run(cell: &StressCell, workers: usize) -> (Vec<String>, String) {
+    let mut cfg = ServeConfig::new(System::Volta, Scale::Smoke, cell.nodes, cell.seed);
+    cfg.fleet.duration_override_s = Some(cell.duration);
+    cfg.monitor = MonitorConfig { window: 60, stride: 10, confirm: 2, min_confidence: 0.5 };
+    cfg.n_shards = cell.shards;
+    cfg.n_workers = workers;
+    cfg.uncertainty_threshold = 0.35;
+    cfg.retrain_batch = 6;
+    cfg.max_retrains = 1;
+    let obs = Obs::with_clock(Arc::new(TickClock::new()));
+    let sink = Arc::new(MemorySink::new());
+    obs.set_sink(sink.clone());
+    let mut svc = FleetService::with_chaos_plan(cfg, cell.plan.clone(), obs);
+    svc.run_to_completion();
+    (sink.lines(), svc.model().to_json())
+}
+
+/// Judges `cells` random tuples against their 1-worker oracles.
+fn stress_matrix(rng_seed: u64, cells: usize) {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut total_events = 0usize;
+    for i in 0..cells {
+        let cell = draw_cell(&mut rng);
+        let (oracle_events, oracle_model) = stress_run(&cell, 1);
+        let (events, model) = stress_run(&cell, cell.workers);
+        assert_eq!(oracle_events, events, "cell {i} diverged from the 1-worker oracle: {cell:?}");
+        assert_eq!(oracle_model, model, "cell {i} deployed a different model: {cell:?}");
+        total_events += events.len();
+    }
+    assert!(total_events > 0, "a stress sweep with no events proves nothing");
+}
+
+/// Tier-1 slice of the matrix: a handful of random cells on every run.
+#[test]
+fn parallel_stress_matrix_smoke() {
+    stress_matrix(0xA1BA_0901, 3);
+}
+
+/// The full sweep — minutes, not seconds — behind `ci.sh --full`:
+/// `cargo test -q parallel_stress_matrix_full -- --ignored`.
+#[test]
+#[ignore = "full stress sweep; run via ci.sh --full"]
+fn parallel_stress_matrix_full() {
+    stress_matrix(0xA1BA_0902, 24);
 }
