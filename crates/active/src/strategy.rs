@@ -198,6 +198,7 @@ pub fn select_batch(
                     // Fall back to the first free position.
                     pos = (0..ctx.remaining.len())
                         .find(|p| !chosen.contains(p))
+                        // alba-lint: allow(reachable-panic) reason="the batch clamp above guarantees a free slot"
                         .expect("batch <= remaining");
                 }
                 chosen.push(pos);

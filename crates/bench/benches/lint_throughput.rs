@@ -1,0 +1,109 @@
+//! Linter throughput: the full interprocedural pipeline over the
+//! workspace's own sources.
+//!
+//! The corpus is the real tree (every file `alba-lint` itself scans),
+//! loaded once up front so timings measure analysis, not I/O. Two
+//! configurations, each best of `reps`:
+//!
+//! * **token** — lex + classify + token rules per file, the v1
+//!   pipeline; sets the baseline the interprocedural passes are
+//!   priced against.
+//! * **full** — `analyze_sources`: lex, parse, call-graph build, and
+//!   the three dataflow passes (panic reachability, nondeterminism
+//!   taint, lock order).
+//!
+//! Writes `results/BENCH_lint.json` — a trajectory point for
+//! `scripts/bench_gate.sh` — and prints the same numbers.
+//!
+//! Environment knobs:
+//!
+//! * `ALBA_BENCH_QUICK=1` — fewer reps.
+//!
+//! Run with: `cargo bench -p alba-bench --bench lint_throughput`
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+use alba_lint::{analyze_sources, lint_source, walk};
+
+fn main() {
+    let quick = std::env::var("ALBA_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 3 } else { 7 };
+
+    // `cargo bench` runs with cwd = the package dir; anchor at the
+    // workspace root explicitly.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files: BTreeMap<String, String> = BTreeMap::new();
+    for abs in walk::workspace_sources(&root).expect("walk workspace") {
+        let rel = walk::relative_path(&root, &abs);
+        files.insert(rel, std::fs::read_to_string(&abs).expect("read source"));
+    }
+    let n_files = files.len();
+    let n_lines: usize = files.values().map(|s| s.lines().count()).sum();
+
+    // Token-only pipeline (v1): per-file lexing and token rules.
+    let mut token_best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut findings = 0usize;
+        for (path, src) in &files {
+            findings += lint_source(path, src).len();
+        }
+        token_best = token_best.min(t.elapsed().as_secs_f64().max(1e-9));
+        assert_eq!(findings, 0, "the tree must be token-clean");
+    }
+
+    // Full interprocedural pipeline.
+    let mut full_best = f64::MAX;
+    let mut fns = 0u64;
+    let mut edges = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let report = analyze_sources(&files);
+        full_best = full_best.min(t.elapsed().as_secs_f64().max(1e-9));
+        assert!(report.findings.is_empty(), "the tree must be clean: {:?}", report.findings);
+        fns = report.fns_analyzed;
+        edges = report.call_edges;
+    }
+
+    let token_files_per_sec = n_files as f64 / token_best;
+    let full_files_per_sec = n_files as f64 / full_best;
+    let full_lines_per_sec = n_lines as f64 / full_best;
+    let ns_per_fn = full_best * 1e9 / fns.max(1) as f64;
+    // What the call graph + dataflow add on top of the token pass.
+    let interproc_cost_pct = (full_best / token_best - 1.0) * 100.0;
+
+    println!("lint/token    {n_files} files             {token_files_per_sec:>14.0} files/s");
+    println!(
+        "lint/full     {fns} fns / {edges} edges {full_files_per_sec:>14.0} files/s \
+         ({interproc_cost_pct:+.0}% vs token)"
+    );
+    println!("lint/full     {n_lines} lines           {full_lines_per_sec:>14.0} lines/s");
+    println!("lint/full     per function         {ns_per_fn:>14.0} ns/fn");
+
+    let json = format!(
+        "{{\n  \"bench\": \"lint_throughput\",\n  \"quick\": {},\n  \
+         \"files\": {},\n  \
+         \"lines\": {},\n  \
+         \"fns_analyzed\": {},\n  \
+         \"call_edges\": {},\n  \
+         \"token_files_per_sec\": {:.0},\n  \
+         \"lint_files_per_sec\": {:.0},\n  \
+         \"lint_lines_per_sec\": {:.0},\n  \
+         \"interproc_ns_per_fn\": {:.0}\n}}\n",
+        quick,
+        n_files,
+        n_lines,
+        fns,
+        edges,
+        token_files_per_sec,
+        full_files_per_sec,
+        full_lines_per_sec,
+        ns_per_fn,
+    );
+    let results = root.join("results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    std::fs::write(results.join("BENCH_lint.json"), json).expect("write results/BENCH_lint.json");
+    println!("lint/json     wrote results/BENCH_lint.json");
+}

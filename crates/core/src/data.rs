@@ -98,6 +98,7 @@ impl SystemData {
         use std::collections::HashMap;
         use std::sync::Arc;
         type Key = (System, FeatureMethod, Scale, u64);
+        // alba-lint: allow(nondet-taint) reason="keyed memo cache; lookups only, never iterated"
         static CACHE: Mutex<Option<HashMap<Key, Arc<SystemData>>>> = Mutex::new(None);
 
         let key = (system, method, scale, seed);
@@ -106,6 +107,7 @@ impl SystemData {
         }
         let data = Self::generate_via_env_store(system, method, scale, seed);
         let mut guard = CACHE.lock();
+        // alba-lint: allow(nondet-taint) reason="keyed memo cache; lookups only, never iterated"
         let map = guard.get_or_insert_with(HashMap::new);
         // Datasets are large; keep only a handful of distinct configurations.
         if map.len() >= 6 {

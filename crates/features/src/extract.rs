@@ -99,6 +99,7 @@ pub fn extract_features(
         .map(|s| {
             encoder
                 .encode(&s.label)
+                // alba-lint: allow(reachable-panic) reason="labels come from the catalog the encoder was built from"
                 .unwrap_or_else(|| panic!("label {:?} not in class names", s.label))
         })
         .collect();

@@ -171,7 +171,7 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TestResult> {
     if n < 2 {
         return None;
     }
-    let d: Vec<f64> = (0..n).map(|i| a[i] - b[i]).collect();
+    let d: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let md = mean(&d);
     let sd = sample_std(&d);
     if sd <= 0.0 {
@@ -186,32 +186,35 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TestResult> {
 /// standard procedure; `None` when no nonzero differences remain or the
 /// variance collapses.
 pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Option<TestResult> {
-    let n = a.len().min(b.len());
-    let diffs: Vec<f64> = (0..n).map(|i| a[i] - b[i]).filter(|d| *d != 0.0).collect();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).filter(|d| *d != 0.0).collect();
     let nr = diffs.len();
     if nr < 2 {
         return None;
     }
     // Rank |d| ascending with average ranks for ties.
     let mut order: Vec<usize> = (0..nr).collect();
+    // alba-lint: allow(reachable-panic) reason="order holds indices 0..nr into diffs"
     order.sort_by(|&i, &j| diffs[i].abs().total_cmp(&diffs[j].abs()).then(i.cmp(&j)));
     let mut ranks = vec![0.0f64; nr];
     let mut tie_correction = 0.0f64;
     let mut i = 0;
     while i < nr {
         let mut j = i;
+        // alba-lint: allow(reachable-panic) reason="j+1 < nr checked first; order entries index diffs"
         while j + 1 < nr && diffs[order[j + 1]].abs() == diffs[order[i]].abs() {
             j += 1;
         }
         let avg_rank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+                                                 // alba-lint: allow(reachable-panic) reason="i..=j stays within 0..nr by the loop bounds"
         for &k in &order[i..=j] {
+            // alba-lint: allow(reachable-panic) reason="k is an index 0..nr drawn from order"
             ranks[k] = avg_rank;
         }
         let t = (j - i + 1) as f64;
         tie_correction += t * t * t - t;
         i = j + 1;
     }
-    let w_plus: f64 = (0..nr).filter(|&k| diffs[k] > 0.0).map(|k| ranks[k]).sum();
+    let w_plus: f64 = diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| r).sum();
     let nf = nr as f64;
     let mu = nf * (nf + 1.0) / 4.0;
     let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;

@@ -7,24 +7,50 @@
 //! end-to-end tests tell you when that invariant breaks; this crate
 //! tells you *where*, before anything runs.
 //!
-//! The tool is dependency-light by design: a hand-rolled lexer
-//! ([`lexer`]) that correctly skips comments, string/char/raw-string
-//! literals and lifetimes, a token-pattern rule engine ([`rules`]), a
-//! mandatory-reason suppression syntax ([`suppress`]), and a
-//! shrink-only baseline ([`baseline`]). Run it as
+//! Two engines share one reporting pipeline:
+//!
+//! * the **token engine** ([`rules`]) — per-file patterns over the
+//!   hand-rolled [`lexer`] stream (comments/strings can never fire);
+//! * the **interprocedural engine** — an item parser ([`parse`]) on the
+//!   same lexer, a cross-crate call graph ([`callgraph`]), and three
+//!   dataflow passes ([`dataflow`]): panic-reachability from hot-path
+//!   roots, nondeterminism taint into journaled-output sinks, and
+//!   lock-order cycle detection. Findings carry the full call chain,
+//!   each step a clickable `file:line`.
+//!
+//! Suppressions ([`suppress`]) are reason-mandatory; interprocedural
+//! findings are suppressible at the *source* (the panic/nondet site —
+//! also via the matching token rule's name) or at the *root* (the
+//! hot-path fn / sink caller — interprocedural rule name only). A
+//! suppression naming an interprocedural rule that no longer silences
+//! anything is itself reported (`stale-suppression`) under
+//! `--check-stale`, so dead call edges cannot leave dead allows behind.
+//! The baseline ([`baseline`]) stays shrink-only. Run as
 //! `cargo run -p alba-lint`; `scripts/ci.sh` runs it as a hard gate.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod suppress;
 pub mod walk;
 
 use baseline::{Baseline, Key, StaleEntry, Violation};
+use callgraph::Graph;
+use dataflow::{lock_order, nondet_taint, panic_reachability, InterFinding};
 use rules::FileContext;
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
+
+/// The rules produced by the interprocedural engine.
+pub const INTERPROCEDURAL_RULES: &[&str] = &["reachable-panic", "nondet-taint", "lock-order-cycle"];
+
+/// Rule name of the diagnostics produced for suppressions that name an
+/// interprocedural rule but no longer silence anything.
+pub const STALE_SUPPRESSION: &str = "stale-suppression";
 
 /// One reportable finding (post-suppression).
 #[derive(Clone, Debug, PartialEq, Serialize)]
@@ -37,6 +63,9 @@ pub struct Finding {
     pub line: u32,
     /// Human explanation.
     pub message: String,
+    /// Interprocedural findings carry the call chain, root first, site
+    /// last; token findings leave it empty.
+    pub chain: Vec<dataflow::ChainStep>,
 }
 
 /// The outcome of linting a set of files.
@@ -44,10 +73,17 @@ pub struct Finding {
 pub struct Report {
     /// Findings not silenced by a suppression (baseline not yet applied).
     pub findings: Vec<Finding>,
+    /// Suppressions naming an interprocedural rule that silenced
+    /// nothing — reported (and failed) only under `--check-stale`.
+    pub stale_suppressions: Vec<Finding>,
     /// Findings silenced by a reasoned suppression.
     pub suppressed: u64,
     /// Files scanned.
     pub files_scanned: u64,
+    /// Non-test fns in the call graph.
+    pub fns_analyzed: u64,
+    /// Resolved call edges in the graph.
+    pub call_edges: u64,
 }
 
 impl Report {
@@ -61,20 +97,41 @@ impl Report {
     }
 }
 
-/// Lints one in-memory source file. `path` is the workspace-relative
-/// path (forward slashes) the rule scopes match against.
+/// Runs the *token* rules on one in-memory source file (the
+/// interprocedural passes need the whole workspace; see
+/// [`analyze_sources`]). `path` is the workspace-relative path (forward
+/// slashes) the rule scopes match against.
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     let lexed = lexer::lex(src);
     let ctx = FileContext::classify(path, &lexed);
     let sup = suppress::extract(&lexed);
     let mut out = Vec::new();
-    // Malformed suppressions are findings themselves, never silenceable.
+    push_suppression_findings(&sup, path, &mut out);
+    for raw in rules::check_file(&ctx, &lexed) {
+        if !sup.silences(raw.rule, raw.line) {
+            out.push(Finding {
+                rule: raw.rule.to_string(),
+                path: path.to_string(),
+                line: raw.line,
+                message: raw.message,
+                chain: Vec::new(),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
+    out
+}
+
+/// Malformed or unknown-rule suppressions are findings themselves,
+/// never silenceable.
+fn push_suppression_findings(sup: &suppress::Suppressions, path: &str, out: &mut Vec<Finding>) {
     for bad in &sup.bad {
         out.push(Finding {
             rule: suppress::BAD_SUPPRESSION.to_string(),
             path: path.to_string(),
             line: bad.line,
             message: bad.detail.clone(),
+            chain: Vec::new(),
         });
     }
     // A suppression naming an unknown rule is a typo that would silently
@@ -89,25 +146,14 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
                     message: format!(
                         "allow names unknown rule `{r}` (see --rules for the catalog)"
                     ),
+                    chain: Vec::new(),
                 });
             }
         }
     }
-    for raw in rules::check_file(&ctx, &lexed) {
-        if !sup.silences(raw.rule, raw.line) {
-            out.push(Finding {
-                rule: raw.rule.to_string(),
-                path: path.to_string(),
-                line: raw.line,
-                message: raw.message,
-            });
-        }
-    }
-    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
-    out
 }
 
-/// Number of rule findings a reasoned suppression silenced in `src`.
+/// Number of token-rule findings a reasoned suppression silenced in `src`.
 pub fn suppressed_count(path: &str, src: &str) -> u64 {
     let lexed = lexer::lex(src);
     let ctx = FileContext::classify(path, &lexed);
@@ -118,20 +164,131 @@ pub fn suppressed_count(path: &str, src: &str) -> u64 {
         .count() as u64
 }
 
-/// Lints every workspace source under `root`.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+/// Runs both engines over a set of in-memory sources (workspace-relative
+/// path -> contents). This is the full analysis behind
+/// [`lint_workspace`]; the fixture tests drive it directly.
+pub fn analyze_sources(files: &BTreeMap<String, String>) -> Report {
     let mut report = Report::default();
-    for abs in walk::workspace_sources(root)? {
-        let rel = walk::relative_path(root, &abs);
-        let src = std::fs::read_to_string(&abs)?;
+    let mut sups: BTreeMap<String, suppress::Suppressions> = BTreeMap::new();
+    let mut parsed: BTreeMap<String, parse::ParsedFile> = BTreeMap::new();
+
+    // Stage 1: lex once per file; token rules + suppression extraction
+    // + item parse off the same token stream.
+    for (path, src) in files {
+        let lexed = lexer::lex(src);
+        let ctx = FileContext::classify(path, &lexed);
+        let sup = suppress::extract(&lexed);
         report.files_scanned += 1;
-        report.suppressed += suppressed_count(&rel, &src);
-        report.findings.extend(lint_source(&rel, &src));
+        push_suppression_findings(&sup, path, &mut report.findings);
+        for raw in rules::check_file(&ctx, &lexed) {
+            if sup.silences(raw.rule, raw.line) {
+                report.suppressed += 1;
+            } else {
+                report.findings.push(Finding {
+                    rule: raw.rule.to_string(),
+                    path: path.clone(),
+                    line: raw.line,
+                    message: raw.message,
+                    chain: Vec::new(),
+                });
+            }
+        }
+        parsed.insert(path.clone(), parse::parse_file(path, &lexed, &ctx));
+        sups.insert(path.clone(), sup);
     }
+
+    // Stage 2: call graph + the three interprocedural passes.
+    let graph = Graph::build(&parsed);
+    report.fns_analyzed = graph.fns.len() as u64;
+    report.call_edges = graph.edge_count() as u64;
+    let mut inter = panic_reachability(&graph, dataflow::HOT_PATH_ROOTS);
+    inter.extend(nondet_taint(&graph, dataflow::OUTPUT_SINKS));
+    inter.extend(lock_order(&graph));
+
+    // Stage 3: suppression scoping — a finding is silenceable at its
+    // source site or at its root. Track which interprocedural
+    // suppressions earned their keep.
+    let mut used: BTreeSet<(String, u32)> = BTreeSet::new();
+    for f in inter {
+        if silences_inter(&sups, &f, &mut used) {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(Finding {
+                rule: f.rule.to_string(),
+                path: f.path,
+                line: f.line,
+                message: f.message,
+                chain: f.chain,
+            });
+        }
+    }
+    for (path, sup) in &sups {
+        for s in &sup.active {
+            let names_inter = s.rules.iter().any(|r| INTERPROCEDURAL_RULES.contains(&r.as_str()));
+            if names_inter && !used.contains(&(path.clone(), s.line)) {
+                report.stale_suppressions.push(Finding {
+                    rule: STALE_SUPPRESSION.to_string(),
+                    path: path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "suppression names `{}` but silences no interprocedural finding — the call edge it covered is dead; remove the allow",
+                        s.rules.join(", "),
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+
     report
         .findings
         .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)).then(a.rule.cmp(&b.rule)));
-    Ok(report)
+    report.stale_suppressions.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    report
+}
+
+/// Whether any suppression silences interprocedural finding `f` —
+/// at the source (its own rule name or the matching token rule's) or at
+/// the root (interprocedural rule name only). Every matching
+/// suppression that names an interprocedural rule is marked used.
+fn silences_inter(
+    sups: &BTreeMap<String, suppress::Suppressions>,
+    f: &InterFinding,
+    used: &mut BTreeSet<(String, u32)>,
+) -> bool {
+    let mut hit = false;
+    if let Some(sup) = sups.get(&f.path) {
+        for s in &sup.active {
+            let covers = s.whole_file || s.covers.contains(&f.line);
+            let named = s.rules.iter().any(|r| r == f.rule || Some(r.as_str()) == f.alias);
+            if covers && named {
+                hit = true;
+                if s.rules.iter().any(|r| INTERPROCEDURAL_RULES.contains(&r.as_str())) {
+                    used.insert((f.path.clone(), s.line));
+                }
+            }
+        }
+    }
+    if let Some(sup) = sups.get(&f.root_path) {
+        for s in &sup.active {
+            let covers = s.whole_file || s.covers.contains(&f.root_line);
+            if covers && s.rules.iter().any(|r| r == f.rule) {
+                hit = true;
+                used.insert((f.root_path.clone(), s.line));
+            }
+        }
+    }
+    hit
+}
+
+/// Lints every workspace source under `root` with both engines.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = BTreeMap::new();
+    for abs in walk::workspace_sources(root)? {
+        let rel = walk::relative_path(root, &abs);
+        files.insert(rel, std::fs::read_to_string(&abs)?);
+    }
+    Ok(analyze_sources(&files))
 }
 
 /// The result of applying a baseline to a report.
@@ -156,6 +313,12 @@ pub fn gate(report: &Report, baseline: &Baseline) -> Gated {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn analyze(files: &[(&str, &str)]) -> Report {
+        let map: BTreeMap<String, String> =
+            files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+        analyze_sources(&map)
+    }
 
     #[test]
     fn suppressed_findings_are_counted_not_reported() {
@@ -191,6 +354,58 @@ mod tests {
     }
 
     #[test]
+    fn interprocedural_findings_flow_through_analyze() {
+        let report = analyze(&[(
+            "crates/serve/src/service.rs",
+            "impl FleetService { pub fn tick(&mut self) { helper(); } }\nfn helper() { None::<u8>.unwrap(); }\n",
+        )]);
+        let reach: Vec<&Finding> =
+            report.findings.iter().filter(|f| f.rule == "reachable-panic").collect();
+        assert_eq!(reach.len(), 1);
+        assert_eq!(reach[0].line, 2);
+        assert_eq!(reach[0].chain.len(), 3, "tick -> helper -> site");
+        assert!(report.fns_analyzed >= 2 && report.call_edges >= 1);
+    }
+
+    #[test]
+    fn inter_findings_suppressible_at_source_via_alias() {
+        let report = analyze(&[(
+            "crates/serve/src/service.rs",
+            "impl FleetService { pub fn tick(&mut self) { helper(); } }\nfn helper() { None::<u8>.unwrap(); } // alba-lint: allow(no-panic-in-fallible) reason=\"demo: cannot be none\"\n",
+        )]);
+        assert!(
+            !report.findings.iter().any(|f| f.rule == "reachable-panic"),
+            "{:?}",
+            report.findings
+        );
+        // The alias suppression is a token-rule allow, not an
+        // interprocedural one — it cannot go stale here.
+        assert!(report.stale_suppressions.is_empty());
+    }
+
+    #[test]
+    fn inter_findings_suppressible_at_the_root() {
+        let report = analyze(&[(
+            "crates/serve/src/service.rs",
+            "impl FleetService { pub fn tick(&mut self) { helper(); } } // alba-lint: allow(reachable-panic) reason=\"demo: panic is the supervisor contract\"\nfn helper() { None::<u8>.unwrap(); }\n",
+        )]);
+        assert!(!report.findings.iter().any(|f| f.rule == "reachable-panic"));
+        assert!(report.stale_suppressions.is_empty(), "{:?}", report.stale_suppressions);
+    }
+
+    #[test]
+    fn dead_edge_suppression_goes_stale() {
+        // The allow names reachable-panic but nothing reaches the site.
+        let report = analyze(&[(
+            "crates/serve/src/service.rs",
+            "fn dead() { None::<u8>.unwrap(); } // alba-lint: allow(reachable-panic, no-panic-in-fallible) reason=\"demo: was reachable once\"\n",
+        )]);
+        assert!(!report.findings.iter().any(|f| f.rule == "reachable-panic"));
+        assert_eq!(report.stale_suppressions.len(), 1);
+        assert_eq!(report.stale_suppressions[0].rule, STALE_SUPPRESSION);
+    }
+
+    #[test]
     fn gate_flags_new_findings_and_stale_entries() {
         let report = Report {
             findings: vec![Finding {
@@ -198,9 +413,9 @@ mod tests {
                 path: "crates/serve/src/x.rs".into(),
                 line: 3,
                 message: String::new(),
+                chain: Vec::new(),
             }],
-            suppressed: 0,
-            files_scanned: 1,
+            ..Report::default()
         };
         // Empty baseline: the finding is a violation.
         let g = gate(&report, &Baseline::default());
@@ -226,10 +441,16 @@ mod tests {
         let msgs: Vec<String> = report
             .findings
             .iter()
+            .chain(&report.stale_suppressions)
             .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
             .collect();
         assert!(report.findings.is_empty(), "workspace findings:\n{}", msgs.join("\n"));
+        assert!(report.stale_suppressions.is_empty(), "stale:\n{}", msgs.join("\n"));
         assert!(report.files_scanned > 50);
         assert!(report.suppressed > 0, "the justified suppressions must be exercised");
+        // The interprocedural engine is actually engaged on the real
+        // tree: the graph must be substantial.
+        assert!(report.fns_analyzed > 300, "only {} fns", report.fns_analyzed);
+        assert!(report.call_edges > 300, "only {} edges", report.call_edges);
     }
 }

@@ -82,7 +82,8 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         Err(e) => return Err(format!("reading {}: {e}", args.baseline_path.display())),
     };
     let gated = gate(&report, &baseline);
-    let stale_fails = args.check_stale && !gated.stale.is_empty();
+    let stale_fails =
+        args.check_stale && (!gated.stale.is_empty() || !report.stale_suppressions.is_empty());
     let failed = !gated.violations.is_empty() || stale_fails;
 
     if args.json {
@@ -90,9 +91,12 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             findings: report.findings.clone(),
             violations: gated.violations.clone(),
             stale: gated.stale.clone(),
+            stale_suppressions: report.stale_suppressions.clone(),
             suppressed: report.suppressed,
             absorbed: gated.absorbed,
             files_scanned: report.files_scanned,
+            fns_analyzed: report.fns_analyzed,
+            call_edges: report.call_edges,
             ok: !failed,
         })
         .map_err(|e| format!("rendering JSON: {e}"))?;
@@ -124,9 +128,15 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             s.rule, s.path, s.allowed, s.actual
         );
     }
+    for f in &report.stale_suppressions {
+        let verdict = if args.check_stale { "error" } else { "note" };
+        println!("{verdict}: {}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
     println!(
-        "alba-lint: {} files, {} findings ({} absorbed by baseline), {} suppressed with reasons{}",
+        "alba-lint: {} files, {} fns / {} call edges, {} findings ({} absorbed by baseline), {} suppressed with reasons{}",
         report.files_scanned,
+        report.fns_analyzed,
+        report.call_edges,
         report.findings.len(),
         gated.absorbed,
         report.suppressed,
@@ -140,9 +150,12 @@ struct JsonReport {
     findings: Vec<alba_lint::Finding>,
     violations: Vec<alba_lint::baseline::Violation>,
     stale: Vec<alba_lint::baseline::StaleEntry>,
+    stale_suppressions: Vec<alba_lint::Finding>,
     suppressed: u64,
     absorbed: u64,
     files_scanned: u64,
+    fns_analyzed: u64,
+    call_edges: u64,
     ok: bool,
 }
 

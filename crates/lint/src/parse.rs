@@ -1,0 +1,924 @@
+//! A lightweight item parser on top of the [`crate::lexer`] stream.
+//!
+//! This is *not* a Rust grammar. It recovers exactly the facts the
+//! interprocedural passes need and nothing more:
+//!
+//! * `fn` items with their enclosing `impl`/`trait` context (so
+//!   `self.m()` can be resolved precisely) and their body token range;
+//! * call expressions inside each body — `self.m(...)`, `x.m(...)`,
+//!   `Type::assoc(...)`, `module::free(...)`, `free(...)` — with
+//!   turbofish skipped and macro invocations excluded;
+//! * the *sites* the dataflow passes care about: panic sites
+//!   (`.unwrap()`, `.expect(..)`, `panic!`-family macros, slice/array
+//!   indexing), ambient time/entropy, unordered containers, and lock
+//!   acquisitions (`*.lock()`), the latter with the lexical block span
+//!   they are held for;
+//! * `use` declarations, so type aliases (`use a::Foo as Bar`) resolve
+//!   to their real names and paths carry a crate hint.
+//!
+//! Everything the parser cannot model (closures passed as values,
+//! function pointers, fully-qualified `<T as Tr>::m` calls, macro
+//! bodies) degrades to "no call edge", never to a crash: like the
+//! lexer, the parser is total on hostile input.
+
+use crate::lexer::{LexFile, Tok, Token};
+use crate::rules::FileContext;
+use std::collections::BTreeMap;
+
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CallTarget {
+    /// `self.m(...)` or `Self::m(...)` — resolved against the enclosing
+    /// impl/trait type.
+    SelfMethod(String),
+    /// `x.m(...)` — a method call on a receiver of unknown type.
+    Method(String),
+    /// `a::b::f(...)`, `Type::assoc(...)`, or a bare `f(...)` — the
+    /// full segment list, aliases not yet applied.
+    Path(Vec<String>),
+}
+
+/// One call expression inside a fn body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Call {
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// Sequence number within the fn (shared with sites, source order).
+    pub seq: u32,
+    /// The named callee.
+    pub target: CallTarget,
+}
+
+/// The kinds of dataflow-relevant sites the parser records.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SiteKind {
+    /// `.unwrap()` / `.expect(` — the detail says which.
+    PanicUnwrap(&'static str),
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro(&'static str),
+    /// `expr[...]` indexing (out-of-bounds panics).
+    Index,
+    /// `Instant::now` / `SystemTime::now` — the detail says which.
+    AmbientTime(&'static str),
+    /// `thread_rng` / `from_entropy` / `OsRng` / `getrandom`.
+    AmbientEntropy(String),
+    /// A `HashMap`/`HashSet` mention outside `use` items.
+    UnorderedContainer(String),
+}
+
+/// One dataflow-relevant site inside a fn body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Site {
+    /// 1-based line.
+    pub line: u32,
+    /// Sequence number within the fn (shared with calls, source order).
+    pub seq: u32,
+    /// What was found.
+    pub kind: SiteKind,
+}
+
+/// One `*.lock()` acquisition and the lexical span it is held for.
+///
+/// The guard is modelled as held from its acquisition to the end of the
+/// enclosing block (`}` at a shallower brace depth releases it) — the
+/// repo's `{ let g = x.lock(); ... }` scoping idiom maps exactly onto
+/// this; early `drop(g)` calls are not modelled (conservative: spans
+/// may be too long, never too short).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LockSpan {
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Sequence number at acquisition.
+    pub start_seq: u32,
+    /// Sequence number at release (end of block or fn).
+    pub end_seq: u32,
+    /// Lock identity: `Type::field` for `self.field.lock()` inside an
+    /// `impl Type`; `None` when the receiver is a local (unresolvable).
+    pub lock_id: Option<String>,
+}
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Workspace-relative file path (forward slashes).
+    pub path: String,
+    /// The crate the file belongs to (`serve`, `ml`, ... / `.` for the
+    /// root package).
+    pub crate_name: String,
+    /// Enclosing `impl Type`/`trait Type` name, if any.
+    pub self_ty: Option<String>,
+    /// `impl Trait for Type` — the trait name, if any.
+    pub trait_of: Option<String>,
+    /// The fn's own name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the fn sits in test context (test file or trailing
+    /// `#[cfg(test)]` region) — excluded from the call graph.
+    pub is_test: bool,
+    /// Calls made in the body, in source order.
+    pub calls: Vec<Call>,
+    /// Dataflow sites in the body, in source order.
+    pub sites: Vec<Site>,
+    /// Lock acquisitions with their held spans.
+    pub locks: Vec<LockSpan>,
+}
+
+impl FnItem {
+    /// `Type::name` / `name` — the display form used in chains.
+    pub fn display(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Everything parsed out of one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// Every fn item, in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` aliases: visible name -> full path segments.
+    pub uses: BTreeMap<String, Vec<String>>,
+}
+
+/// Maps a workspace-relative path to its crate name: `crates/x/...` ->
+/// `x`, everything else (root `src/`, `tests/`, `examples/`) -> `.`.
+pub fn crate_of(path: &str) -> String {
+    match path.strip_prefix("crates/").and_then(|r| r.split('/').next()) {
+        Some(c) => c.to_string(),
+        None => ".".to_string(),
+    }
+}
+
+/// Maps an extern-crate path segment to the crate directory name it
+/// resolves to in this workspace (`alba_ml` -> `ml`, `albadross` ->
+/// `core`), or `None` for external crates (`std`, vendored shims).
+pub fn crate_of_extern(seg: &str) -> Option<String> {
+    match seg {
+        "albadross" => Some("core".to_string()),
+        "albadross_repro" => Some(".".to_string()),
+        _ => seg.strip_prefix("alba_").map(str::to_string),
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "union",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i) {
+        Some(Token { tok: Tok::Ident(s), .. }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize) -> Option<char> {
+    match toks.get(i) {
+        Some(Token { tok: Tok::Punct(p), .. }) => Some(*p),
+        _ => None,
+    }
+}
+
+fn is_punct(toks: &[Token], i: usize, c: char) -> bool {
+    punct_at(toks, i) == Some(c)
+}
+
+/// Index just past a balanced `<...>` group opening at `open`, or
+/// `None` when it does not close (the parser then treats the `<` as a
+/// comparison and moves on).
+fn skip_angles(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = open;
+    // Bound the scan: an unclosed `<` (a comparison) must not swallow
+    // the rest of the file.
+    let limit = (open + 256).min(toks.len());
+    while i < limit {
+        match punct_at(toks, i) {
+            Some('<') => depth += 1,
+            Some('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            Some(';') | Some('{') => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The scope stack entry: what an open `{` belongs to.
+#[derive(Clone, Debug)]
+enum Scope {
+    /// `impl Type { ... }` / `impl Trait for Type { ... }`.
+    Impl { self_ty: String, trait_of: Option<String> },
+    /// `trait Name { ... }` (default method bodies).
+    Trait { name: String },
+    /// A fn body; the index into `out.fns`.
+    Fn { idx: usize },
+    /// Any other brace group (blocks, structs, matches, modules).
+    Other,
+}
+
+/// Marks token indices inside `use ...;` items (so container *imports*
+/// are not sites, mirroring the token-rule engine).
+fn use_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut in_use = false;
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(s) if s == "use" && !in_use => in_use = true,
+            Tok::Punct(';') if in_use => {
+                in_use = false;
+                continue;
+            }
+            _ => {}
+        }
+        mask[i] = in_use;
+    }
+    mask
+}
+
+/// Parses one lexed file into items. Total on hostile input: malformed
+/// headers simply produce no item, never a panic.
+pub fn parse_file(path: &str, lexed: &LexFile, ctx: &FileContext) -> ParsedFile {
+    let toks = &lexed.tokens;
+    let mask = use_mask(toks);
+    let mut out = ParsedFile::default();
+    let crate_name = crate_of(path);
+
+    // Scope tracking: every `{` pushes, every `}` pops. `pending` holds
+    // the scope the *next* `{` should open (set by impl/trait/fn
+    // headers).
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending: Option<Scope> = None;
+    // Per-open-fn bookkeeping (supports nested fns): (fns index, seq
+    // counter, open locks as (site index into fns[i].locks, depth)).
+    let mut fn_stack: Vec<FnFrame> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        // ---- structural: use / impl / trait / fn headers ------------
+        match ident_at(toks, i) {
+            Some("use") if !in_fn(&fn_stack) => {
+                i = parse_use(toks, i, &mut out.uses);
+                continue;
+            }
+            Some("impl") => {
+                if let Some((scope, next)) = parse_impl_header(toks, i) {
+                    pending = Some(scope);
+                    i = next;
+                    continue;
+                }
+            }
+            Some("trait") => {
+                if let Some(name) = ident_at(toks, i + 1) {
+                    if !is_keyword(name) {
+                        pending = Some(Scope::Trait { name: name.to_string() });
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            Some("fn") => {
+                if let Some(name) = ident_at(toks, i + 1) {
+                    let (self_ty, trait_of) = enclosing_type(&scopes);
+                    let line = toks[i].line;
+                    out.fns.push(FnItem {
+                        path: path.to_string(),
+                        crate_name: crate_name.clone(),
+                        self_ty,
+                        trait_of,
+                        name: name.to_string(),
+                        line,
+                        is_test: ctx.is_test_line(line),
+                        calls: Vec::new(),
+                        sites: Vec::new(),
+                        locks: Vec::new(),
+                    });
+                    pending = Some(Scope::Fn { idx: out.fns.len() - 1 });
+                    // Skip the signature: nothing between `fn name` and
+                    // the body `{` (or a bodyless `;`) is a call. Paren
+                    // groups (params) and angle groups (generics) are
+                    // skipped wholesale so `fn f(g: impl Fn() -> u8)`
+                    // bounds don't look like body braces.
+                    i = skip_signature(toks, i + 2);
+                    continue;
+                }
+            }
+            _ => {}
+        }
+
+        match punct_at(toks, i) {
+            Some('{') => {
+                scopes.push(pending.take().unwrap_or(Scope::Other));
+                if let Some(Scope::Fn { idx }) = scopes.last() {
+                    fn_stack.push((*idx, 0, Vec::new()));
+                }
+                i += 1;
+                continue;
+            }
+            Some('}') => {
+                match scopes.pop() {
+                    Some(Scope::Fn { idx }) => {
+                        // Close the fn: release its remaining locks.
+                        if let Some((fidx, seq, open_locks)) = fn_stack.pop() {
+                            debug_assert_eq!(fidx, idx);
+                            for (li, _) in open_locks {
+                                out.fns[fidx].locks[li].end_seq = seq;
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        // A block inside a fn closed: locks acquired in
+                        // deeper blocks are released here.
+                        if let Some((fidx, seq, open_locks)) = fn_stack.last_mut() {
+                            let depth = scopes.len();
+                            open_locks.retain(|&(li, acq_depth)| {
+                                if acq_depth > depth {
+                                    out.fns[*fidx].locks[li].end_seq = *seq;
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
+                        }
+                    }
+                    None => {}
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+
+        // A header that never found its `{` (e.g. `impl Trait for T;`
+        // in hostile input) must not leak onto the next brace.
+        if is_punct(toks, i, ';') {
+            pending = None;
+        }
+
+        // ---- body facts: calls, sites, locks ------------------------
+        if let Some(&(fidx, ..)) = fn_stack.last() {
+            if !mask[i] {
+                i = scan_body_token(toks, i, fidx, &mut out.fns, &mut fn_stack, scopes.len());
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // EOF with open fns (unterminated input): close their locks.
+    while let Some((fidx, seq, open_locks)) = fn_stack.pop() {
+        for (li, _) in open_locks {
+            out.fns[fidx].locks[li].end_seq = seq;
+        }
+    }
+    out.fns.sort_by(|a, b| a.line.cmp(&b.line).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Per-open-fn scan state: (fns index, seq counter, open locks as
+/// (site index into `fns[i].locks`, brace depth)).
+type FnFrame = (usize, u32, Vec<(usize, usize)>);
+
+fn in_fn(fn_stack: &[FnFrame]) -> bool {
+    !fn_stack.is_empty()
+}
+
+/// The innermost impl/trait context on the scope stack.
+fn enclosing_type(scopes: &[Scope]) -> (Option<String>, Option<String>) {
+    for s in scopes.iter().rev() {
+        match s {
+            Scope::Impl { self_ty, trait_of } => return (Some(self_ty.clone()), trait_of.clone()),
+            Scope::Trait { name } => return (Some(name.clone()), Some(name.clone())),
+            _ => {}
+        }
+    }
+    (None, None)
+}
+
+/// Parses `use a::b::{c, d as e};` into the alias map; returns the
+/// index just past the `;`.
+fn parse_use(toks: &[Token], start: usize, uses: &mut BTreeMap<String, Vec<String>>) -> usize {
+    let mut i = start + 1;
+    let mut prefix: Vec<String> = Vec::new();
+    let mut group: Vec<(Vec<String>, Option<String>)> = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    let mut alias: Option<String> = None;
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct(';') => {
+                i += 1;
+                break;
+            }
+            Tok::Punct('{') => {
+                depth += 1;
+                if depth == 1 {
+                    prefix = std::mem::take(&mut current);
+                }
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    break; // malformed; bail before eating the file
+                }
+            }
+            Tok::Punct(',') => {
+                group.push((std::mem::take(&mut current), alias.take()));
+            }
+            Tok::Ident(s) if s == "as" => {
+                alias = ident_at(toks, i + 1).map(str::to_string);
+                i += 2;
+                continue;
+            }
+            Tok::Ident(s) => current.push(s.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    group.push((current, alias));
+    for (segs, alias) in group {
+        if segs.is_empty() {
+            continue;
+        }
+        let full: Vec<String> = prefix.iter().chain(segs.iter()).cloned().collect();
+        let name = alias.unwrap_or_else(|| full[full.len() - 1].clone());
+        if name != "*" {
+            uses.insert(name, full);
+        }
+    }
+    i
+}
+
+/// Parses `impl<G> Type {` / `impl<G> Trait<T> for Type {` headers.
+/// Returns the scope plus the index of the opening `{` (the main loop
+/// re-reads it), or `None` when the header is not parseable.
+fn parse_impl_header(toks: &[Token], start: usize) -> Option<(Scope, usize)> {
+    let mut i = start + 1;
+    if is_punct(toks, i, '<') {
+        i = skip_angles(toks, i)?;
+    }
+    // First type path: segments until `for` / `{` / `where`.
+    let (first, mut i) = parse_type_path(toks, i)?;
+    let mut trait_of = None;
+    let mut self_ty = first;
+    if ident_at(toks, i) == Some("for") {
+        let (second, j) = parse_type_path(toks, i + 1)?;
+        trait_of = Some(self_ty);
+        self_ty = second;
+        i = j;
+    }
+    // Skip a where clause: scan to the `{`.
+    let limit = (i + 512).min(toks.len());
+    while i < limit {
+        match punct_at(toks, i) {
+            Some('{') => return Some((Scope::Impl { self_ty, trait_of }, i)),
+            Some(';') => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses one type path (`a::b::Type<G>`, `&mut Type`, `dyn Tr`),
+/// returning its last plain segment and the index just past it.
+fn parse_type_path(toks: &[Token], start: usize) -> Option<(String, usize)> {
+    let mut i = start;
+    // Leading sigils and modifiers.
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('&') | Tok::Punct('*') => i += 1,
+            Tok::Ident(s) if matches!(s.as_str(), "mut" | "dyn" | "const") => i += 1,
+            _ => break,
+        }
+    }
+    let mut last = None;
+    while i < toks.len() {
+        match ident_at(toks, i) {
+            Some(s) if !is_keyword(s) => {
+                last = Some(s.to_string());
+                i += 1;
+                if is_punct(toks, i, '<') {
+                    i = skip_angles(toks, i).unwrap_or(i);
+                }
+                if is_punct(toks, i, ':') && is_punct(toks, i + 1, ':') {
+                    i += 2;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    last.map(|l| (l, i))
+}
+
+/// Skips a fn signature starting just past the name; returns the index
+/// of the body `{` (so the main loop opens the Fn scope) or just past
+/// the `;` of a bodyless signature.
+fn skip_signature(toks: &[Token], mut i: usize) -> usize {
+    if is_punct(toks, i, '<') {
+        i = skip_angles(toks, i).unwrap_or(i);
+    }
+    let mut paren = 0i32;
+    while i < toks.len() {
+        match punct_at(toks, i) {
+            Some('(') => paren += 1,
+            Some(')') => paren -= 1,
+            Some('{') if paren <= 0 => return i,
+            Some(';') if paren <= 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Examines the body token at `i`, recording calls/sites/locks into
+/// `fns[fidx]`; returns the next index to scan from.
+fn scan_body_token(
+    toks: &[Token],
+    i: usize,
+    fidx: usize,
+    fns: &mut [FnItem],
+    fn_stack: &mut [FnFrame],
+    depth: usize,
+) -> usize {
+    let line = toks[i].line;
+    let top = fn_stack.last_mut().map(|(_, seq, locks)| (seq, locks));
+    let Some((seq, open_locks)) = top else { return i + 1 };
+
+    // `.name(` — method call, panic site, or lock acquisition. The
+    // token *after* the name decides (turbofish skipped).
+    if is_punct(toks, i, '.') {
+        if let Some(name) = ident_at(toks, i + 1) {
+            let mut after = i + 2;
+            if is_punct(toks, after, ':') && is_punct(toks, after + 1, ':') {
+                if let Some(j) = skip_angles(toks, after + 2) {
+                    after = j;
+                }
+            }
+            if is_punct(toks, after, '(') {
+                let nline = toks[i + 1].line;
+                *seq += 1;
+                match name {
+                    "unwrap" | "expect" => {
+                        let d = if name == "unwrap" { "unwrap" } else { "expect" };
+                        fns[fidx].sites.push(Site {
+                            line: nline,
+                            seq: *seq,
+                            kind: SiteKind::PanicUnwrap(d),
+                        });
+                    }
+                    "lock" => {
+                        let lock_id = lock_receiver(toks, i, fns[fidx].self_ty.as_deref());
+                        fns[fidx].locks.push(LockSpan {
+                            line: nline,
+                            start_seq: *seq,
+                            end_seq: u32::MAX,
+                            lock_id,
+                        });
+                        open_locks.push((fns[fidx].locks.len() - 1, depth));
+                    }
+                    _ => {
+                        let target = if ident_at(toks, i.wrapping_sub(1)) == Some("self")
+                            && !is_punct(toks, i.wrapping_sub(2), '.')
+                        {
+                            CallTarget::SelfMethod(name.to_string())
+                        } else {
+                            CallTarget::Method(name.to_string())
+                        };
+                        fns[fidx].calls.push(Call { line: nline, seq: *seq, target });
+                    }
+                }
+                return i + 2;
+            }
+        }
+        return i + 1;
+    }
+
+    if let Some(id) = ident_at(toks, i) {
+        // Macro invocation: `name!` — panic-family macros are sites;
+        // all other macros produce no edges (their bodies are opaque).
+        if is_punct(toks, i + 1, '!') {
+            if let Some(m) = PANIC_MACROS.iter().find(|m| **m == id) {
+                *seq += 1;
+                fns[fidx].sites.push(Site { line, seq: *seq, kind: SiteKind::PanicMacro(m) });
+            }
+            return i + 2;
+        }
+        // Ambient entropy / unordered containers are single idents.
+        if ENTROPY_IDENTS.contains(&id) {
+            *seq += 1;
+            fns[fidx].sites.push(Site {
+                line,
+                seq: *seq,
+                kind: SiteKind::AmbientEntropy(id.to_string()),
+            });
+            return i + 1;
+        }
+        if id == "HashMap" || id == "HashSet" {
+            *seq += 1;
+            fns[fidx].sites.push(Site {
+                line,
+                seq: *seq,
+                kind: SiteKind::UnorderedContainer(id.to_string()),
+            });
+            return i + 1;
+        }
+        // Path expression: `a::b::name(` / `Instant::now(` / `name(`.
+        // Only consider path *starts* (previous token is not `.`/`::`).
+        let prev_sep = is_punct(toks, i.wrapping_sub(1), '.')
+            || (is_punct(toks, i.wrapping_sub(1), ':') && i > 0);
+        // `crate::`/`super::`/`self::` are keyword-led path starts.
+        let keyword_path_start = matches!(id, "crate" | "super")
+            || (id == "self" && is_punct(toks, i + 1, ':') && is_punct(toks, i + 2, ':'));
+        if !prev_sep && (!is_keyword(id) || keyword_path_start) {
+            let mut segs = vec![id.to_string()];
+            let mut j = i + 1;
+            while is_punct(toks, j, ':') && is_punct(toks, j + 1, ':') {
+                if is_punct(toks, j + 2, '<') {
+                    // Turbofish ends the segment list.
+                    if let Some(k) = skip_angles(toks, j + 2) {
+                        j = k;
+                    }
+                    break;
+                }
+                match ident_at(toks, j + 2) {
+                    Some(s) if !is_keyword(s) => {
+                        segs.push(s.to_string());
+                        j += 3;
+                    }
+                    _ => break,
+                }
+            }
+            // Ambient-time sites are path pairs, call or not.
+            if segs.len() >= 2 && segs[segs.len() - 1] == "now" {
+                let base = &segs[segs.len() - 2];
+                if base == "Instant" || base == "SystemTime" {
+                    *seq += 1;
+                    let d = if base == "Instant" { "Instant" } else { "SystemTime" };
+                    fns[fidx].sites.push(Site { line, seq: *seq, kind: SiteKind::AmbientTime(d) });
+                    return j;
+                }
+            }
+            if is_punct(toks, j, '(') && !is_punct(toks, j.wrapping_sub(1), '!') {
+                *seq += 1;
+                let target = if segs.len() == 2 && segs[0] == "Self" {
+                    CallTarget::SelfMethod(segs[1].clone())
+                } else {
+                    CallTarget::Path(segs)
+                };
+                fns[fidx].calls.push(Call { line, seq: *seq, target });
+                return j + 1;
+            }
+            return j.max(i + 1);
+        }
+        return i + 1;
+    }
+
+    // Indexing: `expr[` where expr just ended in an ident, `)` or `]`.
+    if is_punct(toks, i, '[') {
+        let indexable = match toks.get(i.wrapping_sub(1)).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => !is_keyword(s),
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+            _ => false,
+        };
+        if indexable {
+            *seq += 1;
+            fns[fidx].sites.push(Site { line, seq: *seq, kind: SiteKind::Index });
+        }
+    }
+    i + 1
+}
+
+/// Resolves the receiver of `<recv>.lock()` at the `.` before `lock`.
+/// `self.field.lock()` (or `self.a.b.lock()`) inside `impl T` yields
+/// `T::field` (the *last* field named); anything else is unresolvable.
+fn lock_receiver(toks: &[Token], dot: usize, self_ty: Option<&str>) -> Option<String> {
+    let field = ident_at(toks, dot.wrapping_sub(1)).filter(|s| !is_keyword(s))?;
+    // Walk back through the field chain to the base.
+    let mut i = dot - 1;
+    while i >= 2 && is_punct(toks, i - 1, '.') && ident_at(toks, i - 2).is_some() {
+        i -= 2;
+    }
+    if ident_at(toks, i) == Some("self") {
+        self_ty.map(|t| format!("{t}::{field}"))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(path: &str, src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let ctx = FileContext::classify(path, &lexed);
+        parse_file(path, &lexed, &ctx)
+    }
+
+    fn one(src: &str) -> FnItem {
+        let p = parse("crates/serve/src/x.rs", src);
+        assert_eq!(p.fns.len(), 1, "want one fn: {:?}", p.fns);
+        p.fns.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn impl_context_and_self_calls() {
+        let f = one("impl FleetService { pub fn tick(&mut self) -> bool { self.step(1); true } }");
+        assert_eq!(f.self_ty.as_deref(), Some("FleetService"));
+        assert_eq!(f.name, "tick");
+        assert_eq!(
+            f.calls,
+            vec![Call { line: 1, seq: 1, target: CallTarget::SelfMethod("step".into()) }]
+        );
+    }
+
+    #[test]
+    fn trait_impls_record_the_trait() {
+        let src = "impl NetFrontier for Gateway { fn poll(&mut self, now: usize) -> Vec<u8> { decode(now) } }";
+        let f = one(src);
+        assert_eq!(f.self_ty.as_deref(), Some("Gateway"));
+        assert_eq!(f.trait_of.as_deref(), Some("NetFrontier"));
+        assert_eq!(f.calls[0].target, CallTarget::Path(vec!["decode".into()]));
+    }
+
+    #[test]
+    fn generic_impl_headers_parse() {
+        let src = "impl<J: Send, R> Pool<J, R> { fn run_epoch(&mut self) { helper::go::<J>(); } }";
+        let f = one(src);
+        assert_eq!(f.self_ty.as_deref(), Some("Pool"));
+        assert_eq!(f.calls[0].target, CallTarget::Path(vec!["helper".into(), "go".into()]));
+    }
+
+    #[test]
+    fn method_and_assoc_calls() {
+        let f = one("fn f(x: &T) { x.refresh(); Store::open(1); Self::go(); }");
+        let targets: Vec<&CallTarget> = f.calls.iter().map(|c| &c.target).collect();
+        assert_eq!(
+            targets,
+            vec![
+                &CallTarget::Method("refresh".into()),
+                &CallTarget::Path(vec!["Store".into(), "open".into()]),
+                &CallTarget::SelfMethod("go".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_field_method_is_not_a_self_method() {
+        let f = one("impl S { fn f(&self) { self.tracer.hop(1); } }");
+        assert_eq!(f.calls[0].target, CallTarget::Method("hop".into()));
+    }
+
+    #[test]
+    fn panic_sites_are_recorded() {
+        let f = one("fn f(v: Option<u8>, s: &[u8], i: usize) -> u8 { v.unwrap(); v.expect(\"x\"); if i > 9 { panic!(\"no\") } s[i] }");
+        let kinds: Vec<&SiteKind> = f.sites.iter().map(|s| &s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &SiteKind::PanicUnwrap("unwrap"),
+                &SiteKind::PanicUnwrap("expect"),
+                &SiteKind::PanicMacro("panic"),
+                &SiteKind::Index,
+            ]
+        );
+    }
+
+    #[test]
+    fn attribute_brackets_and_array_literals_are_not_indexing() {
+        let src = "fn f() { let a = [1, 2]; let v: Vec<[u8; 2]> = vec![a]; }\n#[derive(Debug)]\nstruct S;";
+        let p = parse("crates/serve/src/x.rs", src);
+        assert!(p.fns[0].sites.is_empty(), "{:?}", p.fns[0].sites);
+    }
+
+    #[test]
+    fn ambient_time_and_entropy_sites() {
+        let f = one("fn f() { let t = Instant::now(); let r = thread_rng(); let m: HashMap<u8, u8> = make(); }");
+        let kinds: Vec<&SiteKind> = f.sites.iter().map(|s| &s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &SiteKind::AmbientTime("Instant"),
+                &SiteKind::AmbientEntropy("thread_rng".into()),
+                &SiteKind::UnorderedContainer("HashMap".into()),
+            ]
+        );
+        // The container in a `use` item is not a site.
+        let p = parse("crates/serve/src/y.rs", "use std::collections::HashMap;\nfn g() {}");
+        assert!(p.fns[0].sites.is_empty());
+    }
+
+    #[test]
+    fn lock_spans_follow_block_scope() {
+        let src =
+            "impl Gate { fn f(&self) { { let g = self.inner.lock(); g.touch(); } self.after(); } }";
+        let f = one(src);
+        assert_eq!(f.locks.len(), 1);
+        let l = &f.locks[0];
+        assert_eq!(l.lock_id.as_deref(), Some("Gate::inner"));
+        // `self.after()` (seq past the block close) is outside the span.
+        let after = f.calls.iter().find(|c| c.target == CallTarget::SelfMethod("after".into()));
+        assert!(after.unwrap().seq > l.end_seq, "{l:?} vs {:?}", f.calls);
+        // `g.touch()` is inside.
+        let touch = f.calls.iter().find(|c| c.target == CallTarget::Method("touch".into()));
+        assert!(touch.unwrap().seq <= l.end_seq);
+    }
+
+    #[test]
+    fn local_lock_receivers_are_unresolvable() {
+        let f = one("fn f(m: &Mutex<u8>) { let g = m.lock(); drop(g); }");
+        assert_eq!(f.locks.len(), 1);
+        assert_eq!(f.locks[0].lock_id, None);
+    }
+
+    #[test]
+    fn use_aliases_are_collected() {
+        let src = "use alba_ml::{Fitted as Model, predict};\nuse std::fmt::Write as _;\nfn f() {}";
+        let p = parse("crates/serve/src/x.rs", src);
+        assert_eq!(
+            p.uses.get("Model").unwrap(),
+            &vec!["alba_ml".to_string(), "Fitted".to_string()]
+        );
+        assert_eq!(
+            p.uses.get("predict").unwrap(),
+            &vec!["alba_ml".to_string(), "predict".to_string()]
+        );
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        let p = parse("crates/serve/src/x.rs", src);
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+        let p2 = parse("crates/serve/tests/t.rs", "fn t() {}");
+        assert!(p2.fns[0].is_test);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_produce_items_without_calls() {
+        let src = "trait Sink { fn flush(&self); fn log(&self) { self.flush(); } }";
+        let p = parse("crates/obs/src/x.rs", src);
+        assert_eq!(p.fns.len(), 2);
+        let log = p.fns.iter().find(|f| f.name == "log").unwrap();
+        assert_eq!(log.self_ty.as_deref(), Some("Sink"));
+        assert_eq!(log.calls[0].target, CallTarget::SelfMethod("flush".into()));
+        let flush = p.fns.iter().find(|f| f.name == "flush").unwrap();
+        assert!(flush.calls.is_empty());
+    }
+
+    #[test]
+    fn macros_do_not_become_calls() {
+        let f = one("fn f() { println!(\"{}\", go()); vec![1] }");
+        // `go()` inside the macro body still parses as a call (macro
+        // args are expression-shaped in this codebase) but `println`
+        // itself must not.
+        assert!(f.calls.iter().all(|c| c.target != CallTarget::Path(vec!["println".into()])));
+    }
+
+    #[test]
+    fn parser_is_total_on_hostile_input() {
+        for src in [
+            "impl",
+            "impl {",
+            "impl<T for {",
+            "fn",
+            "fn (",
+            "fn f(",
+            "trait",
+            "use ;",
+            "use {{{",
+            "fn f() { self. }",
+            "fn f() { a::::b(); }",
+            "}}}}",
+            "fn f() { { { .lock() } }",
+            "impl X { fn a() { \"unterminated",
+        ] {
+            let lexed = lex(src);
+            let ctx = FileContext::classify("crates/serve/src/x.rs", &lexed);
+            let _ = parse_file("crates/serve/src/x.rs", &lexed, &ctx);
+        }
+    }
+}

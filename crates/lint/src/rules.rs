@@ -18,6 +18,11 @@
 //! | `no-unbounded-channel` | `VecDeque::new`/`LinkedList::new`/`mpsc::channel` queues on the network ingest path — every buffer a peer can fill must be born bounded |
 //! | `no-untraced-stage` | stage functions in serve's service.rs that open an obs span without touching the causal tracer — metrics and traces must cover the same stages |
 //! | `no-unordered-join` | `try_iter`/`try_recv`/iterating a receiver in the parallel runtime — results must be joined by a counted blocking barrier, in slot order, never in arrival order |
+//!
+//! Three further rules — `reachable-panic`, `nondet-taint`,
+//! `lock-order-cycle` — are produced by the interprocedural engine in
+//! [`crate::dataflow`], not by this per-file engine; they live in the
+//! same catalog so `allow(...)` validation and `--rules` cover them.
 
 use crate::lexer::{LexFile, Tok, Token};
 
@@ -78,6 +83,18 @@ pub const CATALOG: &[RuleInfo] = &[
     RuleInfo {
         name: "no-unordered-join",
         summary: "try_iter/try_recv/iterating a receiver forbidden in the parallel runtime; join worker results with a counted blocking recv and reorder by slot, never by arrival",
+    },
+    RuleInfo {
+        name: "reachable-panic",
+        summary: "interprocedural: no unwrap/expect/panic!-family/indexing transitively reachable from the hot-path roots (FleetService::tick, par epoch/workers, gateway poll, grid workers); reported with the full call chain",
+    },
+    RuleInfo {
+        name: "nondet-taint",
+        summary: "interprocedural: ambient time/entropy and unordered containers must not be reachable from fns whose output is journaled (obs events/exposition, traces, model serialisation)",
+    },
+    RuleInfo {
+        name: "lock-order-cycle",
+        summary: "interprocedural: the lock-acquisition-order graph over Type::field lock identities must be acyclic; a cycle is a deadlock candidate",
     },
 ];
 

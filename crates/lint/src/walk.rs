@@ -3,8 +3,9 @@
 //! Walks `crates/`, `src/`, `tests/`, and `examples/` under the
 //! workspace root, visiting directory entries in sorted order so the
 //! tool's own output is reproducible. `vendor/` (offline dependency
-//! shims — external API surface, not ours) and any `target/` directory
-//! are skipped.
+//! shims — external API surface, not ours), any `target/` directory,
+//! and `fixtures/` trees (linter input corpora, deliberately full of
+//! violations) are skipped.
 
 use std::path::{Path, PathBuf};
 
@@ -12,7 +13,7 @@ use std::path::{Path, PathBuf};
 pub const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
 
 fn skip_dir(name: &str) -> bool {
-    name == "target" || name == "vendor" || name.starts_with('.')
+    name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.')
 }
 
 fn walk_into(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -69,6 +70,7 @@ mod tests {
         sorted.sort();
         assert_eq!(rels, sorted, "walk order must be deterministic");
         assert!(rels.iter().all(|r| !r.starts_with("vendor/") && !r.contains("/target/")));
+        assert!(rels.iter().all(|r| !r.contains("/fixtures/")), "corpora are input, not source");
         assert!(rels.iter().any(|r| r == "crates/lint/src/walk.rs"), "finds itself: {rels:?}");
     }
 }

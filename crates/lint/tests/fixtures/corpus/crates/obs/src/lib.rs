@@ -1,0 +1,10 @@
+//! Fixture: the journaled-output sink (`Obs::event` is a configured
+//! output sink for the nondeterminism-taint pass).
+
+pub struct Obs;
+
+impl Obs {
+    pub fn event(&self, line: &str) {
+        let _ = line;
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: an ambient-time source one call away from the sink writer.
+
+/// Reads the wall clock — a nondeterminism source when its caller
+/// also writes journaled output.
+pub fn stamp_ms() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

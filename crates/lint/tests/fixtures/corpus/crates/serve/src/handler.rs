@@ -1,0 +1,19 @@
+//! Fixture: the dynamic-dispatch false-positive trap.
+
+pub trait Handler {
+    fn handle(&self);
+}
+
+pub struct Loud;
+
+impl Handler for Loud {
+    fn handle(&self) {
+        panic!("loud handler is never on the hot path");
+    }
+}
+
+pub struct Quiet;
+
+impl Handler for Quiet {
+    fn handle(&self) {}
+}

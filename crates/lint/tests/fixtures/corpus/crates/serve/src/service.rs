@@ -1,0 +1,58 @@
+//! Fixture: the hot-path root and a deep panic chain.
+//!
+//! `FleetService::tick` is a configured hot-path root; the chain
+//! tick -> step_all -> process_batch -> head_lane -> unwrap is three
+//! call edges deep and must surface as one `reachable-panic` finding
+//! anchored at the unwrap in `shard.rs`.
+
+use crate::clock;
+use crate::handler::Handler;
+use crate::shard::Shard;
+use alba_obs::Obs;
+
+pub struct FleetService {
+    shards: Vec<Shard>,
+}
+
+impl FleetService {
+    /// Hot-path root: one scheduler tick.
+    pub fn tick(&mut self) {
+        self.step_all();
+    }
+
+    fn step_all(&mut self) {
+        for s in &mut self.shards {
+            s.process_batch();
+        }
+    }
+
+    /// Writes the journal AND (two hops away) reads the wall clock:
+    /// a `nondet-taint` finding with the chain emit -> stamp_ms -> now.
+    pub fn emit(&self, obs: &Obs) {
+        let ts = clock::stamp_ms();
+        let _ = ts;
+        obs.event("tick");
+    }
+
+    /// Trap: dynamic dispatch. Two workspace types implement `handle`,
+    /// so the call is ambiguous and must create NO edge — the panic in
+    /// `Loud::handle` stays unreported.
+    pub fn dispatch(&mut self, h: &dyn Handler) {
+        self.step_all();
+        h.handle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Trap: same type/method name as the hot-path root, but test code
+    /// never enters the call graph — the unwrap below must not fire.
+    pub struct FleetService;
+
+    impl FleetService {
+        pub fn tick(&self) {
+            let v: Vec<u32> = Vec::new();
+            let _ = v.first().unwrap();
+        }
+    }
+}

@@ -81,7 +81,10 @@ impl Value {
                     push_u64(out, *v as u64);
                 }
             }
-            Value::F64(v) if v.is_finite() => write!(out, "{v}").unwrap(),
+            // fmt::Write to a String never errors; discard the Result.
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
             Value::F64(_) => out.push_str("null"),
             Value::Str(s) => {
                 out.push('"');
@@ -127,7 +130,9 @@ pub fn json_escape(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }

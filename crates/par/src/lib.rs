@@ -121,6 +121,7 @@ impl<J: Send + 'static, R: Send + 'static> Pool<J, R> {
         let handle = std::thread::Builder::new()
             .name(format!("alba-par-w{w}"))
             .spawn(move || worker_loop(w, rx, results, job_fn, obs))
+            // alba-lint: allow(reachable-panic) reason="spawn fails only on resource exhaustion; the supervisor dies loudly"
             .expect("spawn pool worker thread");
         Worker { tx, handle: Some(handle) }
     }
@@ -151,6 +152,7 @@ impl<J: Send + 'static, R: Send + 'static> Pool<J, R> {
             // killed externally): respawn and resubmit. `SendError`
             // returns the message, so nothing is lost.
             loop {
+                // alba-lint: allow(reachable-panic) reason="w = slot % workers.len() is always in range"
                 match self.workers[w].tx.send(msg) {
                     Ok(()) => break,
                     Err(SendError(back)) => {
@@ -169,9 +171,11 @@ impl<J: Send + 'static, R: Send + 'static> Pool<J, R> {
         while got < n {
             // Cannot disconnect: the pool holds `results_tx`.
             let Ok(c) = self.results_rx.recv() else { break };
+            // alba-lint: allow(reachable-panic) reason="c.slot >= n is ruled out by this same condition"
             if c.epoch != epoch || c.slot >= n || out[c.slot].is_some() {
                 continue; // stale or duplicate — defensive, unreachable by protocol
             }
+            // alba-lint: allow(reachable-panic) reason="slot bound checked in the condition above"
             out[c.slot] = Some(c.outcome);
             got += 1;
         }
@@ -184,9 +188,11 @@ impl<J: Send + 'static, R: Send + 'static> Pool<J, R> {
     }
 
     fn respawn(&mut self, w: usize) {
+        // alba-lint: allow(reachable-panic) reason="w comes from run_epoch's modulo over workers"
         if let Some(handle) = self.workers[w].handle.take() {
             let _ = handle.join();
         }
+        // alba-lint: allow(reachable-panic) reason="w comes from run_epoch's modulo over workers"
         self.workers[w] = self.spawn_worker(w);
         self.respawns += 1;
         self.obs.counter("par_worker_respawns_total", &[]).inc();

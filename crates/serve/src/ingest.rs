@@ -209,9 +209,9 @@ impl IngestLayer {
     /// empty. Byte-for-byte equal to calling [`IngestLayer::drain_node`]
     /// over the shard's nodes and concatenating.
     pub fn drain_shard(&mut self, shard: usize) -> Vec<TelemetrySample> {
+        let Some(nodes) = self.shards.get(shard) else { return Vec::new() };
         let mut out = Vec::new();
-        for i in 0..self.shards.get(shard).map_or(0, Vec::len) {
-            let n = self.shards[shard][i];
+        for &n in nodes {
             if let Some(q) = self.queues.get_mut(n) {
                 out.extend(q.drain());
             }

@@ -865,7 +865,7 @@ impl FleetService {
     /// `shard_of`, which is seeded), monitors and counters start fresh.
     fn rebuild_shard(&self, id: usize) -> Shard {
         let nodes: Vec<usize> =
-            (0..self.shard_of.len()).filter(|&n| self.shard_of[n] == id).collect();
+            self.shard_of.iter().enumerate().filter(|&(_, &s)| s == id).map(|(n, _)| n).collect();
         Shard::new(
             id,
             nodes,

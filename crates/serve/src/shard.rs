@@ -268,8 +268,10 @@ impl Shard {
                 continue;
             }
             self.stats.samples += 1;
+            // alba-lint: allow(reachable-panic) reason="one monitor per lane by construction"
             if self.monitors[l].push(&s.values) {
                 let mut row = Vec::new();
+                // alba-lint: allow(reachable-panic) reason="one monitor per lane by construction"
                 self.monitors[l].window_row_into(&mut self.scratch, &mut row);
                 rows.push(row);
                 due.push((l, s.at));
@@ -311,15 +313,20 @@ impl Shard {
         // Verdicts + hysteresis, in sample order.
         let names = &self.model.class_names;
         for (((l, at), row), p) in due.into_iter().zip(rows).zip(&proba) {
+            // alba-lint: allow(reachable-panic) reason="model output width is fixed and nonzero"
             let best = (1..p.len()).fold(0, |b, i| if p[i] > p[b] { i } else { b });
+            // alba-lint: allow(reachable-panic) reason="best < p.len() == names.len() from the fold above"
             let diagnosis = Diagnosis { label: names[best].clone(), confidence: p[best] };
             self.stats.windows += 1;
             self.latency.record((now.saturating_sub(at)) as u64);
+            // alba-lint: allow(reachable-panic) reason="one monitor per lane by construction"
             if let Some(alarm) = self.monitors[l].apply_diagnosis(diagnosis.clone()) {
                 self.stats.alarms += 1;
+                // alba-lint: allow(reachable-panic) reason="lane indices map 1:1 onto nodes"
                 report.alarms.push(NodeAlarm { node: self.nodes[l], alarm });
             }
             report.windows.push(WindowOutcome {
+                // alba-lint: allow(reachable-panic) reason="lane indices map 1:1 onto nodes"
                 node: self.nodes[l],
                 at,
                 uncertainty: uncertainty_score(p),

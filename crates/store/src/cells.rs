@@ -81,14 +81,18 @@ impl TelemetryStore {
         let _span = self.obs().span("store_read_ns", &[("kind", "cell")]);
         crate::fault::check(self.fault_hook(), "cell.read")?;
         let bytes = std::fs::read(&path)?;
+        // alba-lint: allow(reachable-panic) reason="len >= 12 is checked first in this condition"
         if bytes.len() < 12 || bytes[..4] != MAGIC {
             return Err(StoreError::corrupt(&path, "missing or wrong cell magic"));
         }
+        // alba-lint: allow(reachable-panic) reason="header length was verified above"
         let len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        // alba-lint: allow(reachable-panic) reason="header length was verified above"
         let crc = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
         if len > MAX_CELL_BYTES {
             return Err(StoreError::corrupt(&path, format!("implausible cell length {len}")));
         }
+        // alba-lint: allow(reachable-panic) reason="len >= 12 was verified above"
         let payload = &bytes[12..];
         if payload.len() as u32 != len {
             return Err(StoreError::TruncatedTail { path: path.display().to_string(), offset: 12 });

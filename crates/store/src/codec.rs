@@ -36,8 +36,8 @@ pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
 /// Never panics: short or overflowing ranges yield `None`, so framing
 /// readers can surface typed errors instead of indexing past the end.
 pub fn read_u32_le(bytes: &[u8], pos: usize) -> Option<u32> {
-    let b = bytes.get(pos..pos.checked_add(4)?)?;
-    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    let b: [u8; 4] = bytes.get(pos..pos.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(b))
 }
 
 /// Reads a LEB128 varint at `*pos`, advancing it.
@@ -111,6 +111,7 @@ pub fn decode_column(bytes: &[u8], n: usize, kind: MetricKind) -> Result<Vec<f64
     let mut pos = 0usize;
     let mut prev = 0u64;
     for t in 0..n {
+        // alba-lint: allow(reachable-panic) reason="bitmap length was validated against n before this loop"
         if bitmap[t / 8] & (1 << (t % 8)) != 0 {
             out.push(f64::NAN);
             continue;

@@ -27,6 +27,7 @@ const TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // alba-lint: allow(reachable-panic) reason="index is masked to 0..256"
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc

@@ -105,6 +105,7 @@ impl FeatureCache {
         }
         let _span = self.store.obs().span("store_read_ns", &[("kind", "features")]);
         let bytes = std::fs::read(&path)?;
+        // alba-lint: allow(reachable-panic) reason="len >= 16 is checked first in this condition"
         if bytes.len() < 16 || &bytes[..8] != FMAT_MAGIC {
             return Err(StoreError::corrupt(&path, "missing ALBAFMT1 magic"));
         }
@@ -115,6 +116,7 @@ impl FeatureCache {
             .checked_add(header_len)
             .filter(|&e| e + 4 <= bytes.len())
             .ok_or(StoreError::TruncatedTail { path: path.display().to_string(), offset: 12 })?;
+        // alba-lint: allow(reachable-panic) reason="header_end was bounds-checked above"
         let header_bytes = &bytes[12..header_end];
         let stored = read_u32_le(&bytes, header_end)
             .ok_or_else(|| StoreError::corrupt(&path, "truncated header CRC"))?;
@@ -142,6 +144,7 @@ impl FeatureCache {
                 offset: matrix_start as u64,
             });
         }
+        // alba-lint: allow(reachable-panic) reason="matrix range was bounds-checked above"
         let payload = &bytes[matrix_start..matrix_end];
         let stored = read_u32_le(&bytes, matrix_end)
             .ok_or_else(|| StoreError::corrupt(&path, "truncated matrix CRC"))?;
@@ -150,6 +153,7 @@ impl FeatureCache {
         }
         let data: Vec<f64> = payload
             .chunks_exact(8)
+            // alba-lint: allow(reachable-panic) reason="chunks_exact(8) yields exactly 8 bytes"
             .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
             .collect();
         let ds = Dataset::new(
@@ -186,6 +190,7 @@ impl FeatureCache {
         for v in ds.x.as_slice() {
             bytes.extend_from_slice(&v.to_bits().to_le_bytes());
         }
+        // alba-lint: allow(reachable-panic) reason="matrix_start is an offset into the buffer just built"
         let crc = crate::crc::crc32(&bytes[matrix_start..]);
         bytes.extend_from_slice(&crc.to_le_bytes());
         let tmp = path.with_extension(format!("tmp-{}", std::process::id()));

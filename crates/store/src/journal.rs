@@ -156,6 +156,7 @@ impl LabelJournal {
             // Simulated crash mid-append: half the record reaches disk
             // and the write "dies". The caller must reopen the journal,
             // which truncates the tear back to the last intact record.
+            // alba-lint: allow(reachable-panic) reason="half <= len by construction on the torn-write path"
             let half = &line.as_bytes()[..line.len() / 2];
             inner.file.write_all(half)?;
             inner.file.flush()?;

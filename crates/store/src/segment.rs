@@ -144,6 +144,7 @@ impl SegmentReader {
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let bytes = std::fs::read(&path)?;
+        // alba-lint: allow(reachable-panic) reason="len >= 16 is checked first in this condition"
         if bytes.len() < 16 || &bytes[..8] != SEGMENT_MAGIC {
             return Err(StoreError::corrupt(&path, "missing ALBASEG1 magic"));
         }
@@ -159,6 +160,7 @@ impl SegmentReader {
         let Some(schema_end) = schema_end else {
             return Err(StoreError::TruncatedTail { path: path.display().to_string(), offset: 16 });
         };
+        // alba-lint: allow(reachable-panic) reason="schema_end was bounds-checked above"
         let schema_bytes = &bytes[16..schema_end];
         let stored_crc = read_u32_le(&bytes, schema_end)
             .ok_or_else(|| StoreError::corrupt(&path, "truncated schema CRC"))?;
@@ -197,6 +199,7 @@ impl SegmentReader {
             if payload_end + 4 > self.bytes.len() {
                 return Err(torn());
             }
+            // alba-lint: allow(reachable-panic) reason="payload range was bounds-checked above"
             let payload = &self.bytes[payload_start..payload_end];
             let stored_crc = read_u32_le(&self.bytes, payload_end).ok_or_else(torn)?;
             if crc32(payload) != stored_crc {
@@ -221,6 +224,7 @@ impl SegmentReader {
             .filter(|&e| e <= payload.len())
             .ok_or_else(|| bad(format!("block head at {at} overruns payload")))?;
         let head: BlockHead = serde_json::from_str(
+            // alba-lint: allow(reachable-panic) reason="head_end was bounds-checked above"
             std::str::from_utf8(&payload[4..head_end])
                 .map_err(|_| bad(format!("block head at {at} is not UTF-8")))?,
         )
@@ -236,6 +240,7 @@ impl SegmentReader {
                 .checked_add(4 + col_len)
                 .filter(|&e| e <= payload.len())
                 .ok_or_else(|| bad(format!("column at {at} overruns payload")))?;
+            // alba-lint: allow(reachable-panic) reason="col_end was bounds-checked above"
             let col = decode_column(&payload[pos + 4..col_end], n, def.kind)
                 .map_err(|e| bad(format!("column {} at {at}: {e}", def.name)))?;
             values.push(col);

@@ -51,6 +51,7 @@ pub(crate) use alba_obs::push_u64;
 pub(crate) fn push_hex16(out: &mut String, v: u64) {
     const HEX: &[u8; 16] = b"0123456789abcdef";
     for i in 0..16 {
+        // alba-lint: allow(reachable-panic) reason="index is masked to 0..16"
         out.push(HEX[((v >> (60 - 4 * i)) & 0xf) as usize] as char);
     }
 }
@@ -104,6 +105,7 @@ impl FlightRing {
         if self.buf.len() < self.cap {
             String::with_capacity(192)
         } else {
+            // alba-lint: allow(reachable-panic) reason="head stays within the ring by the wrap above"
             let mut s = std::mem::take(&mut self.buf[self.head].line);
             s.clear();
             s

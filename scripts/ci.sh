@@ -5,7 +5,9 @@
 # Runs everything the tree must pass before a merge; exits non-zero on
 # the first failure. --full additionally runs the #[ignore]d slow
 # suites (exhaustive store byte-flip sweep, long chaos cases, the
-# 24-cell parallel determinism stress matrix).
+# 24-cell parallel determinism stress matrix) and the sanitizer jobs
+# (tsan over the threaded crates, miri over the linter), each skipped
+# with a notice when the toolchain lacks the component.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,6 +44,36 @@ cargo test --workspace -q
 if [ "$FULL" = "1" ]; then
     echo "==> slow suites (--full: #[ignore]d tests)"
     cargo test --workspace -q -- --ignored
+
+    echo "==> ThreadSanitizer (--full: par + chaos suites under tsan)"
+    # The shard pool and chaos supervisor are the only crates that
+    # spawn threads; tsan re-runs their suites with full happens-before
+    # tracking. Needs nightly (-Zsanitizer) AND rust-src: std must be
+    # rebuilt instrumented (-Zbuild-std), because a prebuilt std hides
+    # Mutex/futex edges from tsan and every critical section then
+    # reports as a false race. --target keeps the sanitizer flags off
+    # host build units (the vendored proc macros). A separate target
+    # dir keeps instrumented artifacts out of the normal cache.
+    if cargo +nightly --version >/dev/null 2>&1 \
+        && [ -d "$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library/std" ]; then
+        HOST=$(rustc +nightly -vV | sed -n 's/^host: //p')
+        RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+            cargo +nightly test -q -Zbuild-std -p alba-par -p alba-chaos --target "$HOST"
+    else
+        echo "  nightly rust-src unavailable — skipped (tsan needs an instrumented std)"
+    fi
+
+    echo "==> Miri (--full: alba-lint analysis passes under miri)"
+    # The linter's parser/call-graph/dataflow stack is pure in-memory
+    # code — exactly what miri checks well. Gated on the component
+    # actually being installed (offline images often lack it).
+    if cargo +nightly miri --version >/dev/null 2>&1; then
+        CARGO_TARGET_DIR=target/miri \
+            cargo +nightly miri test -q -p alba-lint --lib -- \
+            lexer suppress parse callgraph dataflow
+    else
+        echo "  miri unavailable on this toolchain — skipped"
+    fi
 fi
 
 echo "==> observability smoke (fleet_monitor example + artifact checks)"
@@ -409,6 +441,21 @@ print(f"  extract {bench['extract_rows_per_sec_per_core_zero_copy']:.0f} rows/s/
       f"({speedup:.2f}x materialized), "
       f"serve {bench['serve_node_metrics_per_sec_per_core_w4']:.0f} node-metrics/s/core @4w, "
       f"barrier p99 {bench['merge_barrier_p99_ns']:.0f} ns: OK")
+EOF
+
+echo "==> lint throughput bench (BENCH_lint.json exists, tree analyzes clean)"
+ALBA_BENCH_QUICK=1 cargo bench -p alba-bench --bench lint_throughput
+python3 - <<'EOF'
+import json
+
+bench = json.load(open("results/BENCH_lint.json"))
+assert bench["bench"] == "lint_throughput"
+assert bench["fns_analyzed"] > 300 and bench["call_edges"] > 300, bench
+for key in ("token_files_per_sec", "lint_files_per_sec", "lint_lines_per_sec",
+            "interproc_ns_per_fn"):
+    assert isinstance(bench[key], (int, float)) and bench[key] > 0, key
+print(f"  {bench['lint_files_per_sec']:.0f} files/s full pipeline over "
+      f"{bench['fns_analyzed']} fns / {bench['call_edges']} call edges: OK")
 EOF
 
 echo "==> bench gate (no >20% regression vs the committed trajectory)"
